@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: test test-fast bench figures report verify calibrate examples clean
+
+test:            ## full test suite (incl. heavy example smoke tests)
+	$(PY) -m pytest tests/
+
+test-fast:       ## tests without the slow end-to-end example runs
+	$(PY) -m pytest tests/ -m "not slow"
+
+bench:           ## all table/figure/ablation benchmarks (pytest-benchmark)
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+figures:         ## regenerate every table/figure text artifact in benchmarks/results/
+	@cd benchmarks && for b in bench_*.py; do \
+	  case $$b in bench_cpu_wallclock.py|bench_extension_solvers.py) continue;; esac; \
+	  echo "== $$b"; $(PY) $$b > /dev/null || exit 1; done
+
+report:          ## paper-vs-model Markdown report
+	$(PY) -m repro report -o REPRODUCTION_REPORT.md
+
+verify:          ## 30-second headline reproduction check
+	$(PY) -m repro verify
+
+calibrate:       ## re-fit the GT200 cost model against the paper's numbers
+	$(PY) -m repro.gpusim.calibrate
+
+examples:        ## run every example script
+	@for e in examples/*.py; do echo "== $$e"; $(PY) $$e > /dev/null || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/.benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

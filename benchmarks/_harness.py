@@ -1,0 +1,73 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every bench regenerates one table or figure of the paper, prints it,
+and saves the text under ``benchmarks/results/``.  Benches are both
+pytest-benchmark tests (``pytest benchmarks/ --benchmark-only``) and
+standalone scripts (``python benchmarks/bench_fig6_gpu_solvers.py``).
+
+The wall-clock quantity pytest-benchmark measures is the *library*
+work (solving the batch, running the simulated kernel); the paper
+numbers in the emitted tables come from the calibrated GT200 model.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Paper problem sizes: (num_systems, system_size).
+PAPER_SIZES = [(64, 64), (128, 128), (256, 256), (512, 512)]
+
+#: Paper hybrid switch points at n = 512.
+PAPER_M = {"cr_pcr": 256, "cr_rd": 128}
+
+SOLVER_ORDER = ["cr_pcr", "cr_rd", "pcr", "rd", "cr"]
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it to benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:.4f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    def line(vals):
+        return "  ".join(v.rjust(w) for v, w in zip(vals, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out += [line(r) for r in cells]
+    return "\n".join(out)
+
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def quiet():
+    """Context manager silencing the expected overflow warnings."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+def hybrid_m_for(name: str, n: int) -> int | None:
+    """Paper-style default switch point scaled to the problem size."""
+    if name == "cr_pcr":
+        return max(2, n // 2)
+    if name == "cr_rd":
+        return max(2, n // 4)
+    return None

@@ -1,0 +1,44 @@
+"""Ablation: warp granularity -- why CR's late steps stop getting
+cheaper.
+
+Fig 9's conflict-free curve flattens once active threads drop below a
+warp: "a warp is the smallest unit of work on the GPU" and "a large
+portion of the total step time is taken by the overhead of
+synchronization and loop control."  The table shows modeled
+conflict-free per-step time against the ideal work-proportional time
+(halving every step): real steps saturate, ideal keeps shrinking --
+this saturation is the inefficiency the hybrids cut away.
+"""
+
+from repro.analysis.bankconflict import forward_reduction_conflicts
+from repro.numerics.generators import diagonally_dominant_fluid
+
+from _harness import emit, quiet, table
+
+
+def build_table() -> str:
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        steps = forward_reduction_conflicts(s)
+    first = steps[0].without_conflicts_ms
+    rows = []
+    for st in steps:
+        ideal = first / (2 ** st.index)
+        rows.append([st.index + 1, st.active_threads, st.warps,
+                     st.without_conflicts_ms * 1000,  # us, block level
+                     ideal * 1000,
+                     f"{st.without_conflicts_ms / ideal:.1f}x"])
+    return table(["step", "threads", "warps", "model_us",
+                  "work_proportional_us", "saturation"], rows) \
+        + "\n(flattening below 32 threads = Fig 9's conflict-free curve)"
+
+
+def test_ablation_warp_granularity(benchmark):
+    emit("ablation_warp_granularity", build_table())
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        benchmark(lambda: forward_reduction_conflicts(s))
+
+
+if __name__ == "__main__":
+    emit("ablation_warp_granularity", build_table())

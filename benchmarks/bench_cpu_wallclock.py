@@ -1,0 +1,54 @@
+"""Real wall-clock benchmarks of the NumPy solver library itself.
+
+Unlike the figure benches (which report *modeled* GTX 280 times),
+these measure what this library actually costs on the host running the
+test -- the numbers a user of the batched NumPy solvers cares about.
+One test per solver on the paper's flagship 512x512 workload.
+"""
+
+import pytest
+
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+from repro.solvers.api import SOLVERS
+
+from _harness import quiet
+
+
+@pytest.fixture(scope="module")
+def dominant512():
+    return diagonally_dominant_fluid(512, 512, seed=0)
+
+
+@pytest.fixture(scope="module")
+def close512():
+    return close_values(512, 512, seed=1)
+
+
+def test_wallclock_thomas(benchmark, dominant512):
+    benchmark(lambda: SOLVERS["thomas"](dominant512))
+
+
+def test_wallclock_gep(benchmark, dominant512):
+    benchmark(lambda: SOLVERS["gep"](dominant512))
+
+
+def test_wallclock_cr(benchmark, dominant512):
+    benchmark(lambda: SOLVERS["cr"](dominant512))
+
+
+def test_wallclock_pcr(benchmark, dominant512):
+    benchmark(lambda: SOLVERS["pcr"](dominant512))
+
+
+def test_wallclock_rd(benchmark, close512):
+    with quiet():
+        benchmark(lambda: SOLVERS["rd"](close512))
+
+
+def test_wallclock_cr_pcr(benchmark, dominant512):
+    benchmark(lambda: SOLVERS["cr_pcr"](dominant512, intermediate_size=256))
+
+
+def test_wallclock_cr_rd(benchmark, close512):
+    with quiet():
+        benchmark(lambda: SOLVERS["cr_rd"](close512, intermediate_size=128))

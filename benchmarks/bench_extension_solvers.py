@@ -1,0 +1,84 @@
+"""Wall-clock benchmarks of the extension solvers.
+
+Complements ``bench_cpu_wallclock.py`` (the paper's five) with the
+future-work/extension layer: QR, two-way GE, Wang partitioning, block
+CR, periodic systems, the DST Toeplitz fast path, factorization reuse
+and iterative refinement -- the numbers a library user comparing entry
+points cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import diagonally_dominant_fluid, toeplitz_spd
+from repro.solvers.block import block_cyclic_reduction
+from repro.solvers.factorize import thomas_factorize
+from repro.solvers.partition import partition_solve
+from repro.solvers.periodic import solve_periodic
+from repro.solvers.qr import givens_qr_batched
+from repro.solvers.refine import refined_solve
+from repro.solvers.toeplitz import solve_toeplitz_systems
+from repro.solvers.twoway import two_way_elimination
+
+from _harness import quiet
+
+
+@pytest.fixture(scope="module")
+def dominant512():
+    return diagonally_dominant_fluid(512, 512, seed=0, dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def toeplitz512():
+    return toeplitz_spd(512, 512, seed=1, dtype=np.float64)
+
+
+def test_wallclock_qr(benchmark, dominant512):
+    benchmark(lambda: givens_qr_batched(dominant512))
+
+
+def test_wallclock_twoway(benchmark, dominant512):
+    benchmark(lambda: two_way_elimination(dominant512))
+
+
+def test_wallclock_partition(benchmark, dominant512):
+    benchmark(lambda: partition_solve(dominant512, 8))
+
+
+def test_wallclock_block_cr(benchmark):
+    from tests.solvers.test_block import random_block_dominant
+    s = random_block_dominant(64, 64, 3, seed=2)
+    benchmark(lambda: block_cyclic_reduction(s))
+
+
+def test_wallclock_periodic(benchmark, dominant512):
+    s = dominant512
+    a = s.a.copy()
+    c = s.c.copy()
+    a[:, 0] = 0.1
+    c[:, -1] = 0.1
+    benchmark(lambda: solve_periodic(a, s.b, c, s.d, method="thomas"))
+
+
+def test_wallclock_toeplitz_dst(benchmark, toeplitz512):
+    benchmark(lambda: solve_toeplitz_systems(toeplitz512))
+
+
+def test_wallclock_factorized_resolve(benchmark, dominant512):
+    F = thomas_factorize(dominant512)
+    benchmark(lambda: F.solve(dominant512.d))
+
+
+def test_wallclock_refined(benchmark):
+    s = diagonally_dominant_fluid(128, 512, seed=3)
+    with quiet():
+        benchmark(lambda: refined_solve(s, method="cr_pcr",
+                                        max_iterations=3))
+
+
+def test_wallclock_eigvalsh(benchmark):
+    from repro.numerics.eigen import eigvalsh_tridiagonal
+    rng = np.random.default_rng(4)
+    d = rng.uniform(1, 5, (64, 64))
+    e = rng.uniform(-1, 1, (64, 63))
+    benchmark(lambda: eigvalsh_tridiagonal(d, e, tol=1e-10))

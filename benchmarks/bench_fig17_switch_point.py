@@ -1,0 +1,43 @@
+"""Figure 17: hybrid runtime vs intermediate-system size, 512x512.
+
+Paper: CR+PCR best at m = 256, CR+RD best at m = 128 (m = 256
+infeasible: shared memory); endpoints are the non-hybrid solvers.
+Both best switch points sit far above the warp size of 32 (§5.3.4).
+"""
+
+from repro.analysis.autotune import sweep_switch_point
+from repro.numerics.generators import diagonally_dominant_fluid
+
+from _harness import emit, quiet, table
+
+
+def build_table() -> str:
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        sweeps = {inner: sweep_switch_point(s, inner)
+                  for inner in ("pcr", "rd")}
+    sizes = [p.intermediate_size for p in sweeps["pcr"].points]
+    rows = []
+    for i, m in enumerate(sizes):
+        row = [m]
+        for inner in ("pcr", "rd"):
+            p = sweeps[inner].points[i]
+            row.append(p.solver_ms if p.solver_ms is not None
+                       else "infeasible")
+        rows.append(row)
+    best = {inner: sweeps[inner].best().intermediate_size
+            for inner in ("pcr", "rd")}
+    footer = (f"best switch points -> CR+PCR: m={best['pcr']} "
+              f"(paper: 256), CR+RD: m={best['rd']} (paper: 128)")
+    return table(["m", "cr_pcr_ms", "cr_rd_ms"], rows) + "\n" + footer
+
+
+def test_fig17_switch_point(benchmark):
+    emit("fig17_switch_point", build_table())
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        benchmark(lambda: sweep_switch_point(s, "pcr"))
+
+
+if __name__ == "__main__":
+    emit("fig17_switch_point", build_table())

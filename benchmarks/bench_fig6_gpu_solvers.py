@@ -1,0 +1,46 @@
+"""Figure 6: runtimes of the five GPU solvers across problem sizes,
+without (left) and with (right) CPU-GPU transfer.
+
+Paper reference points (512x512, ms): CR 1.066, PCR 0.534, RD 0.612,
+CR+PCR 0.422, CR+RD 0.488; with transfer all solvers converge because
+PCIe dominates 90-95 %.
+"""
+
+from repro.analysis.timing import modeled_grid_timing
+from repro.solvers.api import SOLVERS
+from repro.numerics.generators import diagonally_dominant_fluid
+
+from _harness import PAPER_SIZES, SOLVER_ORDER, emit, hybrid_m_for, quiet, table
+
+
+def build_tables() -> tuple[str, str]:
+    rows_left, rows_right = [], []
+    with quiet():
+        for S, n in PAPER_SIZES:
+            left = [f"{S}x{n}"]
+            right = [f"{S}x{n}"]
+            for name in SOLVER_ORDER:
+                t = modeled_grid_timing(name, n, S,
+                                        intermediate_size=hybrid_m_for(name, n))
+                left.append(t.solver_ms)
+                right.append(t.total_ms)
+            rows_left.append(left)
+            rows_right.append(right)
+    headers = ["size"] + SOLVER_ORDER
+    return (table(headers, rows_left), table(headers, rows_right))
+
+
+def test_fig6_gpu_solvers(benchmark):
+    left, right = build_tables()
+    emit("fig6_left_without_transfer_ms", left)
+    emit("fig6_right_with_transfer_ms", right)
+    # Wall-clock: the real library solving the flagship batch.
+    with quiet():
+        s = diagonally_dominant_fluid(512, 512, seed=0)
+        benchmark(lambda: SOLVERS["cr_pcr"](s, intermediate_size=256))
+
+
+if __name__ == "__main__":
+    left, right = build_tables()
+    emit("fig6_left_without_transfer_ms", left)
+    emit("fig6_right_with_transfer_ms", right)

@@ -1,0 +1,54 @@
+"""Figure 9: bank-conflict impact on CR forward reduction, 512x512.
+
+Per step: active threads, warps, n-way conflict degree, modeled time
+with and without conflicts, and the slowdown factor.  Paper annotates
+1.7x, 3.1x, 3.3x, 4.8x, 4.8x, 3.0x, 2.3x, 2.3x across the eight steps
+and shows the conflict-free time flattening once fewer than 32 threads
+remain.
+"""
+
+from repro.analysis.bankconflict import (forward_reduction_conflicts,
+                                         overall_conflict_penalty)
+from repro.gpusim import GTX280, gt200_cost_model
+from repro.numerics.generators import diagonally_dominant_fluid
+
+from _harness import emit, quiet, table
+
+PAPER_PENALTIES = [1.7, 3.1, 3.3, 4.8, 4.8, 3.0, 2.3, 2.3]
+
+#: Scale block-level step times to the paper's 512-block grid.
+GRID_BLOCKS = 512
+
+
+def build_table() -> str:
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        steps = forward_reduction_conflicts(s)
+    cm = gt200_cost_model()
+    scale, _, _ = cm.grid_scale(GTX280, GRID_BLOCKS, 5 * 512 * 4, 256)
+    rows = []
+    for st, paper_pen in zip(steps, PAPER_PENALTIES):
+        rows.append([
+            st.index + 1, st.active_threads, st.warps,
+            round(st.conflict_degree),
+            st.with_conflicts_ms * scale,
+            st.without_conflicts_ms * scale,
+            f"{st.penalty:.1f}x", f"{paper_pen:.1f}x",
+        ])
+    footer = (f"overall forward-reduction conflict penalty: "
+              f"{overall_conflict_penalty(steps):.2f}x")
+    return table(
+        ["step", "threads", "warps", "n-way", "with_ms", "without_ms",
+         "penalty", "paper"],
+        rows) + "\n" + footer
+
+
+def test_fig9_bank_conflicts(benchmark):
+    emit("fig9_bank_conflicts", build_table())
+    with quiet():
+        s = diagonally_dominant_fluid(2, 512, seed=0)
+        benchmark(lambda: forward_reduction_conflicts(s))
+
+
+if __name__ == "__main__":
+    emit("fig9_bank_conflicts", build_table())

@@ -1,0 +1,64 @@
+"""2-D heat diffusion with ADI -- the paper's flagship application.
+
+Each ADI step solves 1024 tridiagonal systems of 512 unknowns (rows,
+then columns of a 512x512 grid): exactly the batch shape the paper
+benchmarks.  The demo diffuses a hot square, checks heat conservation,
+and shows that the GPU-path solver (CR+PCR) matches Thomas.
+
+Run:  python examples/adi_heat_diffusion.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.applications import ADIDiffusion2D
+
+
+def render(u: np.ndarray, width: int = 48) -> str:
+    """Coarse ASCII rendering of the field."""
+    shades = " .:-=+*#%@"
+    step = max(1, u.shape[0] // 16), max(1, u.shape[1] // width)
+    coarse = u[:: step[0], :: step[1]]
+    top = coarse.max() or 1.0
+    return "\n".join(
+        "".join(shades[min(9, int(9 * v / top))] for v in row)
+        for row in coarse)
+
+
+def main() -> None:
+    n = 512
+    u0 = np.zeros((n, n))
+    u0[n // 4: n // 2, n // 4: n // 2] = 1.0
+
+    print("initial field:")
+    print(render(u0))
+
+    adi = ADIDiffusion2D(u0, alpha=2.0, dx=1.0, dt=4.0, method="cr_pcr")
+    heat0 = adi.total_heat()
+    print(f"\nsystems per ADI step: {adi.systems_per_step()[0]} "
+          f"x {adi.systems_per_step()[1]} unknowns "
+          f"(the paper's 512x512 workload, twice per step)")
+
+    t0 = time.perf_counter()
+    steps = 20
+    adi.step(steps)
+    dt = time.perf_counter() - t0
+    print(f"ran {steps} ADI steps ({2 * steps * n} tridiagonal solves of "
+          f"size {n}) in {dt:.2f}s wall-clock")
+
+    print(f"heat before/after: {heat0:.1f} / {adi.total_heat():.1f} "
+          f"(drift {abs(adi.total_heat() - heat0) / heat0:.2e})")
+
+    print("\ndiffused field:")
+    print(render(adi.u))
+
+    # Cross-check the GPU-path result against the sequential reference.
+    ref = ADIDiffusion2D(u0, alpha=2.0, dx=1.0, dt=4.0, method="thomas")
+    ref.step(steps)
+    print("\nmax |CR+PCR - Thomas| after",
+          steps, "steps:", float(np.max(np.abs(adi.u - ref.u))))
+
+
+if __name__ == "__main__":
+    main()

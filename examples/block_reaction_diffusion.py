@@ -1,0 +1,85 @@
+"""Block-tridiagonal demo: two coupled reacting species, implicitly.
+
+Extends the paper per its future-work item (1): a reaction-diffusion
+pair (activator u, inhibitor v) stepped implicitly in 1-D produces a
+*block* tridiagonal system with 2x2 blocks per grid point -- diffusion
+couples neighbours, the reaction Jacobian couples the species.
+
+Run:  python examples/block_reaction_diffusion.py
+"""
+
+import numpy as np
+
+from repro.solvers import BlockTridiagonalSystems, solve_block
+
+
+def build_step_systems(u, v, du, dv, k_react, dt, dx):
+    """Backward-Euler step of
+        u_t = du u_xx - k (u - v)
+        v_t = dv v_xx + k (u - v)
+    as a 2x2-block tridiagonal batch."""
+    S, n = u.shape
+    ru = du * dt / dx ** 2
+    rv = dv * dt / dx ** 2
+    eye = np.eye(2)
+    A = np.zeros((S, n, 2, 2))
+    B = np.zeros((S, n, 2, 2))
+    C = np.zeros((S, n, 2, 2))
+    # Off-diagonal blocks: pure per-species diffusion.
+    A[:, 1:, 0, 0] = -ru
+    A[:, 1:, 1, 1] = -rv
+    C[:, :-1, 0, 0] = -ru
+    C[:, :-1, 1, 1] = -rv
+    # Diagonal block: I + 2 r diag + dt * reaction Jacobian.
+    B[:, :, 0, 0] = 1 + 2 * ru + dt * k_react
+    B[:, :, 0, 1] = -dt * k_react
+    B[:, :, 1, 0] = -dt * k_react
+    B[:, :, 1, 1] = 1 + 2 * rv + dt * k_react
+    # Neumann-ish ends: drop the missing neighbour's coupling.
+    B[:, 0, 0, 0] -= ru
+    B[:, 0, 1, 1] -= rv
+    B[:, -1, 0, 0] -= ru
+    B[:, -1, 1, 1] -= rv
+    D = np.stack([u, v], axis=2)
+    return BlockTridiagonalSystems(A, B, C, D)
+
+
+def main() -> None:
+    S, n = 64, 128
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 1, n)
+    u = np.exp(-((x - 0.3) / 0.06) ** 2)[None, :].repeat(S, axis=0)
+    v = np.zeros_like(u)
+    u += 0.02 * rng.standard_normal(u.shape)
+
+    dt, dx, k = 0.002, x[1] - x[0], 4.0
+    total0 = (u + v).sum()
+    for step in range(50):
+        systems = build_step_systems(u, v, du=0.5, dv=0.05, k_react=k,
+                                     dt=dt, dx=dx)
+        X = solve_block(systems.a, systems.b, systems.c, systems.d,
+                        method="cr")
+        u, v = X[:, :, 0], X[:, :, 1]
+
+    print(f"stepped {S} coupled 2-species columns of {n} points, 50 "
+          f"implicit steps of 2x2-block CR")
+    print(f"mass conservation (u+v): {total0:.3f} -> {(u + v).sum():.3f}")
+    mid = S // 2
+    print(f"activator spread: peak u = {u[mid].max():.3f} at "
+          f"x = {x[np.argmax(u[mid])]:.2f}")
+    print(f"inhibitor response: peak v = {v[mid].max():.3f} "
+          f"(species exchange via the reaction term)")
+    assert v[mid].max() > 0.05  # coupling really happened
+
+    # Cross-check against the dense solve on one column.
+    sys1 = build_step_systems(u[:1], v[:1], 0.5, 0.05, k, dt, dx)
+    dense = sys1.to_dense()[0]
+    rhs = sys1.d[0].ravel()
+    x_dense = np.linalg.solve(dense, rhs).reshape(n, 2)
+    x_block = solve_block(sys1.a, sys1.b, sys1.c, sys1.d, method="pcr")[0]
+    print(f"block PCR vs dense solve max diff: "
+          f"{np.max(np.abs(x_block - x_dense)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Batched cubic-spline fitting -- the "cubic spline approximations"
+workload from the paper's introduction.
+
+Fits natural cubic splines through noisy samples of 256 different
+signals at once (one tridiagonal system per curve, solved as a batch),
+then reports reconstruction error against the clean signals.
+
+Run:  python examples/cubic_spline_demo.py
+"""
+
+import numpy as np
+
+from repro.applications import CubicSpline
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    num_curves, num_knots = 256, 33
+    x = np.linspace(0.0, 2.0 * np.pi, num_knots)
+
+    # Each curve: random two-harmonic signal plus noise at the knots.
+    a1 = rng.uniform(0.5, 1.5, (num_curves, 1))
+    a2 = rng.uniform(0.1, 0.5, (num_curves, 1))
+    ph = rng.uniform(0, 2 * np.pi, (num_curves, 1))
+    clean = lambda t: (a1 * np.sin(t[None, :] + ph)        # noqa: E731
+                       + a2 * np.sin(3 * t[None, :]))
+    y = clean(x) + 0.01 * rng.standard_normal((num_curves, num_knots))
+
+    spline = CubicSpline(x, y, bc="natural", method="cr_pcr")
+
+    xq = np.linspace(0.2, 6.0, 400)
+    fit = spline(xq)
+    err = np.abs(fit - clean(xq))
+    print(f"fitted {num_curves} splines of {num_knots} knots in one "
+          f"batched tridiagonal solve")
+    print(f"reconstruction error vs clean signals: "
+          f"mean {err.mean():.4f}, max {err.max():.4f} "
+          f"(noise level 0.01)")
+
+    # ASCII plot of one curve.
+    i = 7
+    lo, hi = fit[i].min(), fit[i].max()
+    rows = 15
+    grid = [[" "] * 80 for _ in range(rows)]
+    for col in range(80):
+        t = xq[int(col / 80 * len(xq))]
+        v = spline(np.array([t]))[i, 0]
+        r = int((v - lo) / (hi - lo + 1e-12) * (rows - 1))
+        grid[rows - 1 - r][col] = "*"
+    print(f"\ncurve #{i} (natural cubic spline through noisy knots):")
+    print("\n".join("".join(row) for row in grid))
+
+    # Compare solver backends on identical data.
+    for method in ("thomas", "gep", "pcr"):
+        alt = CubicSpline(x, y, bc="natural", method=method)
+        diff = np.max(np.abs(alt(xq) - fit))
+        print(f"max |{method} - cr_pcr| over all curves: {diff:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Depth-of-field blur by implicit diffusion (Kass, Lefohn & Owens) --
+the first application ever to run a tridiagonal solver on a GPU, and
+one of the paper's motivating workloads.
+
+A synthetic scene (textured foreground bar, midground disc, background
+gradient) is blurred according to its depth map: pixels inside the
+focus band stay sharp; everything else diffuses with a circle of
+confusion that grows with defocus.
+
+Run:  python examples/depth_of_field_blur.py
+"""
+
+import numpy as np
+
+from repro.applications import depth_of_field_blur, synthetic_scene
+
+
+def render(img: np.ndarray, width: int = 64) -> str:
+    shades = " .:-=+*#%@"
+    sy = max(1, img.shape[0] // 20)
+    sx = max(1, img.shape[1] // width)
+    coarse = img[::sy, ::sx]
+    lo, hi = coarse.min(), coarse.max()
+    span = (hi - lo) or 1.0
+    return "\n".join(
+        "".join(shades[min(9, int(9 * (v - lo) / span))] for v in row)
+        for row in coarse)
+
+
+def sharpness(img: np.ndarray, mask: np.ndarray) -> float:
+    """Mean absolute horizontal gradient inside a region."""
+    g = np.abs(np.diff(img, axis=1))
+    m = mask[:, 1:]
+    return float(g[m].mean())
+
+
+def main() -> None:
+    image, depth = synthetic_scene(128, 160, seed=3)
+    print("scene (foreground bar at depth 1, disc at 2, background 3):")
+    print(render(image))
+
+    for focus, label in ((1.0, "foreground bar"), (2.0, "midground disc")):
+        out = depth_of_field_blur(image, depth, focus_depth=focus,
+                                  focus_range=0.1, strength=0.6,
+                                  method="cr_pcr")
+        print(f"\nfocused on the {label} (depth {focus}):")
+        print(render(out))
+        for region, d in (("bar", 1.0), ("disc", 2.0), ("bg", 3.0)):
+            mask = depth == d
+            print(f"  {region}: sharpness {sharpness(image, mask):.4f} -> "
+                  f"{sharpness(out, mask):.4f}"
+                  + ("   (in focus, preserved)" if d == focus else ""))
+
+
+if __name__ == "__main__":
+    main()

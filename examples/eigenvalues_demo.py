@@ -1,0 +1,71 @@
+"""Batched symmetric-tridiagonal eigenvalues by Sturm bisection --
+the algorithm of the paper's related-work citation [31] (Volkov &
+Demmel's GPU bisection).
+
+Three showcases:
+1. the 1-D Poisson operator's spectrum vs its closed form,
+2. a batch of random Jacobi matrices vs LAPACK,
+3. spectral condition numbers feeding the solver-selection logic.
+
+Run:  python examples/eigenvalues_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.numerics import (eigvals_in_interval, eigvalsh_tridiagonal,
+                            spectral_condition_spd)
+
+
+def main() -> None:
+    # --- 1. Poisson spectrum ------------------------------------------
+    n = 64
+    d = np.full((1, n), 2.0)
+    e = np.full((1, n - 1), -1.0)
+    eigs = eigvalsh_tridiagonal(d, e)[0]
+    k = np.arange(1, n + 1)
+    exact = 2.0 - 2.0 * np.cos(np.pi * k / (n + 1))
+    print(f"1-D Poisson operator, n = {n}:")
+    print(f"  smallest eigenvalue {eigs[0]:.6f} "
+          f"(exact {exact.min():.6f})")
+    print(f"  largest  eigenvalue {eigs[-1]:.6f} "
+          f"(exact {exact.max():.6f})")
+    print(f"  max |bisection - exact| = "
+          f"{np.max(np.abs(np.sort(eigs) - np.sort(exact))):.2e}")
+
+    # --- 2. a batch against LAPACK ------------------------------------
+    rng = np.random.default_rng(0)
+    S, n = 128, 48
+    d = rng.uniform(1.0, 4.0, (S, n))
+    e = rng.uniform(-1.0, 1.0, (S, n - 1))
+    t0 = time.perf_counter()
+    eigs = eigvalsh_tridiagonal(d, e)
+    t_bisect = time.perf_counter() - t0
+    worst = 0.0
+    for i in range(0, S, 16):
+        T = np.diag(d[i]) + np.diag(e[i], 1) + np.diag(e[i], -1)
+        worst = max(worst, np.max(np.abs(eigs[i]
+                                         - np.linalg.eigvalsh(T))))
+    print(f"\nbatch of {S} Jacobi matrices ({n} x {n}) bisected in "
+          f"{t_bisect * 1e3:.0f} ms; worst deviation from LAPACK "
+          f"{worst:.2e}")
+
+    low = eigvals_in_interval(d, e, 0.0, 1.0)
+    counts = [len(v) for v in low]
+    print(f"eigenvalues in (0, 1]: min {min(counts)}, "
+          f"median {int(np.median(counts))}, max {max(counts)} per matrix")
+
+    # --- 3. conditioning ----------------------------------------------
+    from repro.numerics import diagonally_dominant_fluid
+    s = diagonally_dominant_fluid(16, 64, seed=1, dtype=np.float64)
+    # Fluid matrices are symmetric: a[i+1] == c[i].
+    kappa = spectral_condition_spd(s.b, s.c[:, :-1])
+    print(f"\nfluid-simulation matrices: kappa_2 in "
+          f"[{kappa.min():.1f}, {kappa.max():.1f}] -- mild conditioning, "
+          f"which is why float32 CR/PCR residuals stay near 1e-6 "
+          f"(Fig 18, left cluster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Semi-coarsening multigrid with line relaxation -- the paper's
+"semi-coarsening for multi-grid solvers [24]" motivation, end to end.
+
+Solves eps * u_xx + u_yy = f on a 64 x 127 interior grid for a range
+of anisotropies, comparing the tridiagonal-line-smoothed V-cycle
+against damped point Jacobi, and showing the solver-backend knob.
+
+Run:  python examples/multigrid_anisotropic.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.applications import AnisotropicPoisson2D, point_jacobi_factor
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    ny, nx = 64, 127
+    f = rng.standard_normal((ny, nx))
+
+    print(f"anisotropic Poisson, interior {ny} x {nx}; every smoothing "
+          f"half-sweep = one batched tridiagonal solve of {ny}-unknown "
+          f"systems\n")
+    print(f"{'eps':>8s} {'V-cycles':>9s} {'factor/cycle':>13s} "
+          f"{'Jacobi factor/sweep':>20s}")
+    for eps in (1.0, 0.1, 0.01, 0.001):
+        mg = AnisotropicPoisson2D(f, eps=eps, method="cr_pcr")
+        t0 = time.perf_counter()
+        mg.solve(tol=1e-9, max_cycles=30)
+        dt = time.perf_counter() - t0
+        pj = point_jacobi_factor(f, eps=eps)
+        print(f"{eps:8.3f} {len(mg.history) - 1:9d} "
+              f"{mg.convergence_factor():13.3f} {pj:20.3f}"
+              f"   ({dt:.2f}s)")
+
+    print("\nline relaxation stays fast at every anisotropy while point "
+          "Jacobi stalls (factor -> 1):")
+    print("exactly why ref [24] builds multigrid smoothers out of "
+          "tridiagonal solves.")
+
+    # Residual history of the hardest case.
+    mg = AnisotropicPoisson2D(f, eps=0.001)
+    mg.solve(tol=1e-10)
+    print("\nresidual history (eps = 0.001):")
+    for i, r in enumerate(mg.history):
+        bar = "#" * max(0, int(34 + 2 * np.log10(max(r, 1e-17))))
+        print(f"  cycle {i:2d}: {r:.2e} {bar}")
+
+
+if __name__ == "__main__":
+    main()

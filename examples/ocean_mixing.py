@@ -1,0 +1,70 @@
+"""Ocean vertical-mixing demo -- the HYCOM-style workload the paper
+cites among its motivations ("numerical ocean models [13]").
+
+A 1024-column regional patch steps implicit vertical diffusion for a
+simulated week: every hour, 1024 independent tridiagonal solves of 40
+layers each.  Columns in the storm track get a deep mixed layer;
+a band of columns receives surface heating.
+
+Run:  python examples/ocean_mixing.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.applications import OceanColumnModel
+
+
+def main() -> None:
+    num_columns, n_layers = 1024, 40
+    # Initial stratification: warm surface, cold deep, small noise.
+    rng = np.random.default_rng(0)
+    T0 = (np.linspace(22.0, 3.0, n_layers)[None, :]
+          + 0.1 * rng.standard_normal((num_columns, n_layers)))
+
+    # Spatially varying forcing: a storm deepens mixing in the middle
+    # third, the last quarter of columns sits under a heating patch.
+    mld = np.full(num_columns, 25.0)
+    mld[num_columns // 3: 2 * num_columns // 3] = 80.0
+    flux = np.zeros(num_columns)
+    flux[3 * num_columns // 4:] = 2e-4  # K m/s of surface warming
+
+    model = OceanColumnModel(T0, dt=3600.0, mld=mld, surface_flux=flux,
+                             method="cr_pcr")
+    heat0 = model.heat_content().copy()
+
+    hours = 7 * 24
+    t0 = time.perf_counter()
+    model.step(hours)
+    wall = time.perf_counter() - t0
+    print(f"stepped {num_columns} columns x {n_layers} layers for "
+          f"{hours} hours: {hours} batched tridiagonal solves in "
+          f"{wall:.2f}s wall-clock")
+
+    ml_t = model.mixed_layer_temperature()
+    calm = ml_t[: num_columns // 3].mean()
+    storm = ml_t[num_columns // 3: 2 * num_columns // 3].mean()
+    heated = ml_t[3 * num_columns // 4:].mean()
+    print(f"\nmixed-layer temperature after one week:")
+    print(f"  calm columns   (25 m mixing): {calm:6.2f} C")
+    print(f"  storm columns  (80 m mixing): {storm:6.2f} C  "
+          f"(colder: entrained deep water)")
+    print(f"  heated columns (+200 W-ish) : {heated:6.2f} C  (warmer)")
+    assert storm < calm < heated
+
+    unforced = slice(0, 3 * num_columns // 4)
+    drift = np.abs(model.heat_content()[unforced] - heat0[unforced]).max()
+    print(f"\nheat conservation in unforced columns: max drift "
+          f"{drift:.2e} K m (machine precision)")
+
+    # Temperature profile snapshot, calm vs storm column.
+    print("\nprofile (depth -> T) calm | storm:")
+    centers = np.cumsum(model.dz[0]) - model.dz[0] / 2
+    for i in range(0, n_layers, 6):
+        print(f"  {centers[i]:7.1f} m   {model.T[10, i]:6.2f} | "
+              f"{model.T[num_columns // 2, i]:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

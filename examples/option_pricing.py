@@ -1,0 +1,70 @@
+"""Pricing an option book with batched Crank-Nicolson -- the
+production descendant of the paper's solvers (cuSPARSE gtsv's
+flagship workload).
+
+A book of 256 European calls/puts across strikes and vols is priced in
+one batched PDE integration (one tridiagonal system per option per
+time step), validated against the closed form, plus one American put.
+
+Run:  python examples/option_pricing.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.applications import (CrankNicolsonPricer,
+                                black_scholes_closed_form)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n_options = 256
+    strikes = rng.uniform(80.0, 120.0, n_options)
+    sigmas = rng.uniform(0.15, 0.45, n_options)
+    rates = np.full(n_options, 0.03)
+    maturities = rng.uniform(0.25, 2.0, n_options)
+    spot = 100.0
+
+    pricer = CrankNicolsonPricer(strikes, sigmas, rates, maturities,
+                                 kind="call", num_s=300, num_t=150,
+                                 method="thomas")
+    t0 = time.perf_counter()
+    fd = pricer.price(np.full(n_options, spot))
+    dt = time.perf_counter() - t0
+    cf = black_scholes_closed_form(spot, strikes, rates, sigmas,
+                                   maturities, "call")
+    err = np.abs(fd - cf)
+    print(f"priced {n_options} calls in {dt:.2f}s "
+          f"({pricer.num_t} batched tridiagonal solves of "
+          f"{n_options} x {pricer.num_s} systems)")
+    print(f"vs closed form: mean |err| {err.mean():.4f}, "
+          f"max {err.max():.4f} (grid truncation)")
+
+    worst = int(np.argmax(err))
+    print(f"worst case: K={strikes[worst]:.1f} sigma={sigmas[worst]:.2f} "
+          f"T={maturities[worst]:.2f}: FD {fd[worst]:.4f} "
+          f"vs {cf[worst]:.4f}")
+
+    # American put: early-exercise premium.
+    am = CrankNicolsonPricer(100.0, 0.25, 0.05, 1.0, kind="put",
+                             american=True, num_s=400,
+                             num_t=400).price(92.0)[0]
+    eu = CrankNicolsonPricer(100.0, 0.25, 0.05, 1.0, kind="put",
+                             num_s=400, num_t=400).price(92.0)[0]
+    print(f"\nAmerican put at S0=92: {am:.4f} "
+          f"(European {eu:.4f}, premium {am - eu:.4f})")
+
+    # Price ladder.
+    print("\ncall price vs spot (K=100, sigma=0.2, T=1):")
+    ladder = CrankNicolsonPricer(100.0, 0.2, 0.05, 1.0, kind="call",
+                                 num_s=400, num_t=200)
+    S, V = ladder.price_grid()
+    for s0 in (70, 85, 100, 115, 130):
+        v = np.interp(s0, S[0], V[0])
+        bars = "#" * int(v)
+        print(f"  S0={s0:4d}: {v:7.3f} {bars}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""2-D shallow-water ripples (Kass & Miller) -- the fluid simulation
+whose matrices the paper's accuracy experiments use.
+
+A raindrop disturbs a square pond; the dimension-split implicit height
+update runs two batched tridiagonal solves per frame (one along rows,
+one along columns).  The demo renders a few ASCII frames and verifies
+volume conservation.
+
+Run:  python examples/pond_ripples.py
+"""
+
+import numpy as np
+
+from repro.applications import ShallowWater2D
+
+
+def render(h: np.ndarray, base: float = 1.0, width: int = 64) -> str:
+    shades = " .:-=+*#%@"
+    sy = max(1, h.shape[0] // 22)
+    sx = max(1, h.shape[1] // width)
+    coarse = h[::sy, ::sx] - base
+    scale = max(1e-6, np.abs(coarse).max())
+    out = []
+    for row in coarse:
+        out.append("".join(
+            shades[int(np.clip((v / scale + 1) * 4.5, 0, 9))]
+            for v in row))
+    return "\n".join(out)
+
+
+def main() -> None:
+    n = 96
+    h = np.ones((n, n))
+    # The raindrop: a smooth bump displacing water upward.
+    yy, xx = np.mgrid[0:n, 0:n]
+    r2 = (yy - n // 2) ** 2 + (xx - n // 2) ** 2
+    h += 0.3 * np.exp(-r2 / 18.0)
+
+    pond = ShallowWater2D(h, dt=0.03, damping=0.998, method="cr_pcr")
+    v0 = pond.total_volume()
+
+    sys_per_step, size = pond.systems_per_step()
+    print(f"pond {n}x{n}: {sys_per_step} tridiagonal systems of up to "
+          f"{size} unknowns per frame (CR+PCR backend)\n")
+
+    elapsed = 0
+    for frame, advance in enumerate((0, 8, 8, 16)):
+        if advance:
+            pond.step(advance)
+            elapsed += advance
+        print(f"frame {frame} (t = {elapsed * 0.03:.2f}s), peak "
+              f"{pond.h.max() - 1:+.3f}:")
+        print(render(pond.h))
+        print()
+
+    drift = abs(pond.total_volume() - v0) / v0
+    print(f"volume conservation over the run: relative drift {drift:.2e}")
+    assert drift < 1e-10
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: solve batches of tridiagonal systems with every method.
+
+Run:  python examples/quickstart.py
+"""
+
+import warnings
+
+import numpy as np
+
+from repro import TridiagonalSystems, residual, solve
+from repro.numerics import classify, diagonally_dominant_fluid
+
+
+def main() -> None:
+    # --- one system, the simplest possible call -----------------------
+    n = 16
+    a = np.full(n, -1.0, dtype=np.float32)   # sub-diagonal
+    b = np.full(n, 4.0, dtype=np.float32)    # diagonal
+    c = np.full(n, -1.0, dtype=np.float32)   # super-diagonal
+    d = np.arange(n, dtype=np.float32)       # right-hand side
+
+    x = solve(a, b, c, d)                    # method="auto"
+    print("single system")
+    print("  x[:4]     =", np.round(x[:4], 4))
+    print("  ||Ax-d||  =", float(residual(a, b, c, d, x)))
+
+    # --- a batch: the paper's workload shape ---------------------------
+    # 512 independent systems of 512 unknowns, diagonally dominant
+    # matrices of the kind implicit fluid solvers produce.
+    systems = diagonally_dominant_fluid(512, 512, seed=0)
+    print("\nbatch of", systems.num_systems, "systems of", systems.n,
+          "unknowns;", classify(systems))
+
+    for method in ("thomas", "gep", "cr", "pcr", "cr_pcr"):
+        x = solve(systems.a, systems.b, systems.c, systems.d,
+                  method=method,
+                  intermediate_size={"cr_pcr": 256}.get(method))
+        r = systems.residual(x)
+        print(f"  {method:7s} max residual = {r.max():.3e}")
+
+    # Recursive doubling (and the CR+RD hybrid) overflow on this matrix
+    # class in float32 -- exactly the paper's SS5.4 finding; use
+    # close-values matrices or repro.numerics.scaled_recursive_doubling.
+    for method in ("rd", "cr_rd"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            x = solve(systems.a, systems.b, systems.c, systems.d,
+                      method=method,
+                      intermediate_size={"cr_rd": 128}.get(method))
+        print(f"  {method:7s} finite fraction = "
+              f"{np.isfinite(x).all(axis=1).mean():.0%}  (overflow is the "
+              f"paper's expected outcome here)")
+
+    # --- non-power-of-two sizes pad transparently ----------------------
+    odd = TridiagonalSystems(a[None, :13], b[None, :13], c[None, :13],
+                             d[None, :13])
+    x = solve(odd.a, odd.b, odd.c, odd.d, method="cr_pcr")
+    print("\nn=13 via padded CR+PCR, residual:",
+          float(odd.residual(x)[0]))
+
+
+if __name__ == "__main__":
+    main()

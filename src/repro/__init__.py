@@ -1,0 +1,31 @@
+"""repro: reproduction of "Fast Tridiagonal Solvers on the GPU"
+(Zhang, Cohen & Owens, PPoPP 2010).
+
+Three layers:
+
+- :mod:`repro.solvers` -- fast batched NumPy tridiagonal solvers
+  (CR, PCR, RD, CR+PCR, CR+RD, Thomas, GE-with-pivoting).
+- :mod:`repro.gpusim` -- a SIMT execution-model simulator of the
+  GTX 280 the paper measured on (bank conflicts, warp granularity,
+  occupancy, calibrated cost model).
+- :mod:`repro.kernels` + :mod:`repro.analysis` -- the paper's kernels
+  written against the simulator, and its measurement methodology
+  (differential timing, resource breakdowns, switch-point autotuning).
+
+Quickstart::
+
+    import numpy as np
+    from repro import solve
+
+    n = 512
+    b = np.full(n, 4.0, dtype=np.float32)
+    a = np.full(n, 1.0, dtype=np.float32)
+    c = np.full(n, 1.0, dtype=np.float32)
+    d = np.random.rand(n).astype(np.float32)
+    x = solve(a, b, c, d, method="cr_pcr")
+"""
+
+from .solvers import TridiagonalSystems, residual, solve
+
+__version__ = "1.0.0"
+__all__ = ["TridiagonalSystems", "residual", "solve", "__version__"]

@@ -1,0 +1,86 @@
+"""Switch-point autotuning for the hybrid solvers (§5.3.4, Fig 17).
+
+Sweeps the intermediate-system size m over the powers of two between 2
+and n, modeling each configuration, and returns the full curve plus the
+argmin -- the "best switch point", which the paper finds is far larger
+than the warp size (256 for CR+PCR, 128 for CR+RD at n = 512) because
+the switch buys fewer bank conflicts and fewer total steps, not just
+better vector utilisation.
+
+Endpoints follow Fig 17's caption ("endpoints mark non-hybrid
+implementations"): m = 2 is costed as pure CR and m = n as the pure
+inner solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim import GTX280, CostModel, DeviceSpec, KernelError, gt200_cost_model
+from repro.solvers.systems import TridiagonalSystems
+
+from .timing import timed_solve
+
+
+@dataclass
+class SweepPoint:
+    intermediate_size: int
+    solver_ms: float | None          # None when the config cannot run
+    reason: str = ""                 # why it cannot (e.g. shared memory)
+
+
+@dataclass
+class SweepResult:
+    inner: str
+    points: list[SweepPoint]
+
+    def best(self) -> SweepPoint:
+        feasible = [p for p in self.points if p.solver_ms is not None]
+        if not feasible:
+            raise ValueError("no feasible switch point")
+        return min(feasible, key=lambda p: p.solver_ms)
+
+
+def _power_of_two_range(n: int) -> list[int]:
+    out = []
+    m = 2
+    while m <= n:
+        out.append(m)
+        m *= 2
+    return out
+
+
+def sweep_switch_point(systems: TridiagonalSystems, inner: str, *,
+                       device: DeviceSpec = GTX280,
+                       cost_model: CostModel | None = None) -> SweepResult:
+    """Model the hybrid at every power-of-two intermediate size.
+
+    ``inner`` is ``"pcr"`` or ``"rd"``.  Infeasible sizes (shared
+    memory overflow, exactly the effect that caps CR+RD at m = 128 in
+    the paper) appear as points with ``solver_ms=None``.
+    """
+    if inner not in ("pcr", "rd"):
+        raise ValueError(f"inner must be 'pcr' or 'rd', got {inner!r}")
+    n = systems.n
+    cm = cost_model or gt200_cost_model()
+    hybrid_name = f"cr_{inner}"
+    points = []
+    for m in _power_of_two_range(n):
+        if m == 2:
+            name, msize = "cr", None          # pure CR endpoint
+        elif m == n:
+            name, msize = inner, None         # pure inner endpoint
+        else:
+            name, msize = hybrid_name, m
+        try:
+            t = timed_solve(name, systems, intermediate_size=msize,
+                            device=device, cost_model=cm)
+            points.append(SweepPoint(m, t.solver_ms))
+        except (KernelError, ValueError) as exc:
+            points.append(SweepPoint(m, None, reason=str(exc)))
+    return SweepResult(inner=inner, points=points)
+
+
+def best_switch_point(systems: TridiagonalSystems, inner: str, **kw) -> int:
+    """Autotuned intermediate size for a batch/device/cost-model trio."""
+    return sweep_switch_point(systems, inner, **kw).best().intermediate_size

@@ -1,0 +1,85 @@
+"""Calibrated CPU-solver time model (the paper's Fig 7 baselines).
+
+The paper measures three CPU solvers on a 2.5 GHz Core 2 Q9300:
+
+- **GE**: sequential Thomas (no pivoting), 8n operations per system.
+- **MT**: an OpenMP solver, four threads each running GE over a share
+  of the systems; the paper notes "the problem size needs to be large
+  for the MT solver to outperform a single-threaded solver".
+- **GEP**: LAPACK's pivoting solver (sgtsv).
+
+This container has one core and Python loop overheads bear no relation
+to 2009 C code, so -- per the reproduction's substitution policy -- the
+Fig 7 comparison uses an operation-rate model calibrated against the
+speedup annotations the paper publishes (2.7x at 64x64 against GE as
+best CPU, 17.2x at 256x256 against GE, 12.5x at 512x512 against MT,
+and the 28x LAPACK headline).  The *real* wall-clock of our NumPy CPU
+solvers is benchmarked separately by ``benchmarks/bench_cpu_wallclock.py``.
+
+Derived constants:
+
+- ``GE_NS_PER_OP = 3.85`` ns: from 2.7x at 64x64 (GE = 0.126 ms there)
+  and consistent with 17.2x at 256x256 (GE = 2.02 ms).
+- ``GEP_FACTOR = 1.47``: from the 28x-vs-12.5x ratio at 512x512.
+- MT: perfect 4-way division of GE work plus a size-dependent
+  coordination overhead, fitted so MT beats GE at 512x512 (12.5x
+  annotation => MT = 5.28 ms) but not below -- matching the paper's
+  observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per scalar Thomas operation on the paper's CPU (one core).
+GE_NS_PER_OP = 3.85
+
+#: Pivoting overhead of the LAPACK gtsv path relative to plain GE.
+GEP_FACTOR = 1.47
+
+#: MT solver: number of threads and coordination overhead.
+MT_THREADS = 4
+MT_OVERHEAD_BASE_MS = 0.2
+MT_OVERHEAD_PER_SYSTEM_MS = 0.006
+
+
+@dataclass(frozen=True)
+class CpuTimes:
+    """Modeled CPU times (milliseconds) for one problem size."""
+
+    ge_ms: float
+    mt_ms: float
+    gep_ms: float
+
+    def best(self) -> tuple[str, float]:
+        pairs = [("ge", self.ge_ms), ("mt", self.mt_ms), ("gep", self.gep_ms)]
+        return min(pairs, key=lambda p: p[1])
+
+
+def ge_ms(num_systems: int, n: int) -> float:
+    """Sequential Thomas: 8n ops per system, one core."""
+    ops = 8 * n * num_systems
+    return ops * GE_NS_PER_OP * 1e-6
+
+
+def gep_ms(num_systems: int, n: int) -> float:
+    """LAPACK-style GE with partial pivoting."""
+    return ge_ms(num_systems, n) * GEP_FACTOR
+
+
+def mt_ms(num_systems: int, n: int, threads: int = MT_THREADS) -> float:
+    """Multi-threaded GE over systems, plus coordination overhead."""
+    return (ge_ms(num_systems, n) / threads
+            + MT_OVERHEAD_BASE_MS
+            + MT_OVERHEAD_PER_SYSTEM_MS * num_systems)
+
+
+def cpu_times(num_systems: int, n: int) -> CpuTimes:
+    return CpuTimes(ge_ms=ge_ms(num_systems, n),
+                    mt_ms=mt_ms(num_systems, n),
+                    gep_ms=gep_ms(num_systems, n))
+
+
+#: Transfer-inclusive CPU side needs no transfer; GPU side adds PCIe.
+def speedup(gpu_ms: float, cpu_ms: float) -> float:
+    return cpu_ms / gpu_ms

@@ -1,0 +1,139 @@
+"""Roofline analysis of kernel traces -- the paper's ref [33].
+
+§5.3.6: "In the multi-core computing domain, Williams et al. developed
+a model that gives programmers guidance for optimization [the
+roofline], and we are currently investigating GPU-specific models that
+would aid in such analysis."  This module is that investigation,
+carried out: it places each kernel's phases on a roofline built from
+the calibrated cost model's own peak rates, so the classic
+memory-bound / compute-bound reading coexists with the paper's
+multi-factor decomposition.
+
+Two subtleties the plain roofline misses, both quantified here:
+
+* the *effective* shared-memory ceiling collapses under bank conflicts
+  (divide by the measured conflict degree);
+* warp-granularity waste lowers the effective compute ceiling by the
+  ratio of useful lanes to issued lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim import CostModel, DeviceSpec, GTX280, LaunchResult, gt200_cost_model
+
+
+@dataclass(frozen=True)
+class DeviceRoofs:
+    """Peak rates implied by the cost model's coefficients."""
+
+    compute_gflops: float          # warp-issue-limited arithmetic peak
+    shared_gbps: float             # conflict-free shared-memory peak
+    global_gbps: float             # coalesced DRAM peak
+
+    @property
+    def shared_ridge(self) -> float:
+        """Arithmetic intensity (flops/byte of shared traffic) where
+        the compute roof meets the shared roof."""
+        return self.compute_gflops / self.shared_gbps
+
+    @property
+    def global_ridge(self) -> float:
+        return self.compute_gflops / self.global_gbps
+
+
+def device_roofs(device: DeviceSpec = GTX280,
+                 cost_model: CostModel | None = None) -> DeviceRoofs:
+    """Derive the roofline ceilings from cost-model coefficients.
+
+    One warp instruction retires 32 lane-ops in ``warp_issue_ns`` per
+    SM; one conflict-free half-warp access moves 64 bytes in
+    ``shared_cycle_ns`` per SM; one coalesced transaction moves the
+    segment size in ``global_transaction_ns`` (device-wide).
+    """
+    p = (cost_model or gt200_cost_model()).params
+    lanes_per_issue = device.warp_size
+    compute = (lanes_per_issue / p.warp_issue_ns) * device.num_sms
+    shared_bytes_per_cycle = (device.conflict_granularity
+                              * device.bank_width_bytes)
+    shared = (shared_bytes_per_cycle / p.shared_cycle_ns) * device.num_sms
+    glob = device.coalesce_segment_bytes / p.global_transaction_ns \
+        * device.num_sms
+    return DeviceRoofs(compute_gflops=compute, shared_gbps=shared,
+                       global_gbps=glob)
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel (or phase) placed on the roofline."""
+
+    name: str
+    intensity_flops_per_byte: float    # vs shared traffic
+    achieved_gflops: float
+    bound: str                         # "compute" | "shared" | "global"
+    conflict_degree: float
+    lane_utilization: float            # useful lanes / issued lanes
+    effective_compute_roof: float
+    effective_shared_roof: float
+
+    def attainable_gflops(self) -> float:
+        """Classic roofline bound with the effective (degraded) roofs."""
+        return min(self.effective_compute_roof,
+                   self.intensity_flops_per_byte
+                   * self.effective_shared_roof)
+
+
+def place_kernel(name: str, result: LaunchResult,
+                 cost_model: CostModel | None = None) -> RooflinePoint:
+    """Compute a kernel's roofline coordinates from its trace."""
+    cm = cost_model or gt200_cost_model()
+    roofs = device_roofs(result.device, cm)
+    rep = cm.report(result)
+    total = result.ledger.total()
+    blocks = result.num_blocks
+    word = result.device.bank_width_bytes
+
+    shared_bytes = total.shared_words * word * blocks
+    flops = total.flops * blocks
+    time_s = rep.total_ms * 1e-3
+    achieved = flops / time_s / 1e9 if time_s > 0 else 0.0
+    intensity = flops / shared_bytes if shared_bytes else float("inf")
+
+    degree = total.conflict_degree
+    issued = total.warp_instructions * result.device.warp_size
+    useful = total.flops
+    utilization = min(1.0, useful / issued) if issued else 1.0
+
+    eff_compute = roofs.compute_gflops * utilization
+    eff_shared = roofs.shared_gbps / max(1.0, degree)
+
+    # Which resource does the model say dominates?
+    parts = {"global": rep.global_ms, "shared": rep.shared_ms,
+             "compute": rep.compute_ms}
+    bound = max(parts, key=parts.get)
+    return RooflinePoint(
+        name=name, intensity_flops_per_byte=intensity,
+        achieved_gflops=achieved, bound=bound,
+        conflict_degree=degree, lane_utilization=utilization,
+        effective_compute_roof=eff_compute,
+        effective_shared_roof=eff_shared)
+
+
+def roofline_table(points: list[RooflinePoint],
+                   roofs: DeviceRoofs) -> str:
+    """Plain-text roofline summary."""
+    lines = [f"device roofs: {roofs.compute_gflops:.0f} GFLOPS compute, "
+             f"{roofs.shared_gbps:.0f} GB/s shared, "
+             f"{roofs.global_gbps:.0f} GB/s global "
+             f"(shared ridge at {roofs.shared_ridge:.2f} flops/byte)"]
+    header = (f"{'kernel':10s} {'flops/B':>8s} {'GFLOPS':>8s} "
+              f"{'attain':>8s} {'bound':>8s} {'n-way':>6s} {'lanes':>6s}")
+    lines.append(header)
+    for p in points:
+        lines.append(
+            f"{p.name:10s} {p.intensity_flops_per_byte:8.3f} "
+            f"{p.achieved_gflops:8.1f} {p.attainable_gflops():8.1f} "
+            f"{p.bound:>8s} {p.conflict_degree:6.1f} "
+            f"{p.lane_utilization:6.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""One-stop modeled-timing harness used by benchmarks and examples.
+
+Wraps kernel execution + cost-model evaluation into a single call and
+provides the end-to-end (solver + PCIe transfer) composition of the
+paper's Fig 6 right / Fig 7 right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim import (GTX280, CostModel, DeviceSpec, LaunchResult,
+                          PCIeModel, TimingReport, gt200_cost_model)
+from repro.kernels.api import run_kernel
+from repro.solvers.systems import TridiagonalSystems
+
+
+@dataclass
+class SolverTiming:
+    """Solution plus modeled timing of one solver run."""
+
+    name: str
+    x: np.ndarray
+    launch: LaunchResult
+    report: TimingReport
+    transfer_ms: float
+
+    @property
+    def solver_ms(self) -> float:
+        return self.report.total_ms
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end including CPU-GPU transfer (Fig 6 right)."""
+        return self.solver_ms + self.transfer_ms
+
+
+def timed_solve(name: str, systems: TridiagonalSystems, *,
+                intermediate_size: int | None = None,
+                device: DeviceSpec = GTX280,
+                cost_model: CostModel | None = None,
+                pcie: PCIeModel | None = None) -> SolverTiming:
+    """Run kernel ``name`` on ``systems`` and model its GTX 280 timing."""
+    cm = cost_model or gt200_cost_model()
+    pcie = pcie or PCIeModel()
+    x, launch = run_kernel(name, systems,
+                           intermediate_size=intermediate_size,
+                           device=device)
+    report = cm.report(launch)
+    transfer = pcie.solver_roundtrip_ms(systems.num_systems, systems.n)
+    return SolverTiming(name=name, x=x, launch=launch, report=report,
+                        transfer_ms=transfer)
+
+
+def modeled_grid_timing(name: str, n: int, num_systems: int, *,
+                        intermediate_size: int | None = None,
+                        device: DeviceSpec = GTX280,
+                        cost_model: CostModel | None = None,
+                        pcie: PCIeModel | None = None,
+                        seed: int = 0,
+                        sim_blocks: int = 2) -> SolverTiming:
+    """Model a ``num_systems x n`` grid from a small simulation.
+
+    Per-block counters are identical across blocks, so ``sim_blocks``
+    simulated systems suffice; the timing report is rescaled to the
+    requested grid via the occupancy/wave rule.  Used by the figure
+    benchmarks, where simulating 512 real blocks would only burn time.
+    """
+    from repro.gpusim.costmodel import TimingReport
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    cm = cost_model or gt200_cost_model()
+    pcie = pcie or PCIeModel()
+    systems = diagonally_dominant_fluid(sim_blocks, n, seed=seed)
+    x, launch = run_kernel(name, systems,
+                           intermediate_size=intermediate_size,
+                           device=device)
+    scale, conc, waves = cm.grid_scale(device, num_systems,
+                                       launch.shared_bytes,
+                                       launch.threads_per_block)
+    ns_to_ms = 1e-6
+    rep = TimingReport(
+        launch_overhead_ms=cm.params.launch_overhead_ns * ns_to_ms,
+        grid_scale=scale, blocks_per_sm=conc, waves=waves)
+    for pname, pc in launch.ledger.phases.items():
+        rep.phases[pname] = cm.phase_time_block_ns(
+            pc, blocks_per_sm=conc).scaled(scale * ns_to_ms)
+    for pname, idx, pc in launch.ledger.step_records:
+        t = cm.phase_time_block_ns(pc, blocks_per_sm=conc).total_ms
+        rep.per_step.append((pname, idx, t * scale * ns_to_ms))
+    transfer = pcie.solver_roundtrip_ms(num_systems, n)
+    return SolverTiming(name=name, x=x, launch=launch, report=rep,
+                        transfer_ms=transfer)
+
+
+def compare_solvers(systems: TridiagonalSystems, *,
+                    names=("cr", "pcr", "rd", "cr_pcr", "cr_rd"),
+                    intermediate_sizes: dict | None = None,
+                    device: DeviceSpec = GTX280,
+                    cost_model: CostModel | None = None
+                    ) -> dict[str, SolverTiming]:
+    """Model all requested solvers on the same batch (Fig 6 data)."""
+    ms = intermediate_sizes or {}
+    return {name: timed_solve(name, systems,
+                              intermediate_size=ms.get(name),
+                              device=device, cost_model=cost_model)
+            for name in names}
+
+
+def best_gpu_ms(systems: TridiagonalSystems, *, include_transfer=False,
+                **kw) -> tuple[str, float]:
+    """Fastest modeled GPU solver for a batch (Fig 7's "Best GPU")."""
+    results = compare_solvers(systems, **kw)
+    key = ((lambda t: t.total_ms) if include_transfer
+           else (lambda t: t.solver_ms))
+    name = min(results, key=lambda n: key(results[n]))
+    return name, key(results[name])

@@ -1,0 +1,79 @@
+"""Human-readable kernel traces: the simulator's answer to profilers.
+
+Formats a launch's per-step ledger the way the paper's figures present
+theirs -- one row per algorithmic step with active threads, warps,
+conflict degree and modeled time -- plus a phase summary.  Used by the
+examples and handy when developing new kernels against the DSL.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import CostModel, LaunchResult, gt200_cost_model
+
+
+def _fmt_table(headers, rows):
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths))
+              for row in cells]
+    return "\n".join(lines)
+
+
+def step_trace(result: LaunchResult,
+               cost_model: CostModel | None = None) -> str:
+    """Per-step trace table for one launch."""
+    cm = cost_model or gt200_cost_model()
+    rep = cm.report(result)
+    times = {(p, i): t for p, i, t in rep.per_step}
+    rows = []
+    for phase, idx, pc in result.ledger.step_records:
+        rows.append([
+            phase, idx + 1, pc.max_active_threads,
+            result.device.warps(pc.max_active_threads),
+            f"{pc.conflict_degree:.1f}",
+            pc.shared_words, pc.flops,
+            f"{times[(phase, idx)] * 1e3:.2f}",
+        ])
+    return _fmt_table(
+        ["phase", "step", "threads", "warps", "n-way", "shared_words",
+         "flops", "us"], rows)
+
+
+def phase_trace(result: LaunchResult,
+                cost_model: CostModel | None = None) -> str:
+    """Phase summary table (time, resources, conflicts)."""
+    cm = cost_model or gt200_cost_model()
+    rep = cm.report(result)
+    rows = []
+    for name, pc in result.ledger.phases.items():
+        pt = rep.phases[name]
+        rows.append([
+            name, pc.steps, f"{pc.conflict_degree:.1f}",
+            pc.shared_words, pc.global_words, pc.flops,
+            f"{pt.total_ms * 1e3:.2f}",
+            f"{pt.total_ms / rep.total_ms:.1%}",
+        ])
+    rows.append(["TOTAL", result.ledger.total().steps, "",
+                 result.ledger.total().shared_words,
+                 result.ledger.total().global_words,
+                 result.ledger.total().flops,
+                 f"{rep.total_ms * 1e3:.2f}", "100.0%"])
+    return _fmt_table(
+        ["phase", "steps", "n-way", "shared_words", "global_words",
+         "flops", "us", "share"], rows)
+
+
+def full_trace(result: LaunchResult,
+               cost_model: CostModel | None = None) -> str:
+    """Phase summary + step detail + occupancy line."""
+    occ = result.occupancy()
+    head = (f"launch: {result.num_blocks} blocks x "
+            f"{result.threads_per_block} threads, "
+            f"{result.shared_bytes} B shared/block, "
+            f"{occ['blocks_per_sm']} block(s)/SM "
+            f"(limited by {', '.join(occ['limited_by'])})")
+    return "\n\n".join([head, phase_trace(result, cost_model),
+                        step_trace(result, cost_model)])

@@ -1,0 +1,29 @@
+"""Application substrates from the paper's motivation: ADI methods,
+spectral Poisson, cubic splines, depth-of-field blur, shallow water."""
+
+from .adi import ADIDiffusion2D
+from .adi3d import ADIDiffusion3D
+from .black_scholes import (CrankNicolsonPricer,
+                            black_scholes_closed_form)
+from .depth_of_field import (circle_of_confusion, depth_of_field_blur,
+                             synthetic_scene)
+from .heat1d import HeatRod1D
+from .multigrid import AnisotropicPoisson2D, point_jacobi_factor
+from .ocean import (OceanColumnModel, default_layer_thicknesses,
+                    mixed_layer_diffusivity)
+from .preconditioner import (CGResult, LinePreconditioner,
+                             conjugate_gradient)
+from .poisson import manufactured_problem, poisson_dirichlet_2d, poisson_residual
+from .shallow_water import ShallowWater1D, ShallowWater2D
+from .spline import CubicSpline
+
+__all__ = ["ADIDiffusion2D", "ADIDiffusion3D", "CrankNicolsonPricer",
+           "black_scholes_closed_form", "circle_of_confusion", "depth_of_field_blur",
+           "synthetic_scene", "HeatRod1D", "AnisotropicPoisson2D",
+           "point_jacobi_factor", "CGResult", "LinePreconditioner",
+           "conjugate_gradient", "OceanColumnModel",
+           "default_layer_thicknesses", "mixed_layer_diffusivity",
+           "manufactured_problem",
+           "poisson_dirichlet_2d", "poisson_residual", "ShallowWater1D",
+           "ShallowWater2D",
+           "CubicSpline"]

@@ -1,0 +1,130 @@
+"""2-D ADI (alternating direction implicit) diffusion solver.
+
+The paper's headline application class [15, 19, 25]: each ADI half-step
+treats one grid direction implicitly, turning the 2-D problem into a
+large batch of independent 1-D tridiagonal systems -- rows in the first
+half-step, columns in the second.  A 512x512 grid yields exactly the
+paper's flagship workload: 512 systems of 512 unknowns, twice per step.
+
+The scheme is Peaceman-Rachford ADI for u_t = alpha (u_xx + u_yy) with
+Dirichlet boundaries; unconditionally stable and second-order in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.api import solve
+
+
+def _half_step_systems(u: np.ndarray, r: float, explicit_axis: int):
+    """Build the implicit-direction systems of one ADI half-step.
+
+    Implicit direction is axis 1 of the returned batch (each row of
+    ``u`` is one tridiagonal system); the explicit direction supplies
+    the right-hand side.  ``r = alpha dt / (2 dx^2)``.
+    """
+    if explicit_axis == 0:
+        w = u  # implicit along axis 1 (rows are systems)
+    else:
+        w = u.T
+    S, n = w.shape
+    dtype = u.dtype
+    a = np.full((S, n), -r, dtype=dtype)
+    b = np.full((S, n), 1 + 2 * r, dtype=dtype)
+    c = np.full((S, n), -r, dtype=dtype)
+    # Explicit second difference along the other direction.
+    lap = np.zeros_like(w)
+    lap[1:-1, :] = w[2:, :] - 2 * w[1:-1, :] + w[:-2, :]
+    d = w + r * lap
+    # Dirichlet boundary rows of the implicit direction: identity.
+    for col in (0, n - 1):
+        a[:, col] = 0
+        c[:, col] = 0
+        b[:, col] = 1
+        d[:, col] = w[:, col]
+    return a, b, c, d
+
+
+@dataclass
+class ADIDiffusion2D:
+    """Peaceman-Rachford ADI on a rectangular grid.
+
+    Parameters
+    ----------
+    u0:
+        Initial field, shape ``(ny, nx)``; the boundary ring is held
+        fixed (Dirichlet).
+    alpha:
+        Diffusivity.
+    dx, dt:
+        Grid spacing (isotropic) and time step.
+    method:
+        Tridiagonal solver method (see :func:`repro.solvers.api.solve`),
+        or ``"factorized"`` to exploit that the implicit matrices are
+        identical every step: the Thomas LU factors are computed once
+        per direction and reused (see
+        :mod:`repro.solvers.factorize`), roughly halving the per-step
+        arithmetic -- the standard production optimization for
+        constant-coefficient ADI.
+    """
+
+    u0: np.ndarray
+    alpha: float = 1.0
+    dx: float = 1.0
+    dt: float = 0.1
+    method: str = "auto"
+
+    def __post_init__(self):
+        self.u = np.asarray(self.u0).copy()
+        if self.u.ndim != 2:
+            raise ValueError("u0 must be a 2-D field")
+        self._r = self.alpha * self.dt / (2 * self.dx ** 2)
+        self._factors: dict[int, object] = {}
+
+    def _factorization_for(self, axis_len: int, num_systems: int):
+        """Cached Thomas factors for one sweep direction."""
+        from repro.solvers.factorize import thomas_factorize
+        from repro.solvers.systems import TridiagonalSystems
+
+        key = (num_systems, axis_len)
+        if key not in self._factors:
+            r = self._r
+            a = np.full((num_systems, axis_len), -r)
+            b = np.full((num_systems, axis_len), 1 + 2 * r)
+            c = np.full((num_systems, axis_len), -r)
+            for col in (0, axis_len - 1):
+                a[:, col] = 0
+                c[:, col] = 0
+                b[:, col] = 1
+            self._factors[key] = thomas_factorize(
+                TridiagonalSystems(a, b, c, np.zeros_like(b)))
+        return self._factors[key]
+
+    def _half_step(self, explicit_axis: int) -> None:
+        a, b, c, d = _half_step_systems(self.u, self._r,
+                                        explicit_axis=explicit_axis)
+        if self.method == "factorized":
+            F = self._factorization_for(d.shape[1], d.shape[0])
+            x = F.solve(d)
+        else:
+            x = np.asarray(solve(a, b, c, d, method=self.method))
+        self.u = x if explicit_axis == 0 else x.T
+
+    def step(self, num_steps: int = 1) -> np.ndarray:
+        """Advance ``num_steps`` full ADI steps (two half-steps each)."""
+        for _ in range(num_steps):
+            self._half_step(explicit_axis=0)  # implicit in x (rows)
+            self._half_step(explicit_axis=1)  # implicit in y (columns)
+        return self.u
+
+    def total_heat(self) -> float:
+        """Interior heat content (conserved up to boundary flux)."""
+        return float(self.u[1:-1, 1:-1].sum())
+
+    def systems_per_step(self) -> tuple[int, int]:
+        """(number of tridiagonal systems, unknowns each) per full step."""
+        ny, nx = self.u.shape
+        return ny + nx, max(nx, ny)

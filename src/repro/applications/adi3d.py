@@ -1,0 +1,115 @@
+"""3-D ADI diffusion (Douglas-Gunn splitting).
+
+Scales the paper's flagship workload up a dimension: a 3-D implicit
+heat step factors into three sweeps of 1-D tridiagonal solves -- for a
+``n^3`` grid, each sweep is a batch of ``n^2`` systems of ``n``
+unknowns.  Even a modest 64^3 grid generates 4096-system batches,
+comfortably beyond the point where the paper's analysis says the GPU
+algorithms saturate the machine.
+
+Douglas-Gunn (delta form, unconditionally stable, first order with
+this simple variant):
+
+    (I - r Lx) u*   = u + r (Lx + 2 Ly + 2 Lz) u / ... (delta form below)
+    (I - r Ly) u**  = u* - r Ly u
+    (I - r Lz) u''' = u** - r Lz u
+
+with ``r = alpha dt / (2 dx^2)`` and Dirichlet boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.api import solve
+
+
+def _laplacian_1d(u: np.ndarray, axis: int) -> np.ndarray:
+    """Second difference along ``axis``, zero at the boundary planes."""
+    lap = np.zeros_like(u)
+    sl = [slice(None)] * u.ndim
+
+    def at(i):
+        s = list(sl)
+        s[axis] = i
+        return tuple(s)
+
+    inner = slice(1, -1)
+    up = slice(2, None)
+    dn = slice(None, -2)
+    s_in, s_up, s_dn = list(sl), list(sl), list(sl)
+    s_in[axis], s_up[axis], s_dn[axis] = inner, up, dn
+    lap[tuple(s_in)] = (u[tuple(s_up)] - 2 * u[tuple(s_in)]
+                        + u[tuple(s_dn)])
+    return lap
+
+
+def _implicit_sweep(rhs: np.ndarray, r: float, axis: int,
+                    method: str) -> np.ndarray:
+    """Solve ``(I - r L_axis) out = rhs`` with Dirichlet boundary
+    planes pinned to the rhs values."""
+    moved = np.moveaxis(rhs, axis, -1)
+    lead_shape = moved.shape[:-1]
+    n = moved.shape[-1]
+    flat = moved.reshape(-1, n)
+    S = flat.shape[0]
+    a = np.full((S, n), -r)
+    b = np.full((S, n), 1 + 2 * r)
+    c = np.full((S, n), -r)
+    d = flat.copy()
+    for col in (0, n - 1):
+        a[:, col] = 0
+        c[:, col] = 0
+        b[:, col] = 1
+    x = np.asarray(solve(a, b, c, d, method=method))
+    return np.moveaxis(x.reshape(*lead_shape, n), -1, axis)
+
+
+@dataclass
+class ADIDiffusion3D:
+    """Douglas-Gunn ADI on a 3-D box with Dirichlet boundaries.
+
+    ``u0``: initial field, shape ``(nz, ny, nx)``; the boundary shell
+    is held fixed.
+    """
+
+    u0: np.ndarray
+    alpha: float = 1.0
+    dx: float = 1.0
+    dt: float = 0.1
+    method: str = "auto"
+
+    def __post_init__(self):
+        self.u = np.asarray(self.u0, dtype=np.float64).copy()
+        if self.u.ndim != 3:
+            raise ValueError("u0 must be a 3-D field")
+        self._r = self.alpha * self.dt / (2 * self.dx ** 2)
+
+    def step(self, num_steps: int = 1) -> np.ndarray:
+        """Advance ``num_steps`` Douglas-Gunn steps (three sweeps each).
+
+        Delta form: v0 = u + 2r L u; then each directional solve
+        (I - r L_k) v_k = v_{k-1} - r L_k u subtracts the explicit
+        part it is about to treat implicitly.
+        """
+        r = self._r
+        for _ in range(num_steps):
+            u = self.u
+            lap_total = sum(_laplacian_1d(u, ax) for ax in range(3))
+            v = u + 2 * r * lap_total
+            for ax in range(3):
+                v = _implicit_sweep(v - r * _laplacian_1d(u, ax), r, ax,
+                                    self.method)
+            self.u = v
+        return self.u
+
+    def total_heat(self) -> float:
+        return float(self.u[1:-1, 1:-1, 1:-1].sum())
+
+    def systems_per_step(self) -> tuple[int, int]:
+        """(tridiagonal systems per step across all three sweeps, max
+        unknowns each)."""
+        nz, ny, nx = self.u.shape
+        return nz * ny + nz * nx + ny * nx, max(nx, ny, nz)

@@ -1,0 +1,175 @@
+"""Semi-coarsening multigrid with tridiagonal line relaxation -- the
+paper's intro citation [24] (Prieto et al., "Parallel multigrid for
+anisotropic elliptic equations").
+
+Anisotropic Poisson, ``eps * u_xx + u_yy = f`` with ``eps << 1``,
+defeats point smoothers: errors smooth only along the strong (y)
+coupling.  The classical cure is exactly the paper's workload:
+
+* **line relaxation** -- update whole y-lines at once, each line a
+  tridiagonal solve; zebra ordering (even columns, then odd) makes
+  every half-sweep one *batch* of independent tridiagonal systems;
+* **semi-coarsening** -- coarsen only the weak (x) direction, so the
+  y-line solves stay the same size on every level.
+
+The result is a textbook V-cycle whose entire smoothing cost is
+batched tridiagonal solves through this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solvers.api import solve
+
+
+def _apply_operator(u: np.ndarray, eps: float, dx: float,
+                    dy: float) -> np.ndarray:
+    """eps u_xx + u_yy on interior points, Dirichlet-0 ring implied.
+
+    ``u`` covers interior unknowns only, shape ``(ny, nx)``.
+    """
+    out = -2.0 * (eps / dx ** 2 + 1.0 / dy ** 2) * u
+    out[:, 1:] += eps / dx ** 2 * u[:, :-1]
+    out[:, :-1] += eps / dx ** 2 * u[:, 1:]
+    out[1:, :] += 1.0 / dy ** 2 * u[:-1, :]
+    out[:-1, :] += 1.0 / dy ** 2 * u[1:, :]
+    return out
+
+
+@dataclass
+class AnisotropicPoisson2D:
+    """Multigrid solver for ``eps u_xx + u_yy = f`` (Dirichlet 0).
+
+    ``f`` covers the interior grid, shape ``(ny, nx)`` with ``nx`` one
+    less than a power of two (so semi-coarsening nests: 2^k - 1
+    interior columns).
+    """
+
+    f: np.ndarray
+    eps: float = 0.01
+    dx: float = 1.0
+    dy: float = 1.0
+    method: str = "thomas"
+    nu_pre: int = 1
+    nu_post: int = 1
+    coarsest_nx: int = 1
+    history: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.f = np.asarray(self.f, dtype=np.float64)
+        ny, nx = self.f.shape
+        if nx < 1 or (nx + 1) & nx:
+            raise ValueError(
+                f"nx must be 2^k - 1 interior columns, got {nx}")
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+
+    # ------------------------------------------------------------------
+
+    def _line_solve(self, u, f, cols, eps, dx):
+        """Zebra half-sweep: exactly solve the y-lines at ``cols``.
+
+        Each column i obeys
+        ``u_yy - 2 eps/dx^2 u = f - eps/dx^2 (u[:, i-1] + u[:, i+1])``
+        -- one tridiagonal system per column, batched.
+        """
+        ny, nx = u.shape
+        cx = eps / dx ** 2
+        cy = 1.0 / self.dy ** 2
+        rhs = f[:, cols].T.copy()                      # (len(cols), ny)
+        for off in (-1, 1):
+            nb = cols + off
+            valid = (nb >= 0) & (nb < nx)
+            rhs[valid] -= cx * u[:, nb[valid]].T
+        S, n = rhs.shape
+        a = np.full((S, n), cy)
+        c = np.full((S, n), cy)
+        b = np.full((S, n), -2.0 * (cx + cy))
+        x = solve(a, b, c, rhs, method=self.method)
+        u[:, cols] = np.asarray(x).T
+
+    def smooth(self, u, f, eps, dx, sweeps=1):
+        """Zebra line relaxation: even columns then odd columns."""
+        nx = u.shape[1]
+        even = np.arange(0, nx, 2)
+        odd = np.arange(1, nx, 2)
+        for _ in range(sweeps):
+            self._line_solve(u, f, even, eps, dx)
+            if odd.size:
+                self._line_solve(u, f, odd, eps, dx)
+        return u
+
+    # -- transfer operators (x direction only) --------------------------
+
+    @staticmethod
+    def restrict_x(r: np.ndarray) -> np.ndarray:
+        """Full weighting onto the odd columns: (1/4, 1/2, 1/4)."""
+        return 0.25 * r[:, 0:-2:2] + 0.5 * r[:, 1::2] + 0.25 * r[:, 2::2]
+
+    @staticmethod
+    def prolong_x(e: np.ndarray, nx_fine: int) -> np.ndarray:
+        """Linear interpolation back to the fine columns."""
+        ny, nxc = e.shape
+        out = np.zeros((ny, nx_fine))
+        out[:, 1::2] = e
+        out[:, 0:-2:2] += 0.5 * e
+        out[:, 2::2] += 0.5 * e
+        out[:, 0] += 0.0  # boundary columns interpolate from zero
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _vcycle(self, u, f, eps, dx):
+        nx = u.shape[1]
+        if nx <= self.coarsest_nx:
+            # Coarsest level: a handful of zebra sweeps is an exact
+            # solve for nx == 1 (single line) and ample otherwise.
+            return self.smooth(u, f, eps, dx, sweeps=4)
+        u = self.smooth(u, f, eps, dx, sweeps=self.nu_pre)
+        r = f - _apply_operator(u, eps, dx, self.dy)
+        rc = self.restrict_x(r)
+        ec = self._vcycle(np.zeros_like(rc), rc, eps, 2.0 * dx)
+        u = u + self.prolong_x(ec, nx)
+        return self.smooth(u, f, eps, dx, sweeps=self.nu_post)
+
+    def residual_norm(self, u) -> float:
+        r = self.f - _apply_operator(u, self.eps, self.dx, self.dy)
+        return float(np.linalg.norm(r) / max(1e-300,
+                                             np.linalg.norm(self.f)))
+
+    def solve(self, tol: float = 1e-8, max_cycles: int = 30) -> np.ndarray:
+        """V-cycle iteration to a relative residual of ``tol``."""
+        u = np.zeros_like(self.f)
+        self.history = [self.residual_norm(u)]
+        for _ in range(max_cycles):
+            u = self._vcycle(u, self.f, self.eps, self.dx)
+            self.history.append(self.residual_norm(u))
+            if self.history[-1] < tol:
+                break
+        return u
+
+    def convergence_factor(self) -> float:
+        """Geometric-mean residual reduction per V-cycle."""
+        h = [v for v in self.history if v > 0]
+        if len(h) < 2:
+            return 0.0
+        return float((h[-1] / h[0]) ** (1.0 / (len(h) - 1)))
+
+
+def point_jacobi_factor(f: np.ndarray, eps: float, dx: float = 1.0,
+                        dy: float = 1.0, sweeps: int = 50,
+                        omega: float = 0.8) -> float:
+    """Residual reduction per sweep of damped point Jacobi on the same
+    problem -- the baseline that stalls under anisotropy."""
+    f = np.asarray(f, dtype=np.float64)
+    u = np.zeros_like(f)
+    diag = -2.0 * (eps / dx ** 2 + 1.0 / dy ** 2)
+    r0 = np.linalg.norm(f)
+    for _ in range(sweeps):
+        r = f - _apply_operator(u, eps, dx, dy)
+        u = u + omega * r / diag
+    r_end = np.linalg.norm(f - _apply_operator(u, eps, dx, dy))
+    return float((r_end / r0) ** (1.0 / sweeps))

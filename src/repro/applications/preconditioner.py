@@ -1,0 +1,110 @@
+"""Tridiagonal preconditioning for iterative solvers -- the paper's
+intro citation [12] (Greenbaum, "preconditioners for iterative linear
+solvers").
+
+For 2-D elliptic operators, dropping the weak-direction coupling
+leaves a batch of independent tridiagonal systems -- the classic
+*line preconditioner*.  Each preconditioner application is one batched
+tridiagonal solve, so a preconditioned-CG iteration is precisely the
+paper's workload in a loop.  With strong anisotropy the line
+preconditioner captures almost the whole operator and CG converges in
+a handful of iterations where unpreconditioned CG crawls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solvers.factorize import thomas_factorize
+from repro.solvers.systems import TridiagonalSystems
+
+
+def anisotropic_operator(u: np.ndarray, eps: float, dx: float = 1.0,
+                         dy: float = 1.0) -> np.ndarray:
+    """``-(eps u_xx + u_yy)`` on interior unknowns (SPD form)."""
+    out = 2.0 * (eps / dx ** 2 + 1.0 / dy ** 2) * u
+    out[:, 1:] -= eps / dx ** 2 * u[:, :-1]
+    out[:, :-1] -= eps / dx ** 2 * u[:, 1:]
+    out[1:, :] -= 1.0 / dy ** 2 * u[:-1, :]
+    out[:-1, :] -= 1.0 / dy ** 2 * u[1:, :]
+    return out
+
+
+@dataclass
+class LinePreconditioner:
+    """y-line preconditioner ``M = -u_yy + 2 eps/dx^2 I`` (SPD).
+
+    Applying ``M^{-1}`` solves one tridiagonal system per grid column;
+    the factorization is computed once (`thomas_factorize`) and reused
+    every CG iteration -- the factor-once pattern GPU implementations
+    rely on.
+    """
+
+    ny: int
+    nx: int
+    eps: float
+    dx: float = 1.0
+    dy: float = 1.0
+
+    def __post_init__(self):
+        cy = 1.0 / self.dy ** 2
+        cx = self.eps / self.dx ** 2
+        S, n = self.nx, self.ny
+        a = np.full((S, n), -cy)
+        c = np.full((S, n), -cy)
+        b = np.full((S, n), 2.0 * (cy + cx))
+        self._factors = thomas_factorize(
+            TridiagonalSystems(a, b, c, np.zeros((S, n))))
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """``z = M^{-1} r`` -- one batched tridiagonal solve."""
+        z = self._factors.solve(r.T.copy())
+        return z.T
+
+
+@dataclass
+class CGResult:
+    x: np.ndarray
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return len(self.residuals) >= 1 and self.residuals[-1] < 1.0
+
+
+def conjugate_gradient(f: np.ndarray, eps: float, *, dx: float = 1.0,
+                       dy: float = 1.0, tol: float = 1e-8,
+                       max_iterations: int = 500,
+                       preconditioner: LinePreconditioner | None = None
+                       ) -> CGResult:
+    """(Preconditioned) CG for the anisotropic model problem.
+
+    ``f`` covers the interior grid ``(ny, nx)``; returns the solution
+    and the relative-residual history.
+    """
+    f = np.asarray(f, dtype=np.float64)
+    x = np.zeros_like(f)
+    r = f.copy()
+    f_norm = float(np.linalg.norm(f)) or 1.0
+    z = preconditioner.apply(r) if preconditioner else r
+    p = z.copy()
+    rz = float(np.sum(r * z))
+    residuals = [np.linalg.norm(r) / f_norm]
+    it = 0
+    for it in range(1, max_iterations + 1):
+        Ap = anisotropic_operator(p, eps, dx, dy)
+        alpha = rz / float(np.sum(p * Ap))
+        x += alpha * p
+        r -= alpha * Ap
+        rel = np.linalg.norm(r) / f_norm
+        residuals.append(rel)
+        if rel < tol:
+            break
+        z = preconditioner.apply(r) if preconditioner else r
+        rz_new = float(np.sum(r * z))
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return CGResult(x=x, iterations=it, residuals=residuals)

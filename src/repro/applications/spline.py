@@ -1,0 +1,138 @@
+"""Cubic-spline interpolation via tridiagonal solves.
+
+One of the paper's §1 application bullets ("cubic spline
+approximations").  Natural and clamped cubic splines over a uniform or
+non-uniform knot grid reduce to a diagonally dominant tridiagonal
+system for the second derivatives (natural) -- solvable by any method
+in the library, and batchable across many curves at once (e.g. one
+spline per scan-line or per animation channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.api import solve
+
+
+@dataclass
+class CubicSpline:
+    """Batched natural/clamped cubic spline.
+
+    Parameters
+    ----------
+    x:
+        Knot abscissae, strictly increasing, shape ``(n,)`` (shared by
+        every curve in the batch).
+    y:
+        Ordinates, shape ``(num_curves, n)`` or ``(n,)``.
+    bc:
+        ``"natural"`` (zero second derivative at the ends),
+        ``"clamped"`` (zero first derivative at the ends), or
+        ``"periodic"`` (closed curve: ``y[0]`` must equal ``y[-1]``;
+        the moment system becomes cyclic tridiagonal and is solved via
+        the Sherman-Morrison reduction).
+    method:
+        Tridiagonal solver method.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    bc: str = "natural"
+    method: str = "auto"
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.atleast_2d(np.asarray(self.y, dtype=np.float64))
+        if self.x.ndim != 1 or self.x.size < 3:
+            raise ValueError("need at least 3 knots")
+        if np.any(np.diff(self.x) <= 0):
+            raise ValueError("knots must be strictly increasing")
+        if self.y.shape[1] != self.x.size:
+            raise ValueError("y and x knot counts differ")
+        if self.bc not in ("natural", "clamped", "periodic"):
+            raise ValueError(f"unknown boundary condition {self.bc!r}")
+        if self.bc == "periodic" and not np.allclose(self.y[:, 0],
+                                                     self.y[:, -1]):
+            raise ValueError("periodic splines need y[0] == y[-1]")
+        self._m = (self._solve_moments_periodic()
+                   if self.bc == "periodic" else self._solve_moments())
+
+    def _solve_moments(self) -> np.ndarray:
+        """Second derivatives ("moments") at the knots."""
+        x, y = self.x, self.y
+        S, n = y.shape
+        h = np.diff(x)                       # (n-1,)
+        a = np.zeros((S, n))
+        b = np.zeros((S, n))
+        c = np.zeros((S, n))
+        d = np.zeros((S, n))
+        # Interior rows: h[i-1] m[i-1] + 2(h[i-1]+h[i]) m[i] + h[i] m[i+1]
+        #              = 6 ((y[i+1]-y[i])/h[i] - (y[i]-y[i-1])/h[i-1])
+        a[:, 1:-1] = h[:-1]
+        b[:, 1:-1] = 2.0 * (h[:-1] + h[1:])
+        c[:, 1:-1] = h[1:]
+        slope = np.diff(y, axis=1) / h
+        d[:, 1:-1] = 6.0 * np.diff(slope, axis=1)
+        if self.bc == "natural":
+            b[:, 0] = 1.0
+            b[:, -1] = 1.0
+            # d already zero at the ends
+        else:  # clamped with zero end slopes
+            b[:, 0] = 2.0 * h[0]
+            c[:, 0] = h[0]
+            d[:, 0] = 6.0 * slope[:, 0]
+            a[:, -1] = h[-1]
+            b[:, -1] = 2.0 * h[-1]
+            d[:, -1] = -6.0 * slope[:, -1]
+        return np.asarray(solve(a, b, c, d, method=self.method))
+
+    def _solve_moments_periodic(self) -> np.ndarray:
+        """Moments of the closed curve: the wrap-around coupling turns
+        the interior system cyclic; knots 0 and n-1 share one moment."""
+        from repro.solvers.periodic import solve_periodic
+
+        x, y = self.x, self.y
+        S, n = y.shape
+        h = np.diff(x)                      # (n-1,)
+        # Unknown moments at knots 0..n-2 (m[n-1] = m[0]).
+        q = n - 1
+        hl = np.roll(h, 1)                  # h_{i-1} with wraparound
+        a = np.tile(hl, (S, 1))
+        b = np.tile(2.0 * (hl + h), (S, 1))
+        c = np.tile(h, (S, 1))
+        slope = np.diff(y, axis=1) / h      # (S, n-1)
+        slope_prev = np.roll(slope, 1, axis=1)
+        d = 6.0 * (slope - slope_prev)
+        mq = np.atleast_2d(solve_periodic(a, b, c, d, method=self.method))
+        m = np.empty((S, n))
+        m[:, :q] = mq
+        m[:, -1] = mq[:, 0]
+        return m
+
+    def __call__(self, xq: np.ndarray) -> np.ndarray:
+        """Evaluate all curves at query points ``xq``.
+
+        Returns shape ``(num_curves, len(xq))``.
+        """
+        xq = np.asarray(xq, dtype=np.float64)
+        x, y, m = self.x, self.y, self._m
+        h = np.diff(x)
+        idx = np.clip(np.searchsorted(x, xq) - 1, 0, x.size - 2)
+        hl = h[idx]
+        t0 = xq - x[idx]
+        t1 = x[idx + 1] - xq
+        yi = y[:, idx]
+        yi1 = y[:, idx + 1]
+        mi = m[:, idx]
+        mi1 = m[:, idx + 1]
+        out = (mi * t1 ** 3 + mi1 * t0 ** 3) / (6.0 * hl)
+        out += (yi / hl - mi * hl / 6.0) * t1
+        out += (yi1 / hl - mi1 * hl / 6.0) * t0
+        return out
+
+    def moments(self) -> np.ndarray:
+        """Second derivatives at the knots, shape ``(num_curves, n)``."""
+        return self._m.copy()

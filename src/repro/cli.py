@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``      package, device and solver inventory
+``verify``    quick headline-reproduction check (ranking, switch
+              points, overflow behaviour) -- exits nonzero on failure
+``analyze``   run a solver kernel on a synthetic batch and print the
+              trace + optimization advisor output
+``calibrate`` re-fit the GT200 cost model against the paper's numbers
+``report``    generate a Markdown paper-vs-model reproduction report
+``experiments`` list every reproduced table/figure/ablation and its bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.gpusim import GTX280
+    from repro.solvers.api import SOLVERS
+
+    print(f"repro {repro.__version__} -- reproduction of Zhang, Cohen & "
+          f"Owens, 'Fast Tridiagonal Solvers on the GPU' (PPoPP 2010)")
+    print(f"\nsimulated device: {GTX280.name}: {GTX280.num_sms} SMs x "
+          f"{GTX280.cores_per_sm} cores, "
+          f"{GTX280.shared_mem_per_sm // 1024} KiB shared/"
+          f"{GTX280.shared_mem_banks} banks, warp {GTX280.warp_size}")
+    print("\nsolvers (repro.solve(..., method=...)):")
+    for name in SOLVERS:
+        print(f"  {name}")
+    print("\nextensions: block solvers (solve_block), partition_solve, "
+          "refined_solve, gtsv_strided_batch")
+    return 0
+
+
+def cmd_verify(_args) -> int:
+    """Fast headline checks; mirrors tests/integration in spirit."""
+    import numpy as np
+
+    from repro.analysis.autotune import sweep_switch_point
+    from repro.analysis.timing import modeled_grid_timing
+    from repro.numerics.generators import diagonally_dominant_fluid
+    from repro.solvers.api import SOLVERS
+
+    warnings.simplefilter("ignore")
+    failures = []
+
+    def check(label, ok):
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    print("headline reproduction checks (512x512):")
+    t = {}
+    for name, m in [("cr", None), ("pcr", None), ("rd", None),
+                    ("cr_pcr", 256), ("cr_rd", 128)]:
+        t[name] = modeled_grid_timing(name, 512, 512,
+                                      intermediate_size=m).solver_ms
+    check("solver ranking CR+PCR < CR+RD < PCR < RD < CR",
+          t["cr_pcr"] < t["cr_rd"] < t["pcr"] < t["rd"] < t["cr"])
+    check("CR+PCR at least 10% faster than PCR",
+          1 - t["cr_pcr"] / t["pcr"] > 0.10)
+    check("CR+PCR at least 45% faster than CR",
+          1 - t["cr_pcr"] / t["cr"] > 0.45)
+
+    s = diagonally_dominant_fluid(2, 512, seed=0)
+    best_pcr = sweep_switch_point(s, "pcr").best().intermediate_size
+    best_rd = sweep_switch_point(s, "rd").best().intermediate_size
+    check(f"hybrid switch points far above warp size "
+          f"(got {best_pcr}/{best_rd})",
+          best_pcr >= 128 and best_rd == 128)
+
+    batch = diagonally_dominant_fluid(8, 512, seed=1)
+    x_cr = SOLVERS["cr"](batch, intermediate_size=None)
+    x_rd = SOLVERS["rd"](batch, intermediate_size=None)
+    check("CR accurate on dominant systems",
+          bool(np.isfinite(x_cr).all())
+          and batch.residual(x_cr).max() < 1e-3)
+    check("RD overflows on dominant systems (the paper's Fig 18)",
+          not bool(np.isfinite(x_rd).all()))
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall headline checks passed")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis.advisor import report as advisor_report
+    from repro.analysis.trace import full_trace
+    from repro.kernels.api import run_kernel
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    warnings.simplefilter("ignore")
+    systems = diagonally_dominant_fluid(2, args.n, seed=0)
+    _x, res = run_kernel(args.solver, systems,
+                         intermediate_size=args.intermediate_size)
+    print(full_trace(res))
+    print()
+    print(advisor_report(res))
+    print()
+    from repro.analysis.roofline import (device_roofs, place_kernel,
+                                         roofline_table)
+    point = place_kernel(args.solver, res)
+    print(roofline_table([point], device_roofs(res.device)))
+    return 0
+
+
+def cmd_calibrate(_args) -> int:
+    from repro.gpusim.calibrate import main as calibrate_main
+    calibrate_main()
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.report import main as report_main
+    return report_main(args.output)
+
+
+def cmd_experiments(_args) -> int:
+    from repro.experiments import summary
+    print(summary())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast Tridiagonal Solvers on the GPU -- reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package and device summary")
+    sub.add_parser("verify", help="quick headline reproduction checks")
+    p_an = sub.add_parser("analyze",
+                          help="trace + advisor for one solver kernel")
+    p_an.add_argument("solver", choices=["cr", "pcr", "rd", "cr_pcr",
+                                         "cr_rd"])
+    p_an.add_argument("--n", type=int, default=512,
+                      help="system size (power of two)")
+    p_an.add_argument("--intermediate-size", type=int, default=None,
+                      dest="intermediate_size")
+    sub.add_parser("calibrate", help="re-fit the GT200 cost model")
+    p_rep = sub.add_parser("report",
+                           help="generate a Markdown reproduction report")
+    p_rep.add_argument("-o", "--output", default=None,
+                       help="write to a file instead of stdout")
+    sub.add_parser("experiments",
+                   help="list reproduced artifacts and their benches")
+
+    args = parser.parse_args(argv)
+    handler = {"info": cmd_info, "verify": cmd_verify,
+               "analyze": cmd_analyze, "calibrate": cmd_calibrate,
+               "report": cmd_report, "experiments": cmd_experiments}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

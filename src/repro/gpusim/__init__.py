@@ -1,0 +1,38 @@
+"""SIMT execution-model simulator (the paper's GPU, rebuilt in Python).
+
+Public surface:
+
+- :class:`~repro.gpusim.device.DeviceSpec` and the :data:`GTX280` preset
+- :func:`~repro.gpusim.executor.launch` -- run a kernel over a grid
+- :class:`~repro.gpusim.context.BlockContext` -- the kernel DSL
+- :class:`~repro.gpusim.costmodel.CostModel` /
+  :func:`~repro.gpusim.gt200.gt200_cost_model` -- counters to time
+- :class:`~repro.gpusim.transfer.PCIeModel` -- CPU-GPU transfer model
+"""
+
+from .context import BlockContext, KernelError, StopKernel
+from .costmodel import CostModel, CostModelParams, PhaseTime, TimingReport
+from .counters import CounterLedger, PhaseCounters
+from .device import GTX280, G80_8800GTX, TESLA_C1060, DeviceSpec, occupancy_report
+from .executor import LaunchResult, launch
+from .gt200 import GT200_PARAMS, gt200_cost_model
+from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
+                     bank_conflict_cycles, coalesced_transactions,
+                     max_conflict_degree)
+from .serialize import (launch_to_dict, launch_to_json, ledger_from_dict,
+                        ledger_to_dict, ledgers_equal)
+from .transfer import GLOBAL_ONLY_PENALTY, PCIeModel
+from .warp import is_contiguous_prefix, is_contiguous_range, warps_touched
+
+__all__ = [
+    "BlockContext", "KernelError", "StopKernel", "CostModel", "CostModelParams",
+    "PhaseTime", "TimingReport", "CounterLedger", "PhaseCounters",
+    "GTX280", "G80_8800GTX", "TESLA_C1060", "DeviceSpec",
+    "occupancy_report", "LaunchResult", "launch", "GT200_PARAMS",
+    "gt200_cost_model", "GlobalArray", "SharedArray", "SharedMemorySpace",
+    "bank_conflict_cycles", "coalesced_transactions", "max_conflict_degree",
+    "GLOBAL_ONLY_PENALTY", "PCIeModel", "launch_to_dict", "launch_to_json",
+    "ledger_from_dict", "ledger_to_dict", "ledgers_equal",
+    "is_contiguous_prefix", "is_contiguous_range",
+    "warps_touched",
+]

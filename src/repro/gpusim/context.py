@@ -1,0 +1,350 @@
+"""BlockContext: the vectorised kernel DSL of the simulator.
+
+Kernels are written once, against this context, and get two things for
+free: *functional execution* (real float32 results, batched over all
+blocks of the grid, since blocks are data-independent) and an
+*architectural trace* (bank-conflict-adjusted shared-memory cycles,
+coalesced global transactions, warp-granular instruction issue, sync
+and step counts) recorded into a :class:`~repro.gpusim.counters.CounterLedger`.
+
+A kernel looks like CUDA code turned inside-out: the per-thread index
+arithmetic is expressed as NumPy index vectors over the *active lanes*,
+and each shared/global access goes through the context so its address
+pattern is costed.  Example::
+
+    def kernel(ctx: BlockContext, n: int) -> None:
+        a = ctx.shared(n)
+        ...
+        with ctx.phase("forward_reduction"):
+            for _ in range(steps):
+                with ctx.step():
+                    ctx.set_active(num_threads)
+                    i = stride * (ctx.lanes + 1) - 1
+                    ai = ctx.sload(a, i)          # costed gather
+                    ...
+                    ctx.ops(mults=6, adds=4, divs=2)
+                    ctx.sstore(a, i, new_ai)      # costed scatter
+                    ctx.sync()
+
+Costs are recorded per block; the :mod:`~repro.gpusim.executor`
+scales them to the grid.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+
+import numpy as np
+
+from .counters import CounterLedger, PhaseCounters
+from .device import DeviceSpec
+from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
+                     bank_conflict_cycles, coalesced_transactions)
+from .warp import (divergence_penalty_warps, is_contiguous_range,
+                   warps_touched)
+
+
+class KernelError(RuntimeError):
+    """Raised for kernel programming errors (bad indices, bad active set)."""
+
+
+class StopKernel(Exception):
+    """Raised internally when a step limit is reached.
+
+    Supports the paper's *differential timing* method (§5.3): "for
+    every algorithmic step in a loop, we exit the loop early at that
+    step to measure the time spent until that step."  The executor
+    catches this and returns the truncated trace.
+    """
+
+
+class BlockContext:
+    """Execution context for one kernel over a grid of identical blocks.
+
+    Parameters
+    ----------
+    device:
+        Architectural parameters.
+    num_blocks:
+        Grid size; every block runs the same code on its own data slice.
+    threads_per_block:
+        Block size; must not exceed ``device.max_threads_per_block``.
+    dtype:
+        Arithmetic precision.  The paper uses float32 throughout.
+    check_contiguous_active:
+        When True (default), raise if a kernel activates a
+        non-contiguous lane set -- the paper's kernels never do, and a
+        violation usually signals an indexing bug.  Set False to
+        simulate divergent kernels (the cost model then charges extra
+        warp issues).
+    """
+
+    def __init__(self, device: DeviceSpec, num_blocks: int,
+                 threads_per_block: int, dtype=np.float32,
+                 check_contiguous_active: bool = True,
+                 step_limit: int | None = None):
+        if threads_per_block > device.max_threads_per_block:
+            raise KernelError(
+                f"block of {threads_per_block} threads exceeds device limit "
+                f"{device.max_threads_per_block}")
+        if threads_per_block < 1 or num_blocks < 1:
+            raise KernelError("grid and block sizes must be positive")
+        self.device = device
+        self.num_blocks = int(num_blocks)
+        self.threads_per_block = int(threads_per_block)
+        self.dtype = np.dtype(dtype)
+        self.shared_space = SharedMemorySpace(self.num_blocks, device,
+                                              dtype=self.dtype)
+        self.ledger = CounterLedger()
+        self.check_contiguous_active = check_contiguous_active
+        self._phase_name = "main"
+        self._lanes = np.arange(self.threads_per_block, dtype=np.int64)
+        self._in_step = False
+        self.step_limit = step_limit
+        self._steps_executed = 0
+
+    # ------------------------------------------------------------------
+    # Lane management
+    # ------------------------------------------------------------------
+
+    @property
+    def lanes(self) -> np.ndarray:
+        """Ids of the currently active lanes (ascending)."""
+        return self._lanes
+
+    @property
+    def active_count(self) -> int:
+        return self._lanes.size
+
+    def set_active(self, lanes_or_count) -> np.ndarray:
+        """Activate a contiguous prefix (int) or an explicit lane set.
+
+        Returns the active lane ids for convenience.
+        """
+        if np.isscalar(lanes_or_count):
+            count = int(lanes_or_count)
+            if count < 0 or count > self.threads_per_block:
+                raise KernelError(
+                    f"active count {count} outside block of "
+                    f"{self.threads_per_block}")
+            self._lanes = np.arange(count, dtype=np.int64)
+        else:
+            lanes = np.asarray(lanes_or_count, dtype=np.int64)
+            if lanes.size and (lanes.min() < 0
+                               or lanes.max() >= self.threads_per_block):
+                raise KernelError("lane ids outside block")
+            if self.check_contiguous_active and not is_contiguous_range(lanes):
+                raise KernelError(
+                    "non-contiguous active lanes; the paper's kernels keep "
+                    "active threads contiguous to avoid divergence (see §4). "
+                    "Pass check_contiguous_active=False to allow this.")
+            self._lanes = lanes
+            pc = self._pc()
+            pc.warp_instructions += divergence_penalty_warps(lanes, self.device)
+        pc = self._pc()
+        pc.max_active_threads = max(pc.max_active_threads, self._lanes.size)
+        return self._lanes
+
+    # ------------------------------------------------------------------
+    # Phase / step attribution
+    # ------------------------------------------------------------------
+
+    def _pc(self) -> PhaseCounters:
+        return self.ledger.phase(self._phase_name)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute enclosed costs to phase ``name``."""
+        prev = self._phase_name
+        self._phase_name = name
+        try:
+            yield
+        finally:
+            self._phase_name = prev
+
+    @contextmanager
+    def step(self):
+        """One algorithmic step: snapshot counters for per-step analysis.
+
+        Each step carries loop-control/synchronization overhead in the
+        cost model (the paper finds this overhead considerable, §1).
+        """
+        if self._in_step:
+            raise KernelError("steps do not nest")
+        self._in_step = True
+        before = replace(self._pc())
+        index = len(self.ledger.steps_in_phase(self._phase_name))
+        try:
+            yield
+        finally:
+            self._in_step = False
+            pc = self._pc()
+            pc.steps += 1
+            after = replace(pc)
+            delta = PhaseCounters()
+            for fname in vars(delta):
+                if fname == "max_active_threads":
+                    delta.max_active_threads = self._lanes.size
+                else:
+                    setattr(delta, fname,
+                            getattr(after, fname) - getattr(before, fname))
+            self.ledger.record_step(self._phase_name, index, delta)
+        self._steps_executed += 1
+        if self.step_limit is not None and self._steps_executed >= self.step_limit:
+            raise StopKernel(self._steps_executed)
+
+    def sync(self) -> None:
+        """``__syncthreads()`` barrier (costed; functionally a no-op
+        because the simulator executes whole vector instructions
+        atomically)."""
+        self._pc().syncs += 1
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+
+    def shared(self, words: int) -> SharedArray:
+        """Allocate a shared-memory array of ``words`` 32-bit words."""
+        arr = self.shared_space.allocate(words)
+        if self.shared_space.bytes_allocated > self.device.usable_shared_per_block:
+            raise KernelError(
+                f"shared memory footprint "
+                f"{self.shared_space.bytes_allocated} B exceeds the usable "
+                f"{self.device.usable_shared_per_block} B per block; systems "
+                f"this large need the global-memory fallback path (paper §4)")
+        return arr
+
+    def _charge_shared(self, arr: SharedArray, idx: np.ndarray) -> None:
+        if idx.size and (idx.min() < 0 or idx.max() >= arr.words):
+            raise KernelError(
+                f"shared access out of bounds: [{idx.min()}, {idx.max()}] "
+                f"in array of {arr.words} words")
+        cycles, half_warps = bank_conflict_cycles(
+            arr.word_addrs(idx), self.device, lane_ids=self._lanes)
+        pc = self._pc()
+        pc.shared_words += idx.size
+        pc.shared_cycles += cycles
+        pc.shared_instructions += half_warps
+        # Exposed-latency weight: one access site, hidden by however
+        # many warps this block currently has in flight.  At or beyond
+        # the device's hiding threshold the pipeline covers the latency
+        # completely (PCR/RD full fronts); a lone warp (late CR steps)
+        # exposes nearly all of it.  A d-way bank conflict serializes
+        # the access into d round-trips, so the exposure multiplies by
+        # the average conflict degree -- this coupling is what makes
+        # the paper's Fig 9 "with conflicts" bars tower over the
+        # stride-one probe precisely when few warps remain.
+        w = max(1, warps_touched(self._lanes, self.device))
+        sat = self.device.latency_hiding_warps
+        degree = cycles / max(1, half_warps)
+        pc.latency_units += degree * max(0.0, 1.0 / w - 1.0 / sat)
+
+    def sload(self, arr: SharedArray, idx: np.ndarray,
+              cost_idx: np.ndarray | None = None) -> np.ndarray:
+        """Costed shared-memory gather; one word per active lane.
+
+        ``idx`` must have one entry per active lane (lane order).
+        Returns a ``(num_blocks, len(idx))`` value array.
+
+        ``cost_idx`` substitutes a different address pattern for cost
+        accounting only -- used to reproduce the paper's Fig 9
+        experiment, where the CR kernel is "modified to enforce a
+        shared memory access stride of one so that it is
+        bank-conflict-free.  This results in an incorrect algorithm,
+        but is for timing comparison only."  Here we keep the values
+        correct and make only the *cost* follow the modified addresses.
+        """
+        idx = self._check_lane_shape(idx)
+        self._charge_shared(arr, idx if cost_idx is None
+                            else self._check_lane_shape(cost_idx))
+        return arr.gather(idx)
+
+    def sstore(self, arr: SharedArray, idx: np.ndarray, values: np.ndarray,
+               cost_idx: np.ndarray | None = None) -> None:
+        """Costed shared-memory scatter; one word per active lane.
+
+        See :meth:`sload` for ``cost_idx``.
+        """
+        idx = self._check_lane_shape(idx)
+        self._charge_shared(arr, idx if cost_idx is None
+                            else self._check_lane_shape(cost_idx))
+        arr.scatter(idx, np.asarray(values, dtype=self.dtype))
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+
+    def _charge_global(self, idx: np.ndarray) -> None:
+        pc = self._pc()
+        transactions = coalesced_transactions(idx, self.device)
+        pc.global_words += idx.size
+        pc.global_transactions += transactions
+        # Exposed DRAM latency, analogous to the shared-memory term:
+        # serialized transactions per half-warp, unhidden when few
+        # warps are in flight.
+        w = max(1, warps_touched(self._lanes, self.device))
+        sat = self.device.latency_hiding_warps
+        per_halfwarp = transactions / max(1, self.device.half_warps(idx.size))
+        pc.global_latency_units += per_halfwarp * max(0.0, 1.0 / w - 1.0 / sat)
+
+    def gload(self, arr: GlobalArray, block_bases: np.ndarray,
+              idx: np.ndarray) -> np.ndarray:
+        """Costed global-memory read: ``arr[base_b + idx_l]``.
+
+        ``block_bases`` gives each block's offset into the flat array
+        (the paper stores all systems contiguously, §4); ``idx`` is the
+        per-lane word index within the block's slice.  Coalescing is
+        evaluated on the per-block pattern ``idx`` (identical across
+        blocks up to the base offset, which is segment-aligned for
+        power-of-two systems).
+        """
+        idx = self._check_lane_shape(idx)
+        self._charge_global(idx)
+        return arr.gather(block_bases, idx).astype(self.dtype, copy=False)
+
+    def gstore(self, arr: GlobalArray, block_bases: np.ndarray,
+               idx: np.ndarray, values: np.ndarray) -> None:
+        """Costed global-memory write."""
+        idx = self._check_lane_shape(idx)
+        self._charge_global(idx)
+        arr.scatter(block_bases, idx, np.asarray(values, dtype=arr.data.dtype))
+
+    # ------------------------------------------------------------------
+    # Arithmetic accounting
+    # ------------------------------------------------------------------
+
+    def ops(self, total: int = 0, *, divs: int = 0, instructions: int | None = None) -> None:
+        """Record arithmetic work for the current active lane set.
+
+        Parameters
+        ----------
+        total:
+            Arithmetic operations *per active lane*, divisions included
+            (this is what Table 1 counts).
+        divs:
+            Of those, how many are divisions (costed extra; the paper
+            singles them out in §5.3.1/§5.3.3).
+        instructions:
+            Vector instructions issued, defaults to ``total``.  Each
+            costs ``warps(active)`` issue slots, which is how warp
+            granularity enters the model.
+        """
+        if total < 0 or divs < 0 or divs > total:
+            raise KernelError("invalid op counts")
+        n_active = self.active_count
+        inst = total if instructions is None else instructions
+        pc = self._pc()
+        pc.flops += total * n_active
+        pc.divs += divs * n_active
+        pc.warp_instructions += inst * warps_touched(self._lanes, self.device)
+
+    # ------------------------------------------------------------------
+
+    def _check_lane_shape(self, idx) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.ndim != 1 or idx.size != self.active_count:
+            raise KernelError(
+                f"index vector of size {idx.size} does not match "
+                f"{self.active_count} active lanes")
+        return idx

@@ -1,0 +1,169 @@
+"""Device descriptions for the SIMT execution-model simulator.
+
+The simulator does not emulate an instruction set; it reproduces the
+*architectural* quantities that the paper's analysis is built on: warp
+granularity, shared-memory banking, global-memory coalescing, and the
+occupancy rules that decide how many blocks a multiprocessor can host
+concurrently.  A :class:`DeviceSpec` carries exactly those parameters.
+
+The default spec, :data:`GTX280`, matches the GT200-class card used in
+Zhang, Cohen & Owens (PPoPP 2010): 30 multiprocessors, 8 scalar
+processors each, 16 KiB of shared memory per multiprocessor organised in
+16 banks of 32-bit words, warps of 32 threads with shared-memory
+conflicts resolved per half-warp of 16 lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated SIMT device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors (CUDA "multiprocessors").
+    cores_per_sm:
+        Scalar processors per multiprocessor (8 on GT200).
+    warp_size:
+        Threads per warp; the smallest unit of issued work.
+    shared_mem_banks:
+        Number of shared-memory banks (16 on GT200).
+    bank_width_bytes:
+        Width of one bank word (4 bytes = one float32).
+    shared_mem_per_sm:
+        Shared memory capacity per multiprocessor, in bytes.
+    max_threads_per_block:
+        Upper limit on block size.
+    max_blocks_per_sm:
+        Hardware cap on concurrently resident blocks per multiprocessor.
+    max_threads_per_sm:
+        Hardware cap on concurrently resident threads per multiprocessor.
+    conflict_granularity:
+        Number of lanes whose shared accesses are checked together for
+        bank conflicts.  GT200 resolves conflicts per *half-warp* (16).
+    coalesce_segment_bytes:
+        Size of one global-memory transaction segment for 32-bit
+        accesses (64 bytes on GT200).
+    """
+
+    name: str = "GTX 280"
+    num_sms: int = 30
+    cores_per_sm: int = 8
+    warp_size: int = 32
+    shared_mem_banks: int = 16
+    bank_width_bytes: int = 4
+    shared_mem_per_sm: int = 16 * 1024
+    #: Bytes of shared memory the runtime reserves per block for kernel
+    #: parameters and built-ins (CUDA 2.x on GT200).  This is why a
+    #: 512-system CR+RD hybrid cannot use a 256-unknown intermediate
+    #: system (5n + 6m words would need exactly 16 KiB; paper §5.3.5).
+    shared_mem_reserved: int = 256
+    #: Resident warps needed to fully hide shared-access latency; with
+    #: fewer, each dependent access exposes a fraction of the pipeline
+    #: latency (see PhaseCounters.latency_units).
+    latency_hiding_warps: int = 4
+    #: 32-bit registers per multiprocessor (16k on GT200).  §5.2 lists
+    #: "register count" among the resources limiting concurrent blocks;
+    #: pass registers_per_thread to blocks_per_sm to include it.
+    registers_per_sm: int = 16 * 1024
+    max_threads_per_block: int = 512
+    max_blocks_per_sm: int = 8
+    max_threads_per_sm: int = 1024
+    conflict_granularity: int = 16
+    coalesce_segment_bytes: int = 64
+
+    def half_warps(self, active_threads: int) -> int:
+        """Number of conflict-resolution groups covering ``active_threads``."""
+        g = self.conflict_granularity
+        return max(1, -(-active_threads // g))
+
+    def warps(self, active_threads: int) -> int:
+        """Number of warps needed to issue ``active_threads`` lanes.
+
+        A warp is the smallest unit of work the device issues: even one
+        active thread occupies a full warp slot (paper §4).
+        """
+        return max(1, -(-active_threads // self.warp_size))
+
+    @property
+    def usable_shared_per_block(self) -> int:
+        """Shared memory a block can actually allocate."""
+        return self.shared_mem_per_sm - self.shared_mem_reserved
+
+    def blocks_per_sm(self, shared_bytes_per_block: int,
+                      threads_per_block: int,
+                      registers_per_thread: int = 0) -> int:
+        """Occupancy: concurrent blocks one SM can host.
+
+        Limited by shared-memory capacity, the resident-thread cap, the
+        resident-block cap and -- when ``registers_per_thread`` is
+        given -- the register file ("the number of concurrent blocks
+        depends on the GPU hardware resources (register count, shared
+        memory size, and maximum number of active warps, etc)", §5.2).
+        Each resident block also carries the reserved parameter area.
+        """
+        if shared_bytes_per_block > self.usable_shared_per_block:
+            # The block does not fit in shared memory at all: the kernel
+            # must fall back to a global-memory-only variant (paper §4).
+            return 0
+        per_block = shared_bytes_per_block + self.shared_mem_reserved
+        by_shared = self.shared_mem_per_sm // max(1, per_block)
+        by_threads = self.max_threads_per_sm // max(1, threads_per_block)
+        limit = min(self.max_blocks_per_sm, by_shared, by_threads)
+        if registers_per_thread > 0:
+            regs_per_block = registers_per_thread * threads_per_block
+            if regs_per_block > self.registers_per_sm:
+                return 0
+            limit = min(limit, self.registers_per_sm // regs_per_block)
+        return max(0, limit)
+
+
+#: The GT200-class device used throughout the paper's evaluation.
+GTX280 = DeviceSpec()
+
+#: A Tesla C1060-like variant (same GT200 silicon, 30 SMs) kept as a
+#: second preset so device-dependent code paths are exercised in tests.
+TESLA_C1060 = DeviceSpec(name="Tesla C1060")
+
+#: An 8800 GTX-like G80 preset: 16 SMs, 768 resident threads.  Useful for
+#: exercising occupancy logic with different limits.
+G80_8800GTX = DeviceSpec(
+    name="GeForce 8800 GTX",
+    num_sms=16,
+    max_threads_per_sm=768,
+)
+
+
+def occupancy_report(device: DeviceSpec, shared_bytes_per_block: int,
+                     threads_per_block: int) -> dict:
+    """Summarise occupancy decisions for a kernel configuration.
+
+    Returns a dict with the limiting factors, used by benchmarks to
+    explain why (for example) 512-unknown systems run one block per SM.
+    """
+    fits = shared_bytes_per_block <= device.usable_shared_per_block
+    per_block = shared_bytes_per_block + device.shared_mem_reserved
+    by_shared = device.shared_mem_per_sm // max(1, per_block) if fits else 0
+    by_threads = device.max_threads_per_sm // max(1, threads_per_block)
+    resident = device.blocks_per_sm(shared_bytes_per_block, threads_per_block)
+    limits = []
+    if resident == by_shared:
+        limits.append("shared_memory")
+    if resident == by_threads:
+        limits.append("threads")
+    if resident == device.max_blocks_per_sm:
+        limits.append("block_cap")
+    return {
+        "blocks_per_sm": resident,
+        "by_shared_memory": by_shared,
+        "by_threads": by_threads,
+        "by_block_cap": device.max_blocks_per_sm,
+        "limited_by": limits or ["none"],
+        "fits_in_shared": fits,
+    }

@@ -1,0 +1,82 @@
+"""Grid launch: run a kernel over all blocks and collect the trace.
+
+The simulator executes all blocks of a grid simultaneously (they are
+data-independent in the paper's workload: one tridiagonal system per
+block), then the cost model folds per-block costs into a grid-level
+time using the device's occupancy rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .context import BlockContext, StopKernel
+from .counters import CounterLedger
+from .device import DeviceSpec, GTX280
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one simulated kernel launch.
+
+    Attributes
+    ----------
+    outputs:
+        Whatever the kernel returned (typically solution arrays).
+    ledger:
+        Per-block counters, attributed to phases and steps.
+    num_blocks, threads_per_block:
+        Launch configuration.
+    shared_bytes:
+        Static shared-memory footprint per block, as allocated.
+    device:
+        The device the launch was simulated on.
+    """
+
+    outputs: Any
+    ledger: CounterLedger
+    num_blocks: int
+    threads_per_block: int
+    shared_bytes: int
+    device: DeviceSpec
+
+    @property
+    def blocks_per_sm(self) -> int:
+        return self.device.blocks_per_sm(self.shared_bytes,
+                                         self.threads_per_block)
+
+    def occupancy(self) -> dict:
+        from .device import occupancy_report
+        return occupancy_report(self.device, self.shared_bytes,
+                                self.threads_per_block)
+
+
+def launch(kernel: Callable[..., Any], *, num_blocks: int,
+           threads_per_block: int, device: DeviceSpec = GTX280,
+           dtype=np.float32, check_contiguous_active: bool = True,
+           step_limit: int | None = None, **kernel_args) -> LaunchResult:
+    """Simulate ``kernel(ctx, **kernel_args)`` over a grid.
+
+    The kernel receives a fresh :class:`BlockContext`; its return value
+    is passed through as ``outputs``.  ``step_limit`` truncates
+    execution after that many algorithmic steps (the paper's
+    differential-timing probe; outputs are then partial).
+    """
+    ctx = BlockContext(device, num_blocks, threads_per_block, dtype=dtype,
+                       check_contiguous_active=check_contiguous_active,
+                       step_limit=step_limit)
+    try:
+        outputs = kernel(ctx, **kernel_args)
+    except StopKernel:
+        outputs = None
+    return LaunchResult(
+        outputs=outputs,
+        ledger=ctx.ledger,
+        num_blocks=num_blocks,
+        threads_per_block=threads_per_block,
+        shared_bytes=ctx.shared_space.bytes_allocated,
+        device=device,
+    )

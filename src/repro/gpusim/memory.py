@@ -1,0 +1,231 @@
+"""Shared- and global-memory models: banking, conflicts, coalescing.
+
+Shared memory on GT200 is organised in 16 banks of 32-bit words; words
+at addresses ``w`` and ``w + 16k`` live in the same bank.  When several
+lanes of a *half-warp* (16 lanes) touch distinct words in the same bank,
+the accesses serialize: an access instruction whose worst bank holds
+``d`` distinct words costs ``d`` access slots ("d-way bank conflict",
+paper §4, §5.3.1 and Fig 9).  Lanes reading the *same* word do not
+conflict (the data is broadcast).
+
+Global memory coalescing follows the GT200 rule for 32-bit accesses:
+each half-warp's addresses are binned into aligned 64-byte segments;
+one transaction is issued per touched segment.  A fully contiguous,
+aligned half-warp access therefore costs one transaction, a stride-16
+access costs 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+
+
+def _half_warp_groups(addrs: np.ndarray, device: DeviceSpec,
+                      lane_ids: np.ndarray | None):
+    """Yield per-half-warp address groups.
+
+    Grouping follows the hardware: lanes are partitioned by
+    ``lane_id // granularity``.  When ``lane_ids`` is None the addresses
+    are assumed to belong to lanes ``0..k-1``.
+    """
+    g = device.conflict_granularity
+    if lane_ids is None:
+        for start in range(0, addrs.size, g):
+            yield addrs[start:start + g]
+        return
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    groups = lanes // g
+    # Lanes arrive ordered, so groups are contiguous runs.
+    boundaries = np.flatnonzero(np.diff(groups)) + 1
+    for chunk in np.split(addrs, boundaries):
+        yield chunk
+
+
+def bank_conflict_cycles(word_addrs: np.ndarray, device: DeviceSpec,
+                         lane_ids: np.ndarray | None = None
+                         ) -> tuple[int, int]:
+    """Serialization cost of one shared-memory access instruction.
+
+    Parameters
+    ----------
+    word_addrs:
+        1-D integer array of 32-bit word addresses, one per *active*
+        lane, ordered by lane id.
+    device:
+        Supplies bank count and conflict granularity.
+    lane_ids:
+        Ids of the active lanes (same order as ``word_addrs``), used to
+        partition accesses into half-warps the way the hardware does.
+        Defaults to lanes ``0..k-1``.
+
+    Returns
+    -------
+    (cycles, half_warps):
+        ``cycles`` is the total number of access slots consumed: for
+        each half-warp, the maximum over banks of the number of
+        *distinct* words in that bank (same-word accesses broadcast).
+        ``half_warps`` is the number of half-warp groups touched (the
+        conflict-free cost).
+    """
+    addrs = np.asarray(word_addrs).ravel()
+    if addrs.size == 0:
+        return 0, 0
+    nbanks = device.shared_mem_banks
+    cycles = 0
+    half_warps = 0
+    for group in _half_warp_groups(addrs, device, lane_ids):
+        half_warps += 1
+        banks = group % nbanks
+        worst = 1
+        for b in np.unique(banks):
+            distinct = np.unique(group[banks == b]).size
+            if distinct > worst:
+                worst = distinct
+        cycles += int(worst)
+    return cycles, half_warps
+
+
+def max_conflict_degree(word_addrs: np.ndarray, device: DeviceSpec,
+                        lane_ids: np.ndarray | None = None) -> int:
+    """Worst-case n-way conflict degree across half-warps of one access."""
+    addrs = np.asarray(word_addrs).ravel()
+    if addrs.size == 0:
+        return 0
+    nbanks = device.shared_mem_banks
+    worst_overall = 1
+    for group in _half_warp_groups(addrs, device, lane_ids):
+        banks = group % nbanks
+        for b in np.unique(banks):
+            distinct = np.unique(group[banks == b]).size
+            if distinct > worst_overall:
+                worst_overall = distinct
+    return int(worst_overall)
+
+
+def coalesced_transactions(word_addrs: np.ndarray, device: DeviceSpec) -> int:
+    """Number of global-memory transactions for one access instruction.
+
+    Half-warp granularity, aligned segments of
+    ``device.coalesce_segment_bytes`` (64 B = 16 words on GT200).
+    """
+    addrs = np.asarray(word_addrs).ravel()
+    if addrs.size == 0:
+        return 0
+    g = device.conflict_granularity
+    words_per_seg = device.coalesce_segment_bytes // device.bank_width_bytes
+    transactions = 0
+    for start in range(0, addrs.size, g):
+        group = addrs[start:start + g]
+        transactions += int(np.unique(group // words_per_seg).size)
+    return transactions
+
+
+class SharedMemorySpace:
+    """Per-block shared memory, batched across all blocks of a grid.
+
+    The simulator runs every block of a grid simultaneously (they are
+    data-independent), so storage is a ``(num_blocks, words)`` float32
+    array.  Address *patterns* are identical across blocks -- the cost
+    of an access is computed once from the pattern and applies to each
+    block.
+
+    Allocation is a simple bump allocator mirroring CUDA's static
+    ``__shared__`` layout; the total footprint feeds the occupancy rule.
+    """
+
+    def __init__(self, num_blocks: int, device: DeviceSpec,
+                 dtype=np.float32):
+        self.device = device
+        self.num_blocks = num_blocks
+        self.dtype = np.dtype(dtype)
+        self._words_allocated = 0
+        self._segments: list[np.ndarray] = []
+
+    @property
+    def words_allocated(self) -> int:
+        return self._words_allocated
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._words_allocated * self.device.bank_width_bytes
+
+    def allocate(self, words: int) -> "SharedArray":
+        """Reserve ``words`` 32-bit words; returns a banked array view."""
+        if words <= 0:
+            raise ValueError(f"shared allocation must be positive, got {words}")
+        base = self._words_allocated
+        self._words_allocated += int(words)
+        data = np.zeros((self.num_blocks, words), dtype=self.dtype)
+        arr = SharedArray(self, data, base)
+        self._segments.append(data)
+        return arr
+
+
+class SharedArray:
+    """A named region of shared memory with bank-aware access helpers.
+
+    ``data`` has shape ``(num_blocks, words)``.  Loads/stores take a
+    1-D index array (the per-lane word index, identical across blocks)
+    and return / accept ``(num_blocks, len(idx))`` value arrays.
+    Cost accounting is done by the :class:`~repro.gpusim.context.BlockContext`,
+    which calls :func:`bank_conflict_cycles` on ``base + idx``.
+    """
+
+    def __init__(self, space: SharedMemorySpace, data: np.ndarray, base: int):
+        self.space = space
+        self.data = data
+        self.base = base
+
+    @property
+    def words(self) -> int:
+        return self.data.shape[1]
+
+    def word_addrs(self, idx: np.ndarray) -> np.ndarray:
+        """Absolute word addresses for bank accounting."""
+        return self.base + np.asarray(idx, dtype=np.int64)
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Read ``data[:, idx]`` (no cost accounting here)."""
+        return self.data[:, np.asarray(idx, dtype=np.int64)]
+
+    def scatter(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Write ``values`` to ``data[:, idx]`` (no cost accounting here)."""
+        self.data[:, np.asarray(idx, dtype=np.int64)] = values
+
+
+class GlobalArray:
+    """A flat global-memory array shared by all blocks of a grid.
+
+    Layout follows the paper (§4): the data of all systems is stored
+    contiguously, system 0 first.  Shape ``(words,)``; blocks address it
+    with per-lane word indices offset by ``block_id * system_stride``.
+    For simulation efficiency the batched accessors take the per-block
+    base offsets as a vector.
+    """
+
+    def __init__(self, words: int, dtype=np.float32):
+        self.data = np.zeros(int(words), dtype=dtype)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "GlobalArray":
+        out = cls(values.size, dtype=values.dtype)
+        out.data[:] = np.asarray(values).ravel()
+        return out
+
+    @property
+    def words(self) -> int:
+        return self.data.size
+
+    def gather(self, block_bases: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Read ``data[base_b + idx_l]`` for every block b, lane l."""
+        flat = (np.asarray(block_bases, dtype=np.int64)[:, None]
+                + np.asarray(idx, dtype=np.int64)[None, :])
+        return self.data[flat]
+
+    def scatter(self, block_bases: np.ndarray, idx: np.ndarray,
+                values: np.ndarray) -> None:
+        flat = (np.asarray(block_bases, dtype=np.int64)[:, None]
+                + np.asarray(idx, dtype=np.int64)[None, :])
+        self.data[flat] = values

@@ -1,0 +1,90 @@
+"""Trace serialization: ledgers and launches to/from plain dicts.
+
+Two consumers:
+
+* external tooling (dump a kernel's architectural trace as JSON, diff
+  it across commits or plot it elsewhere);
+* the golden-trace regression tests, which pin the exact counters of
+  every shipped kernel so an accidental change to an access pattern --
+  the kind of bug that silently shifts every modeled figure -- fails
+  loudly with a counter-level diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .counters import CounterLedger, PhaseCounters
+from .executor import LaunchResult
+
+
+def phase_to_dict(pc: PhaseCounters) -> dict[str, Any]:
+    return pc.as_dict()
+
+
+def phase_from_dict(d: dict[str, Any]) -> PhaseCounters:
+    pc = PhaseCounters()
+    for k, v in d.items():
+        if not hasattr(pc, k):
+            raise ValueError(f"unknown counter field {k!r}")
+        setattr(pc, k, v)
+    return pc
+
+
+def ledger_to_dict(ledger: CounterLedger) -> dict[str, Any]:
+    return {
+        "phases": {name: phase_to_dict(pc)
+                   for name, pc in ledger.phases.items()},
+        "steps": [{"phase": p, "index": i, "counters": phase_to_dict(pc)}
+                  for p, i, pc in ledger.step_records],
+    }
+
+
+def ledger_from_dict(d: dict[str, Any]) -> CounterLedger:
+    ledger = CounterLedger()
+    for name, pd in d.get("phases", {}).items():
+        ledger.phases[name] = phase_from_dict(pd)
+    for rec in d.get("steps", []):
+        ledger.step_records.append(
+            (rec["phase"], rec["index"], phase_from_dict(rec["counters"])))
+    return ledger
+
+
+def launch_to_dict(result: LaunchResult) -> dict[str, Any]:
+    """Everything needed to re-cost a launch without re-simulating."""
+    return {
+        "num_blocks": result.num_blocks,
+        "threads_per_block": result.threads_per_block,
+        "shared_bytes": result.shared_bytes,
+        "device": result.device.name,
+        "ledger": ledger_to_dict(result.ledger),
+    }
+
+
+def launch_to_json(result: LaunchResult, indent: int | None = None) -> str:
+    return json.dumps(launch_to_dict(result), indent=indent,
+                      sort_keys=True)
+
+
+def ledgers_equal(a: CounterLedger, b: CounterLedger,
+                  rel_tol: float = 0.0) -> list[str]:
+    """Counter-level diff; returns human-readable mismatch lines
+    (empty = equal).  ``rel_tol`` loosens float fields (latency
+    units)."""
+    diffs = []
+    names = sorted(set(a.phases) | set(b.phases))
+    for name in names:
+        if name not in a.phases or name not in b.phases:
+            diffs.append(f"phase {name!r} present on one side only")
+            continue
+        da, db = a.phases[name].as_dict(), b.phases[name].as_dict()
+        for field in da:
+            va, vb = da[field], db[field]
+            scale = max(abs(va), abs(vb), 1e-300)
+            if abs(va - vb) > rel_tol * scale:
+                diffs.append(f"{name}.{field}: {va} != {vb}")
+    if len(a.step_records) != len(b.step_records):
+        diffs.append(f"step count: {len(a.step_records)} != "
+                     f"{len(b.step_records)}")
+    return diffs

@@ -1,0 +1,88 @@
+"""Warp-level accounting: issue granularity and branch divergence.
+
+A warp (32 threads on GT200) executes in lockstep; it is the smallest
+unit of work the device issues.  Two consequences drive the paper's
+analysis:
+
+* An instruction over ``t`` active threads costs ``ceil(t / 32)`` warp
+  issues -- a step of CR with 2 active threads is as expensive to issue
+  as one with 32 (Fig 9, "no bank conflicts" curve flattening).
+* If the active threads of a step are not a contiguous prefix of the
+  block, warps contain a mix of active and inactive lanes and both
+  branch paths serialize.  The paper's kernels renumber threads so the
+  active set is always contiguous (§4); the simulator verifies that
+  property and charges extra issues when it is violated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+
+
+def warps_touched(lane_ids: np.ndarray, device: DeviceSpec) -> int:
+    """Number of distinct warps containing any of ``lane_ids``."""
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    if lanes.size == 0:
+        return 0
+    return int(np.unique(lanes // device.warp_size).size)
+
+
+def is_contiguous_prefix(lane_ids: np.ndarray) -> bool:
+    """True when the active lanes are ``0..k-1`` for some ``k``.
+
+    The paper's kernels maintain this invariant ("we always use
+    contiguously ordered threads as active threads so that we do not
+    have unnecessary divergent branches", §4).
+    """
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    if lanes.size == 0:
+        return True
+    s = np.sort(lanes)
+    return bool(s[0] == 0 and np.all(np.diff(s) == 1))
+
+
+def is_contiguous_range(lane_ids: np.ndarray) -> bool:
+    """True when the active lanes form one consecutive run ``lo..hi``.
+
+    Recursive doubling's scan activates lanes ``stride..n-1`` -- a
+    contiguous *chunk* rather than a prefix, which is equally
+    divergence-free (§4: "a contiguous chunk of threads as active
+    threads").
+    """
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    if lanes.size == 0:
+        return True
+    s = np.sort(lanes)
+    return bool(np.all(np.diff(s) == 1))
+
+
+def divergence_penalty_warps(lane_ids: np.ndarray, device: DeviceSpec) -> int:
+    """Extra warp issues caused by divergent (non-contiguous) activity.
+
+    A warp that is only partially active executes both sides of the
+    branch; we charge one extra issue per such warp.  With contiguous
+    active lanes at most one warp is partial, which matches the
+    hardware behaviour closely enough for the paper's analysis (and is
+    exactly zero extra relative to the ``ceil`` issue model).
+    """
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    if lanes.size == 0:
+        return 0
+    w = device.warp_size
+    warp_ids, counts = np.unique(lanes // w, return_counts=True)
+    partial = int(np.count_nonzero(counts < w))
+    if is_contiguous_prefix(lanes):
+        # The trailing partial warp of a contiguous prefix is already
+        # covered by the ceil() issue model: no extra cost.
+        return 0
+    # Non-contiguous: every partial warp beyond what a contiguous
+    # packing would need costs an extra issue.
+    needed = -(-lanes.size // w)
+    return max(0, int(warp_ids.size) - needed) + max(0, partial - 1)
+
+
+def issue_count(active_threads: int, device: DeviceSpec) -> int:
+    """Warp issues for one vector instruction over a contiguous prefix."""
+    return device.warps(active_threads)

@@ -1,0 +1,164 @@
+"""Drivers: run the instrumented kernels on a batch of systems.
+
+Each ``run_*`` function builds the five-array global layout, launches
+the kernel on the simulated device, and returns ``(x, LaunchResult)``
+-- the solution plus the full architectural trace.  Feed the trace to
+:func:`repro.gpusim.gt200.gt200_cost_model` (or any
+:class:`~repro.gpusim.CostModel`) for modeled timings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gpusim import GTX280, DeviceSpec, LaunchResult, launch
+from repro.solvers.hybrid import default_intermediate_size
+from repro.solvers.systems import TridiagonalSystems
+from repro.solvers.validate import require_power_of_two
+
+from .common import GlobalSystemArrays
+from .cr_global_kernel import cr_global_kernel
+from .cr_kernel import cr_kernel
+from .cr_split_kernel import cr_split_kernel
+from .hybrid_kernel import cr_pcr_kernel, cr_rd_kernel
+from .pcr_kernel import pcr_kernel
+from .pcr_pingpong_kernel import pcr_pingpong_kernel
+from .rd_full_kernel import rd_full_kernel
+from .rd_kernel import rd_kernel
+
+
+def _run(kernel: Callable, systems: TridiagonalSystems,
+         threads_per_block: int, device: DeviceSpec,
+         step_limit: int | None = None,
+         **kernel_args) -> tuple[np.ndarray, LaunchResult]:
+    require_power_of_two(systems.n, kernel.__name__)
+    gmem = GlobalSystemArrays.from_systems(systems)
+    result = launch(kernel, num_blocks=systems.num_systems,
+                    threads_per_block=threads_per_block, device=device,
+                    step_limit=step_limit, gmem=gmem, **kernel_args)
+    return gmem.solution(), result
+
+
+def run_cr(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+           conflict_free_timing: bool = False,
+           step_limit: int | None = None
+           ) -> tuple[np.ndarray, LaunchResult]:
+    """Cyclic reduction on the simulated device (n/2 threads/block)."""
+    return _run(cr_kernel, systems, max(1, systems.n // 2), device,
+                step_limit=step_limit,
+                conflict_free_timing=conflict_free_timing)
+
+
+def run_pcr(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+            step_limit: int | None = None
+            ) -> tuple[np.ndarray, LaunchResult]:
+    """Parallel cyclic reduction (n threads/block)."""
+    return _run(pcr_kernel, systems, systems.n, device,
+                step_limit=step_limit)
+
+
+def run_pcr_pingpong(systems: TridiagonalSystems,
+                     device: DeviceSpec = GTX280,
+                     step_limit: int | None = None
+                     ) -> tuple[np.ndarray, LaunchResult]:
+    """Double-buffered PCR (the alternative SS4 argues against)."""
+    return _run(pcr_pingpong_kernel, systems, systems.n, device,
+                step_limit=step_limit)
+
+
+def run_rd(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+           step_limit: int | None = None
+           ) -> tuple[np.ndarray, LaunchResult]:
+    """Recursive doubling (n threads/block)."""
+    return _run(rd_kernel, systems, systems.n, device,
+                step_limit=step_limit)
+
+
+def run_rd_full(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+                step_limit: int | None = None
+                ) -> tuple[np.ndarray, LaunchResult]:
+    """RD without the two-row storage trick (9 stored entries) -- the
+    control experiment for SS4's optimization."""
+    return _run(rd_full_kernel, systems, systems.n, device,
+                step_limit=step_limit)
+
+
+def run_cr_pcr(systems: TridiagonalSystems,
+               intermediate_size: int | None = None,
+               device: DeviceSpec = GTX280,
+               step_limit: int | None = None
+               ) -> tuple[np.ndarray, LaunchResult]:
+    """Hybrid CR+PCR.  Defaults to the paper-derived switch point."""
+    n = systems.n
+    m = (default_intermediate_size(n, "pcr")
+         if intermediate_size is None else int(intermediate_size))
+    require_power_of_two(m, "run_cr_pcr intermediate size")
+    threads = max(1, n // 2, m)
+    return _run(cr_pcr_kernel, systems, threads, device,
+                step_limit=step_limit, intermediate_size=m)
+
+
+def run_cr_rd(systems: TridiagonalSystems,
+              intermediate_size: int | None = None,
+              device: DeviceSpec = GTX280,
+              step_limit: int | None = None
+              ) -> tuple[np.ndarray, LaunchResult]:
+    """Hybrid CR+RD.  Defaults to the paper-derived switch point."""
+    n = systems.n
+    m = (default_intermediate_size(n, "rd")
+         if intermediate_size is None else int(intermediate_size))
+    require_power_of_two(m, "run_cr_rd intermediate size")
+    threads = max(1, n // 2, m)
+    return _run(cr_rd_kernel, systems, threads, device,
+                step_limit=step_limit, intermediate_size=m)
+
+
+def run_cr_split(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+                 step_limit: int | None = None
+                 ) -> tuple[np.ndarray, LaunchResult]:
+    """Split-storage (Goeddeke-style) conflict-free CR (footnote 1).
+
+    Costs ~2x the in-place shared footprint in this layout, so it fits
+    systems up to n = 256 on the GT200."""
+    return _run(cr_split_kernel, systems, max(1, systems.n // 2), device,
+                step_limit=step_limit)
+
+
+def run_cr_global(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+                  step_limit: int | None = None
+                  ) -> tuple[np.ndarray, LaunchResult]:
+    """Global-memory-only cyclic reduction (the paper's fallback for
+    systems too large for shared memory, ~3x slower, paper SS4)."""
+    return _run(cr_global_kernel, systems, max(1, systems.n // 2), device,
+                step_limit=step_limit)
+
+
+#: Kernel registry used by benchmarks and the analysis layer.  Values
+#: are ``(runner, needs_intermediate_size)``.
+KERNEL_RUNNERS = {
+    "cr": (run_cr, False),
+    "pcr": (run_pcr, False),
+    "rd": (run_rd, False),
+    "cr_pcr": (run_cr_pcr, True),
+    "cr_rd": (run_cr_rd, True),
+}
+
+
+def run_kernel(name: str, systems: TridiagonalSystems,
+               intermediate_size: int | None = None,
+               device: DeviceSpec = GTX280,
+               step_limit: int | None = None,
+               ) -> tuple[np.ndarray, LaunchResult]:
+    """Run any of the five solvers by name."""
+    if name not in KERNEL_RUNNERS:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_RUNNERS)}")
+    runner, takes_m = KERNEL_RUNNERS[name]
+    if takes_m:
+        return runner(systems, intermediate_size=intermediate_size,
+                      device=device, step_limit=step_limit)
+    if intermediate_size is not None:
+        raise ValueError(f"kernel {name!r} takes no intermediate size")
+    return runner(systems, device=device, step_limit=step_limit)

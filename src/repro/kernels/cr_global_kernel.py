@@ -1,0 +1,112 @@
+"""Global-memory-only cyclic reduction: the §4 fallback path.
+
+"With current hardware, systems of more than 512 equations would
+exceed the size of shared memory.  Our solvers do support this case at
+a cost of roughly 3x performance degradation by using global memory
+only."
+
+This kernel performs the same CR arithmetic as
+:mod:`repro.kernels.cr_kernel` but keeps the five arrays in global
+memory for the whole solve.  The cost shows up in the trace as global
+transactions per step -- strided accesses break coalescing, so the
+transaction count explodes exactly where the shared version suffered
+bank conflicts.  No shared memory is allocated, so occupancy is not
+limited by the system size and arbitrarily large n fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import BlockContext
+
+from .common import GlobalSystemArrays, log2_int
+
+PHASE_FORWARD = "forward_reduction"
+PHASE_SOLVE_TWO = "solve_two"
+PHASE_BACKWARD = "backward_substitution"
+
+
+def cr_global_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
+    """Cyclic reduction operating directly on global memory."""
+    n = gmem.n
+    levels = log2_int(n)
+    bases = gmem.block_bases
+    ga, gb, gc, gd, gx = gmem.a, gmem.b, gmem.c, gmem.d, gmem.x
+
+    with ctx.phase(PHASE_FORWARD):
+        stride = 1
+        for _ in range(max(0, levels - 1)):
+            stride *= 2
+            with ctx.step():
+                ctx.set_active(n // stride)
+                tid = ctx.lanes
+                i = stride * (tid + 1) - 1
+                s = stride // 2
+                left = i - s
+                right = np.minimum(i + s, n - 1)
+                av = ctx.gload(ga, bases, i)
+                bv = ctx.gload(gb, bases, i)
+                cv = ctx.gload(gc, bases, i)
+                dv = ctx.gload(gd, bases, i)
+                al = ctx.gload(ga, bases, left)
+                bl = ctx.gload(gb, bases, left)
+                cl = ctx.gload(gc, bases, left)
+                dl = ctx.gload(gd, bases, left)
+                ar = ctx.gload(ga, bases, right)
+                br = ctx.gload(gb, bases, right)
+                cr = ctx.gload(gc, bases, right)
+                dr = ctx.gload(gd, bases, right)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    k1 = av / bl
+                    k2 = cv / br
+                ctx.ops(12, divs=2)
+                ctx.gstore(ga, bases, i, -al * k1)
+                ctx.gstore(gb, bases, i, bv - cl * k1 - ar * k2)
+                ctx.gstore(gc, bases, i, -cr * k2)
+                ctx.gstore(gd, bases, i, dv - dl * k1 - dr * k2)
+                ctx.sync()
+
+    with ctx.phase(PHASE_SOLVE_TWO):
+        with ctx.step():
+            ctx.set_active(1)
+            one = np.array([0], dtype=np.int64)
+            i1 = one + (0 if n == 2 else n // 2 - 1)
+            i2 = one + (n - 1)
+            b1 = ctx.gload(gb, bases, i1)
+            c1 = ctx.gload(gc, bases, i1)
+            d1 = ctx.gload(gd, bases, i1)
+            a2 = ctx.gload(ga, bases, i2)
+            b2 = ctx.gload(gb, bases, i2)
+            d2 = ctx.gload(gd, bases, i2)
+            det = b1 * b2 - c1 * a2
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x1 = (d1 * b2 - c1 * d2) / det
+                x2 = (b1 * d2 - d1 * a2) / det
+            ctx.ops(11, divs=2)
+            ctx.gstore(gx, bases, i1, x1)
+            ctx.gstore(gx, bases, i2, x2)
+            ctx.sync()
+
+    with ctx.phase(PHASE_BACKWARD):
+        stride = n // 2
+        while stride > 1:
+            half = stride // 2
+            with ctx.step():
+                ctx.set_active(n // stride)
+                tid = ctx.lanes
+                i = half - 1 + stride * tid
+                left = np.maximum(i - half, 0)
+                right = i + half
+                av = ctx.gload(ga, bases, i)
+                bv = ctx.gload(gb, bases, i)
+                cv = ctx.gload(gc, bases, i)
+                dv = ctx.gload(gd, bases, i)
+                xl = ctx.gload(gx, bases, left)
+                xr = ctx.gload(gx, bases, right)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    xv = (dv - av * xl - cv * xr) / bv
+                ctx.ops(5, divs=1)
+                ctx.gstore(gx, bases, i, xv)
+                ctx.sync()
+            stride = half

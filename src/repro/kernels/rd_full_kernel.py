@@ -1,0 +1,104 @@
+"""Full-matrix recursive doubling: RD without the §4 storage trick.
+
+The paper's RD kernel stores only the first two rows of each 3x3 scan
+matrix ("which enable us to only store the first two rows of matrices
+and save several floating point operations", §4).  This kernel is the
+control experiment: it stores and multiplies **all nine** entries, so
+
+* shared traffic per scan element rises from 18 to 27 words
+  (matching Table 1's 32 n log2 n ledger much more closely -- strong
+  evidence that the paper counted the untricked variant), and
+* each product costs the general 45 operations instead of 20.
+
+The ablation bench prices the trick; tests confirm both variants are
+numerically identical (the third row is exactly [0, 0, 1] throughout,
+so the extra arithmetic multiplies zeros and ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import BlockContext
+
+from .common import GlobalSystemArrays, log2_int
+
+PHASE_SETUP = "global_load_setup"
+PHASE_SCAN = "scan"
+PHASE_EVAL = "solution_evaluation"
+
+
+def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
+    """Recursive doubling with naive 3x3 matrix storage (9 rows)."""
+    n = gmem.n
+    log2_int(n)
+    rows = tuple(ctx.shared(n) for _ in range(9))
+    sx0 = ctx.shared(1)
+    bases = gmem.block_bases
+
+    with ctx.phase(PHASE_SETUP):
+        with ctx.step():
+            ctx.set_active(n)
+            i = ctx.lanes
+            av = ctx.gload(gmem.a, bases, i)
+            bv = ctx.gload(gmem.b, bases, i)
+            cv = ctx.gload(gmem.c, bases, i)
+            dv = ctx.gload(gmem.d, bases, i)
+            cv[:, -1] = 1
+            with np.errstate(divide="ignore", invalid="ignore"):
+                vals = [-bv / cv, -av / cv, dv / cv,
+                        np.ones_like(bv), np.zeros_like(bv),
+                        np.zeros_like(bv),
+                        np.zeros_like(bv), np.zeros_like(bv),
+                        np.ones_like(bv)]
+            ctx.ops(5, divs=3)
+            for arr, v in zip(rows, vals):
+                ctx.sstore(arr, i, v)
+            ctx.sync()
+
+    with ctx.phase(PHASE_SCAN):
+        stride = 1
+        while stride < n:
+            with ctx.step():
+                ctx.set_active(np.arange(stride, n, dtype=np.int64))
+                i = ctx.lanes
+                j = i - stride
+                A = [ctx.sload(arr, i) for arr in rows]
+                B = [ctx.sload(arr, j) for arr in rows]
+                with np.errstate(over="ignore", invalid="ignore"):
+                    C = [A[3 * r + 0] * B[3 * 0 + col]
+                         + A[3 * r + 1] * B[3 * 1 + col]
+                         + A[3 * r + 2] * B[3 * 2 + col]
+                         for r in range(3) for col in range(3)]
+                ctx.ops(45)  # 27 multiplies + 18 adds, no structure used
+                ctx.sync()
+                for arr, v in zip(rows, C):
+                    ctx.sstore(arr, i, v)
+                ctx.sync()
+            stride *= 2
+
+    with ctx.phase(PHASE_EVAL):
+        with ctx.step():
+            one = np.array([0], dtype=np.int64)
+            ctx.set_active(1)
+            last = one + (n - 1)
+            c00_last = ctx.sload(rows[0], last)
+            c02_last = ctx.sload(rows[2], last)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x0 = -c02_last / c00_last
+            ctx.ops(2, divs=1)
+            ctx.sstore(sx0, one, x0)
+            ctx.sync()
+
+            ctx.set_active(n)
+            i = ctx.lanes
+            x0b = ctx.sload(sx0, np.zeros(n, dtype=np.int64))
+            prev = np.maximum(i - 1, 0)
+            c00 = ctx.sload(rows[0], prev)
+            c02 = ctx.sload(rows[2], prev)
+            with np.errstate(over="ignore", invalid="ignore"):
+                xv = c00 * x0b + c02
+            xv[:, 0] = x0b[:, 0]
+            ctx.ops(2)
+            ctx.gstore(gmem.x, bases, i, xv)
+            ctx.sync()

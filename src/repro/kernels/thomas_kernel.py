@@ -1,0 +1,122 @@
+"""One-thread-per-system Thomas kernel: the naive GPU mapping.
+
+The paper deliberately maps *equations* to threads and systems to
+blocks (§4).  The obvious alternative -- one thread runs the whole
+Thomas algorithm for one system -- is what the coarse-grained CPU
+methods do, and it is instructive to see why it loses on a GPU:
+
+* every global access is strided by the system size (thread t touches
+  ``t * n + i``), so a half-warp's loads hit 16 different 64-byte
+  segments: zero coalescing;
+* the 2n-step serial dependence chain leaves latency fully exposed;
+* there is no shared-memory reuse at all.
+
+The simulator's trace shows all three effects; the ablation bench
+compares it against the paper's mapping.  (Real packages fix the
+coalescing with an interleaved layout; that variant is
+``interleaved=True``, which restores coalescing but keeps the long
+dependence chain -- reproducing why even a perfectly-coalesced
+per-thread Thomas trails CR/PCR on step count.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import BlockContext, GTX280, DeviceSpec, LaunchResult, launch
+from repro.solvers.systems import TridiagonalSystems
+
+from .common import GlobalSystemArrays
+
+PHASE_SOLVE = "thomas_serial"
+
+
+def thomas_per_thread_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
+                             interleaved: bool = False) -> None:
+    """Each thread solves one full system straight out of global memory.
+
+    One block of ``min(S, max_threads)`` threads; lane t owns system
+    ``block_offset + t``.  With ``interleaved=True`` the cost model
+    sees the transposed layout (element i of all systems adjacent), the
+    standard fix real batched-solver libraries use.
+    """
+    S, n = gmem.num_systems, gmem.n
+    # All systems in one conceptual block row: the simulator runs the
+    # whole batch as lanes of a single block per grid row.
+    threads = ctx.threads_per_block
+    if threads < S:
+        raise ValueError(
+            f"launch with at least {S} threads per block for this kernel")
+    bases = np.zeros(S, dtype=np.int64)  # lanes address the flat arrays
+    ga, gb, gc, gd, gx = gmem.a, gmem.b, gmem.c, gmem.d, gmem.x
+
+    ctx.set_active(S)
+    lanes = ctx.lanes
+
+    def addr(i: int) -> np.ndarray:
+        if interleaved:
+            # Transposed layout: element i of every system contiguous.
+            return i * S + lanes
+        return lanes * n + i
+
+    # Forward elimination: registers carry c' and d' of the previous
+    # row; scratch c'/d' spill to the x array region... the classic
+    # implementation stores c' and d' back over c and d.
+    with ctx.phase(PHASE_SOLVE):
+        with ctx.step():
+            cv = ctx.gload(gc, bases, addr(0))
+            bv = ctx.gload(gb, bases, addr(0))
+            dv = ctx.gload(gd, bases, addr(0))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                cp = cv / bv
+                dp = dv / bv
+            ctx.ops(2, divs=2)
+            ctx.gstore(gc, bases, addr(0), cp)
+            ctx.gstore(gd, bases, addr(0), dp)
+            for i in range(1, n):
+                av = ctx.gload(ga, bases, addr(i))
+                bv = ctx.gload(gb, bases, addr(i))
+                cv = ctx.gload(gc, bases, addr(i))
+                dv = ctx.gload(gd, bases, addr(i))
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    denom = bv - cp * av
+                    cp = cv / denom
+                    dp = (dv - dp * av) / denom
+                ctx.ops(8, divs=2)
+                ctx.gstore(gc, bases, addr(i), cp)
+                ctx.gstore(gd, bases, addr(i), dp)
+        with ctx.step():
+            xv = ctx.gload(gd, bases, addr(n - 1))
+            ctx.gstore(gx, bases, addr(n - 1), xv)
+            for i in range(n - 2, -1, -1):
+                cpv = ctx.gload(gc, bases, addr(i))
+                dpv = ctx.gload(gd, bases, addr(i))
+                xv = dpv - cpv * xv
+                ctx.ops(2)
+                ctx.gstore(gx, bases, addr(i), xv)
+
+
+def run_thomas_per_thread(systems: TridiagonalSystems,
+                          device: DeviceSpec = GTX280,
+                          interleaved: bool = False
+                          ) -> tuple[np.ndarray, LaunchResult]:
+    """Run the naive mapping; batch must fit one block's threads."""
+    S = systems.num_systems
+    if S > device.max_threads_per_block:
+        raise ValueError(
+            f"naive per-thread kernel demo limited to "
+            f"{device.max_threads_per_block} systems, got {S}")
+    gmem = GlobalSystemArrays.from_systems(systems)
+    if interleaved:
+        # Physically transpose the storage so values match addressing.
+        for arr in (gmem.a, gmem.b, gmem.c, gmem.d):
+            arr.data = np.ascontiguousarray(
+                arr.data.reshape(S, systems.n).T).ravel()
+    result = launch(thomas_per_thread_kernel, num_blocks=1,
+                    threads_per_block=S, device=device, gmem=gmem,
+                    interleaved=interleaved)
+    if interleaved:
+        x = gmem.x.data.reshape(systems.n, S).T.copy()
+    else:
+        x = gmem.solution()
+    return x, result

@@ -1,0 +1,30 @@
+"""Numerical-accuracy substrate: matrix generators, residual metrics,
+stability predicates, and the scaled-RD overflow remedy (§5.4)."""
+
+from .eigen import (eigvals_in_interval, eigvalsh_tridiagonal,
+                    gershgorin_bounds, spectral_condition_spd, sturm_count)
+from .inverse import greens_function, inverse_diagonal, inverse_elements
+from .generators import (MATRIX_CLASSES, close_values,
+                         diagonally_dominant_fluid, ill_conditioned,
+                         random_dominant, toeplitz_spd, with_known_solution)
+from .condition import (condition_estimate, estimate_inverse_norm_1,
+                        float32_accuracy_forecast, norm_inf)
+from .residual import (AccuracyResult, evaluate_accuracy, forward_error,
+                       relative_residual)
+from .scaling import scaled_recursive_doubling, scan_rescale_count
+from .stability import (classify, cr_stable_without_pivoting, is_symmetric,
+                        rd_applicable, rd_growth_log2, rd_overflow_risk,
+                        recommend_solver)
+
+__all__ = ["eigvals_in_interval", "eigvalsh_tridiagonal",
+           "gershgorin_bounds", "spectral_condition_spd", "sturm_count",
+           "greens_function", "inverse_diagonal", "inverse_elements",
+           "MATRIX_CLASSES", "close_values", "diagonally_dominant_fluid",
+           "ill_conditioned", "random_dominant", "toeplitz_spd",
+           "with_known_solution", "AccuracyResult", "evaluate_accuracy",
+           "forward_error", "relative_residual",
+           "condition_estimate", "estimate_inverse_norm_1",
+           "float32_accuracy_forecast", "norm_inf",
+           "scaled_recursive_doubling", "scan_rescale_count", "classify",
+           "cr_stable_without_pivoting", "is_symmetric", "rd_applicable",
+           "rd_growth_log2", "rd_overflow_risk", "recommend_solver"]

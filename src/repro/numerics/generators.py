@@ -1,0 +1,145 @@
+"""Tridiagonal test-matrix generators for the accuracy experiments.
+
+The paper's Fig 18 uses two matrix classes:
+
+1. "diagonally dominant matrices that arise from fluid simulation
+   [Kass-Miller 1990]" -- implicit integration of a 1-D
+   diffusion/shallow-water column gives rows
+   ``(-k_i, 1 + k_i + k_{i+1}, -k_{i+1})`` with non-negative coupling
+   coefficients, which are strictly diagonally dominant.
+2. "random matrices with close values in all rows" -- rows whose three
+   entries share a magnitude, which are generally *not* diagonally
+   dominant.  These keep recursive doubling's scan matrices near unit
+   magnitude, avoiding overflow (§5.4), at the price of accuracy for
+   all the no-pivoting solvers.
+
+A few extra classes (SPD Toeplitz, Poisson-like, ill-conditioned) are
+provided for the wider test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.systems import TridiagonalSystems
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+def diagonally_dominant_fluid(num_systems: int, n: int, *, seed=None,
+                              dtype=np.float32,
+                              coupling: float = 1.0) -> TridiagonalSystems:
+    """Fluid-simulation matrices (Kass-Miller implicit diffusion).
+
+    Each system is ``(I + L)`` where ``L`` is a weighted graph Laplacian
+    of a 1-D chain with random non-negative couplings ``k_i`` scaled by
+    ``coupling`` (the time-step/viscosity factor).  Strictly diagonally
+    dominant and symmetric positive definite.
+    """
+    rng = _rng(seed)
+    k = rng.uniform(0.2, 1.0, (num_systems, n + 1)) * coupling
+    k[:, 0] = 0.0
+    k[:, -1] = 0.0
+    a = -k[:, :-1]
+    c = -k[:, 1:]
+    b = 1.0 + k[:, :-1] + k[:, 1:]
+    d = rng.uniform(-1.0, 1.0, (num_systems, n))
+    return TridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                              c.astype(dtype), d.astype(dtype))
+
+
+def close_values(num_systems: int, n: int, *, seed=None,
+                 dtype=np.float32, spread: float = 0.05
+                 ) -> TridiagonalSystems:
+    """Random matrices with close values in all rows (paper §5.4).
+
+    Row ``i`` gets a random magnitude ``u_i`` and three entries
+    ``u_i (1 + spread * r)`` with independent ``r ~ U(-1, 1)``.  Not
+    diagonally dominant; keeps RD's ``b/c`` ratios near 1 so its matrix
+    chain stays bounded.
+    """
+    rng = _rng(seed)
+    u = rng.uniform(0.5, 2.0, (num_systems, n, 1))
+    perturb = 1.0 + spread * rng.uniform(-1.0, 1.0, (num_systems, n, 3))
+    rows = u * perturb
+    a = rows[:, :, 0]
+    b = rows[:, :, 1]
+    c = rows[:, :, 2]
+    d = rng.uniform(-1.0, 1.0, (num_systems, n))
+    return TridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                              c.astype(dtype), d.astype(dtype))
+
+
+def toeplitz_spd(num_systems: int, n: int, *, dtype=np.float32,
+                 diag: float = 2.0, off: float = -1.0, seed=None
+                 ) -> TridiagonalSystems:
+    """Constant-coefficient SPD systems (the 1-D Poisson stencil when
+    ``diag=2, off=-1``); the classic substrate of Hockney's fast
+    Poisson solver [16]."""
+    rng = _rng(seed)
+    if abs(diag) < 2 * abs(off):
+        raise ValueError("toeplitz_spd requires |diag| >= 2|off| for SPD")
+    shape = (num_systems, n)
+    a = np.full(shape, off)
+    b = np.full(shape, diag)
+    c = np.full(shape, off)
+    d = rng.uniform(-1.0, 1.0, shape)
+    return TridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                              c.astype(dtype), d.astype(dtype))
+
+
+def random_dominant(num_systems: int, n: int, *, seed=None,
+                    dtype=np.float32, margin: float = 1.05
+                    ) -> TridiagonalSystems:
+    """Random strictly diagonally dominant systems with sign-varying
+    off-diagonals; ``margin`` controls the dominance ratio."""
+    rng = _rng(seed)
+    shape = (num_systems, n)
+    a = rng.uniform(-1.0, 1.0, shape)
+    c = rng.uniform(-1.0, 1.0, shape)
+    sign = rng.choice([-1.0, 1.0], shape)
+    b = sign * (np.abs(a) + np.abs(c)) * margin + sign * 0.1
+    d = rng.uniform(-1.0, 1.0, shape)
+    return TridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                              c.astype(dtype), d.astype(dtype))
+
+
+def ill_conditioned(num_systems: int, n: int, *, seed=None,
+                    dtype=np.float32, epsilon: float = 1e-3
+                    ) -> TridiagonalSystems:
+    """Nearly singular systems: dominance broken by tiny pivots sprinkled
+    along the diagonal.  Exercises the pivoting-vs-no-pivoting gap."""
+    rng = _rng(seed)
+    sys_ = close_values(num_systems, n, seed=rng.integers(2**31),
+                        dtype=np.float64, spread=0.2)
+    weak = rng.random((num_systems, n)) < 0.05
+    b = np.where(weak, epsilon * np.sign(sys_.b), sys_.b)
+    return TridiagonalSystems(sys_.a.astype(dtype), b.astype(dtype),
+                              sys_.c.astype(dtype), sys_.d.astype(dtype))
+
+
+def with_known_solution(systems: TridiagonalSystems, *, seed=None
+                        ) -> tuple[TridiagonalSystems, np.ndarray]:
+    """Replace d so each system has a known random solution x*.
+
+    Returns ``(systems', x_true)`` with ``d' = A @ x_true`` computed in
+    float64 then cast back, enabling forward-error measurements."""
+    rng = _rng(seed)
+    x_true = rng.uniform(-1.0, 1.0, systems.shape)
+    s64 = systems.astype(np.float64)
+    d = s64.matvec(x_true)
+    out = TridiagonalSystems(systems.a, systems.b, systems.c,
+                             d.astype(systems.dtype))
+    return out, x_true.astype(systems.dtype)
+
+
+#: Registry used by the accuracy benchmark (Fig 18 columns).
+MATRIX_CLASSES = {
+    "diagonally_dominant": diagonally_dominant_fluid,
+    "close_values": close_values,
+    "toeplitz_spd": toeplitz_spd,
+    "random_dominant": random_dominant,
+    "ill_conditioned": ill_conditioned,
+}

@@ -1,0 +1,159 @@
+"""Selected elements of tridiagonal inverses in O(n) (Usmani's
+theta/phi recurrences).
+
+Applications of the paper's solvers often need *entries* of ``A^{-1}``
+rather than solves: Green's functions of 1-D operators, marginal
+variances of Gauss-Markov chains, quantum-transport diagonal
+extraction.  The classical result (Usmani 1994) expresses every entry
+through two linear recurrences:
+
+    theta_i = b_i theta_{i-1} - a_i c_{i-1} theta_{i-2}   (principal
+              minors from the top)
+    phi_i   = b_i phi_{i+1} - c_i a_{i+1} phi_{i+2}       (from the
+              bottom)
+
+    (A^{-1})_{ij} = (-1)^{i+j} (prod of c or a across the gap)
+                    * theta_{i-1} phi_{j+1} / theta_n      for i <= j
+
+Computed in log-magnitude + sign form so determinants that overflow
+float64 (theta grows geometrically, the same growth that kills RD) are
+handled exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.systems import TridiagonalSystems
+
+
+def _log_recurrences(systems: TridiagonalSystems):
+    """Return (log|theta|, sign theta, log|phi|, sign phi) arrays with
+    theta index 0..n (theta_0 = 1) and phi index 0..n (phi_n = 1)."""
+    S, n = systems.shape
+    a = systems.a.astype(np.float64)
+    b = systems.b.astype(np.float64)
+    c = systems.c.astype(np.float64)
+
+    def normalise(x, y):
+        """Carry (value-pair) recurrences in scaled form."""
+        scale = np.maximum(np.abs(x), np.abs(y))
+        scale = np.where(scale == 0, 1.0, scale)
+        return x / scale, y / scale, np.log(scale)
+
+    log_t = np.zeros((S, n + 1))
+    sgn_t = np.ones((S, n + 1))
+    t_prev = np.ones(S)       # theta_{i-2} (scaled)
+    t_cur = b[:, 0].copy()    # theta_1 before scaling below
+    base = np.zeros(S)        # accumulated log scale
+    log_t[:, 1] = np.log(np.abs(np.where(t_cur == 0, 1, t_cur)))
+    log_t[:, 1] = np.where(t_cur == 0, -np.inf, log_t[:, 1])
+    sgn_t[:, 1] = np.sign(t_cur)
+    t_cur_s, t_prev_s, shift = normalise(t_cur, np.ones(S))
+    base += shift
+    for i in range(2, n + 1):
+        t_new = b[:, i - 1] * t_cur_s - a[:, i - 1] * c[:, i - 2] * t_prev_s
+        with np.errstate(divide="ignore"):
+            mag = np.where(t_new == 0, -np.inf,
+                           np.log(np.abs(np.where(t_new == 0, 1, t_new))))
+        log_t[:, i] = base + mag
+        sgn_t[:, i] = np.sign(t_new)
+        t_cur_s, t_prev_s, shift = normalise(t_new, t_cur_s)
+        base += shift
+
+    log_p = np.zeros((S, n + 1))
+    sgn_p = np.ones((S, n + 1))
+    p_next = np.ones(S)
+    p_cur = b[:, n - 1].copy()
+    base = np.zeros(S)
+    with np.errstate(divide="ignore"):
+        log_p[:, n - 1] = np.where(
+            p_cur == 0, -np.inf,
+            np.log(np.abs(np.where(p_cur == 0, 1, p_cur))))
+    sgn_p[:, n - 1] = np.sign(p_cur)
+    p_cur_s, p_next_s, shift = normalise(p_cur, np.ones(S))
+    base += shift
+    for i in range(n - 2, -1, -1):
+        p_new = b[:, i] * p_cur_s - c[:, i] * a[:, i + 1] * p_next_s
+        with np.errstate(divide="ignore"):
+            mag = np.where(p_new == 0, -np.inf,
+                           np.log(np.abs(np.where(p_new == 0, 1, p_new))))
+        log_p[:, i] = base + mag
+        sgn_p[:, i] = np.sign(p_new)
+        p_cur_s, p_next_s, shift = normalise(p_new, p_cur_s)
+        base += shift
+    return log_t, sgn_t, log_p, sgn_p
+
+
+def inverse_elements(systems: TridiagonalSystems, i: np.ndarray,
+                     j: np.ndarray) -> np.ndarray:
+    """``(A^{-1})_{i, j}`` for every system, at positions (i_k, j_k).
+
+    ``i, j`` are equal-length integer arrays; returns ``(S, K)``.
+    O(n + K) per system.
+    """
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if i.shape != j.shape:
+        raise ValueError("i and j must have the same shape")
+    S, n = systems.shape
+    if i.size and (min(i.min(), j.min()) < 0
+                   or max(i.max(), j.max()) >= n):
+        raise ValueError("indices out of range")
+    log_t, sgn_t, log_p, sgn_p = _log_recurrences(systems)
+
+    a = systems.a.astype(np.float64)
+    c = systems.c.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        log_c = np.concatenate(
+            [np.zeros((S, 1)),
+             np.cumsum(np.log(np.abs(np.where(c[:, :-1] == 0, 1,
+                                              c[:, :-1]))), axis=1)],
+            axis=1)  # log prod_{k<m} |c_k|
+        sgn_c = np.concatenate(
+            [np.ones((S, 1)),
+             np.cumprod(np.sign(c[:, :-1]), axis=1)], axis=1)
+        log_a = np.concatenate(
+            [np.zeros((S, 1)),
+             np.cumsum(np.log(np.abs(np.where(a[:, 1:] == 0, 1,
+                                              a[:, 1:]))), axis=1)],
+            axis=1)
+        sgn_a = np.concatenate(
+            [np.ones((S, 1)),
+             np.cumprod(np.sign(a[:, 1:]), axis=1)], axis=1)
+
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    upper = (i <= j)  # use c-products for upper triangle, a for lower
+
+    # Gap products across (lo, hi): prod of c_lo..c_{hi-1} (upper) or
+    # a_{lo+1}..a_hi (lower).
+    log_gap_c = log_c[:, hi] - log_c[:, lo]
+    sgn_gap_c = sgn_c[:, hi] * sgn_c[:, lo]
+    log_gap_a = log_a[:, hi] - log_a[:, lo]
+    sgn_gap_a = sgn_a[:, hi] * sgn_a[:, lo]
+    log_gap = np.where(upper[None, :], log_gap_c, log_gap_a)
+    sgn_gap = np.where(upper[None, :], sgn_gap_c, sgn_gap_a)
+
+    sign = (-1.0) ** (i + j)
+    log_val = (log_gap + log_t[:, lo] + log_p[:, hi + 1]
+               - log_t[:, n][:, None])
+    sgn_val = (sign[None, :] * sgn_gap * sgn_t[:, lo] * sgn_p[:, hi + 1]
+               * sgn_t[:, n][:, None])
+    return sgn_val * np.exp(log_val)
+
+
+def inverse_diagonal(systems: TridiagonalSystems) -> np.ndarray:
+    """All diagonal entries of ``A^{-1}`` per system, O(n)."""
+    n = systems.n
+    idx = np.arange(n)
+    return inverse_elements(systems, idx, idx)
+
+
+def greens_function(systems: TridiagonalSystems, source: int) -> np.ndarray:
+    """Column ``source`` of ``A^{-1}``: the discrete Green's function
+    of the operator with a unit load at ``source``."""
+    n = systems.n
+    i = np.arange(n)
+    j = np.full(n, source)
+    return inverse_elements(systems, i, j)

@@ -1,0 +1,78 @@
+"""Residual and error metrics for the accuracy experiments (Fig 18).
+
+The paper compares solvers "by checking the residual of the solution,
+i.e. ||Ax - b||".  All metrics here accumulate in float64 regardless of
+the solution's storage precision so they measure solver error, not
+metric error, and they classify non-finite solutions (RD's overflows)
+explicitly -- Fig 18 marks those bars "overflow" rather than plotting a
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.systems import TridiagonalSystems
+
+
+@dataclass
+class AccuracyResult:
+    """Accuracy of one solver on one batch."""
+
+    solver: str
+    residuals: np.ndarray           # per system; NaN where non-finite
+    overflow_fraction: float        # fraction of systems with inf/NaN x
+
+    @property
+    def overflowed(self) -> bool:
+        return self.overflow_fraction > 0
+
+    @property
+    def median_residual(self) -> float:
+        finite = self.residuals[np.isfinite(self.residuals)]
+        return float(np.median(finite)) if finite.size else float("nan")
+
+    @property
+    def max_residual(self) -> float:
+        finite = self.residuals[np.isfinite(self.residuals)]
+        return float(np.max(finite)) if finite.size else float("nan")
+
+    def summary(self) -> str:
+        if self.overflow_fraction == 1.0:
+            return f"{self.solver}: overflow"
+        tag = (f" ({self.overflow_fraction:.0%} overflow)"
+               if self.overflowed else "")
+        return f"{self.solver}: median ||Ax-d|| = {self.median_residual:.3e}{tag}"
+
+
+def evaluate_accuracy(solver: str, systems: TridiagonalSystems,
+                      x: np.ndarray) -> AccuracyResult:
+    """Residual-based accuracy record for one solve."""
+    x = np.asarray(x)
+    finite = np.all(np.isfinite(x), axis=1)
+    res = np.full(systems.num_systems, np.nan)
+    if finite.any():
+        sub = TridiagonalSystems(systems.a[finite], systems.b[finite],
+                                 systems.c[finite], systems.d[finite])
+        res[finite] = sub.residual(x[finite])
+    return AccuracyResult(solver=solver, residuals=res,
+                          overflow_fraction=float(1.0 - finite.mean()))
+
+
+def forward_error(x: np.ndarray, x_true: np.ndarray) -> np.ndarray:
+    """Per-system relative forward error ||x - x*|| / ||x*||."""
+    x = np.asarray(x, dtype=np.float64)
+    xt = np.asarray(x_true, dtype=np.float64)
+    num = np.linalg.norm(x - xt, axis=1)
+    den = np.linalg.norm(xt, axis=1)
+    return num / np.where(den == 0, 1, den)
+
+
+def relative_residual(systems: TridiagonalSystems, x: np.ndarray
+                      ) -> np.ndarray:
+    """||Ax - d|| / ||d|| per system (float64 accumulation)."""
+    r = systems.residual(x)
+    dnorm = np.linalg.norm(systems.d.astype(np.float64), axis=1)
+    return r / np.where(dnorm == 0, 1, dnorm)

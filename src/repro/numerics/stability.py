@@ -1,0 +1,93 @@
+"""Stability predicates for the no-pivoting GPU solvers (§5.4).
+
+The paper cites the classical conditions: cyclic reduction is stable
+without pivoting for diagonally dominant or symmetric positive definite
+matrices [Lambiotte & Voigt]; recursive doubling needs diagonal
+dominance *plus other conditions* [Dubois & Rodrigue] and in practice
+"favors matrices with close values in rows" because its scan multiplies
+a chain of matrices whose growth is governed by |b/c|.
+
+:func:`rd_overflow_risk` estimates that growth in log-space and
+predicts whether a float32 RD run will overflow -- the effect that
+makes RD unusable for the paper's diagonally dominant systems of size
+> 64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.systems import TridiagonalSystems
+
+#: log2 of the largest finite float32.
+_FLOAT32_MAX_LOG2 = 127.0
+
+
+def is_symmetric(systems: TridiagonalSystems, rtol: float = 1e-6) -> np.ndarray:
+    """Per-system check that a[i+1] == c[i] (matrix symmetry)."""
+    a_shift = systems.a[:, 1:]
+    c_main = systems.c[:, :-1]
+    scale = np.maximum(np.abs(a_shift), np.abs(c_main))
+    return np.all(np.abs(a_shift - c_main) <= rtol * np.maximum(scale, 1e-30),
+                  axis=1)
+
+
+def cr_stable_without_pivoting(systems: TridiagonalSystems) -> np.ndarray:
+    """Sufficient per-system condition for pivot-free CR stability:
+    diagonal dominance (the paper's §5.4 citation)."""
+    return systems.is_diagonally_dominant(strict=False)
+
+
+def rd_growth_log2(systems: TridiagonalSystems) -> np.ndarray:
+    """Estimated log2 magnitude of RD's final matrix-chain product.
+
+    The dominant growth of ``prod B_i`` is ``prod |b_i / c_i|`` (the
+    top-left entries); summing ``log2 |b_i / c_i|`` clamped below at 0
+    gives a cheap upper-bound estimate per system.
+    """
+    b = np.abs(systems.b.astype(np.float64))
+    c = np.abs(systems.c.astype(np.float64)).copy()
+    c[:, -1] = 1.0  # formal value used by the RD setup
+    with np.errstate(divide="ignore"):
+        ratio = np.log2(np.where(c > 0, b / c, np.inf))
+    return np.sum(np.maximum(ratio, 0.0), axis=1)
+
+
+def rd_overflow_risk(systems: TridiagonalSystems,
+                     margin_bits: float = 4.0) -> np.ndarray:
+    """Per-system prediction that float32 RD will overflow.
+
+    True when the estimated chain growth exceeds the float32 exponent
+    range minus a safety margin.  For the paper's diagonally dominant
+    fluid matrices (|b/c| ~ 3-5) this flips from False to True between
+    n = 32 and n = 128, matching the observed ">64 overflows" boundary.
+    """
+    return rd_growth_log2(systems) > (_FLOAT32_MAX_LOG2 - margin_bits)
+
+
+def rd_applicable(systems: TridiagonalSystems) -> np.ndarray:
+    """RD preconditions: no zero interior super-diagonal entries (the
+    matrix setup divides by c_i) and acceptable overflow risk."""
+    interior_c_ok = np.all(systems.c[:, :-1] != 0, axis=1)
+    return interior_c_ok & ~rd_overflow_risk(systems)
+
+
+def recommend_solver(systems: TridiagonalSystems) -> str:
+    """Paper-guided solver recommendation for a batch (§5.4 logic)."""
+    if not bool(np.all(systems.is_diagonally_dominant(strict=False))):
+        return "gep"
+    if bool(np.all(rd_applicable(systems))):
+        return "cr_pcr"  # everything works; take the fastest
+    return "cr_pcr"      # CR/PCR family is safe for dominant systems
+
+
+def classify(systems: TridiagonalSystems) -> dict:
+    """Batch-level stability report used by examples and docs."""
+    return {
+        "diagonally_dominant": bool(
+            np.all(systems.is_diagonally_dominant(strict=False))),
+        "symmetric": bool(np.all(is_symmetric(systems))),
+        "rd_overflow_risk": bool(np.any(rd_overflow_risk(systems))),
+        "rd_applicable": bool(np.all(rd_applicable(systems))),
+        "recommended": recommend_solver(systems),
+    }

@@ -1,0 +1,160 @@
+"""One-shot reproduction report: regenerate the paper's evaluation as
+a Markdown document from the library's own APIs.
+
+``python -m repro report [-o FILE]`` produces a self-contained
+paper-vs-model summary (rankings, phase breakdowns, bank conflicts,
+switch points, accuracy) without touching the benchmarks directory --
+useful as a smoke-level artifact for CI or for checking a modified
+cost model / kernel against the published numbers quickly.
+"""
+
+from __future__ import annotations
+
+import io
+import warnings
+
+import numpy as np
+
+PAPER_TOTALS = {"cr": 1.066, "pcr": 0.534, "rd": 0.612,
+                "cr_pcr": 0.422, "cr_rd": 0.488}
+PAPER_M = {"cr_pcr": 256, "cr_rd": 128}
+PAPER_FIG9 = [1.7, 3.1, 3.3, 4.8, 4.8, 3.0, 2.3, 2.3]
+
+
+def _md_table(headers, rows) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(
+            f"{v:.4f}" if isinstance(v, float) else str(v)
+            for v in row) + " |")
+    return "\n".join(out)
+
+
+def _section_totals(w) -> dict:
+    from repro.analysis.timing import modeled_grid_timing
+
+    w.write("## Solver totals at 512x512 (Fig 6)\n\n")
+    totals = {}
+    rows = []
+    for name, paper in PAPER_TOTALS.items():
+        t = modeled_grid_timing(name, 512, 512,
+                                intermediate_size=PAPER_M.get(name))
+        totals[name] = t.solver_ms
+        rows.append([name, t.solver_ms, paper,
+                     f"{(t.solver_ms - paper) / paper:+.1%}"])
+    w.write(_md_table(["solver", "model ms", "paper ms", "error"], rows))
+    order = sorted(totals, key=totals.get)
+    paper_order = sorted(PAPER_TOTALS, key=PAPER_TOTALS.get)
+    w.write(f"\n\nranking: {' < '.join(order)} "
+            f"({'matches' if order == paper_order else 'DIFFERS FROM'} "
+            f"the paper)\n\n")
+    return totals
+
+
+def _section_phases(w) -> None:
+    from repro.analysis.differential import phase_breakdown
+    from repro.kernels.api import run_cr
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    w.write("## CR phase structure (Fig 8)\n\n")
+    s = diagonally_dominant_fluid(2, 512, seed=0)
+    _x, res = run_cr(s)
+    rows = [[name, f"{frac:.1%}"]
+            for name, _ms, frac in phase_breakdown(res, merge_global=True)]
+    w.write(_md_table(["phase", "share"], rows))
+    w.write("\n\n(paper: global 10%, forward 59%, solve-2 3%, "
+            "backward 29%)\n\n")
+
+
+def _section_conflicts(w) -> None:
+    from repro.analysis.bankconflict import forward_reduction_conflicts
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    w.write("## Bank conflicts in CR forward reduction (Fig 9)\n\n")
+    s = diagonally_dominant_fluid(2, 512, seed=0)
+    rows = []
+    for st, paper in zip(forward_reduction_conflicts(s), PAPER_FIG9):
+        rows.append([st.index + 1, st.active_threads,
+                     round(st.conflict_degree),
+                     f"{st.penalty:.1f}x", f"{paper:.1f}x"])
+    w.write(_md_table(["step", "threads", "n-way", "model penalty",
+                       "paper"], rows))
+    w.write("\n\n")
+
+
+def _section_switch_points(w) -> None:
+    from repro.analysis.autotune import sweep_switch_point
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    w.write("## Hybrid switch points (Fig 17)\n\n")
+    s = diagonally_dominant_fluid(2, 512, seed=0)
+    for inner, paper_best in (("pcr", 256), ("rd", 128)):
+        sweep = sweep_switch_point(s, inner)
+        best = sweep.best().intermediate_size
+        pts = ", ".join(
+            f"m={p.intermediate_size}:"
+            + ("inf" if p.solver_ms is None else f"{p.solver_ms:.3f}")
+            for p in sweep.points)
+        w.write(f"- CR+{inner.upper()}: best m = {best} "
+                f"(paper: {paper_best}); curve [{pts}]\n")
+    w.write("\n")
+
+
+def _section_accuracy(w) -> None:
+    from repro.numerics.generators import (close_values,
+                                           diagonally_dominant_fluid)
+    from repro.numerics.residual import evaluate_accuracy
+    from repro.solvers.api import SOLVERS
+
+    w.write("## Accuracy (Fig 18, float32, real arithmetic)\n\n")
+    dom = diagonally_dominant_fluid(16, 512, seed=0)
+    close = close_values(16, 512, seed=1)
+    rows = []
+    for name in ("gep", "thomas", "cr", "pcr", "cr_pcr", "rd", "cr_rd"):
+        cells = [name]
+        for s in (dom, close):
+            x = SOLVERS[name](s, intermediate_size=PAPER_M.get(name))
+            r = evaluate_accuracy(name, s, x)
+            cells.append("overflow" if r.overflow_fraction > 0.5
+                         else f"{r.median_residual:.1e}")
+        rows.append(cells)
+    w.write(_md_table(["solver", "diag dominant", "close values"], rows))
+    w.write("\n\n")
+
+
+def generate_report() -> str:
+    """Build the full Markdown report (takes a few seconds)."""
+    import repro
+
+    buf = io.StringIO()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        buf.write("# Reproduction report\n\n")
+        buf.write(f"repro {repro.__version__} -- Zhang, Cohen & Owens, "
+                  f"PPoPP 2010.  Model numbers come from the calibrated "
+                  f"GT200 cost model on exactly-measured kernel traces; "
+                  f"accuracy numbers are real float32 arithmetic.\n\n")
+        totals = _section_totals(buf)
+        _section_phases(buf)
+        _section_conflicts(buf)
+        _section_switch_points(buf)
+        _section_accuracy(buf)
+        hybrid_gain_pcr = 1 - totals["cr_pcr"] / totals["pcr"]
+        hybrid_gain_cr = 1 - totals["cr_pcr"] / totals["cr"]
+        buf.write("## Headline\n\n")
+        buf.write(f"- CR+PCR improves PCR by {hybrid_gain_pcr:.0%} "
+                  f"(paper: 21%) and CR by {hybrid_gain_cr:.0%} "
+                  f"(paper: 61%).\n")
+    return buf.getvalue()
+
+
+def main(output: str | None = None) -> int:
+    text = generate_report()
+    if output:
+        with open(output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0

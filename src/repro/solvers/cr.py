@@ -1,0 +1,167 @@
+"""Cyclic reduction (CR), batched NumPy implementation.
+
+The algorithm of §2.1 and Fig 1: forward reduction halves the system
+log2(n)-1 times down to two unknowns, the 2-unknown system is solved
+directly, and backward substitution recovers the remaining unknowns
+level by level.
+
+This module is the *functional* fast path (vectorised across systems
+and across the active equations of each step).  The instrumented
+thread-level version lives in :mod:`repro.kernels.cr_kernel`; tests
+assert both produce bit-identical float32 results.
+
+Operation structure (one forward step, equation ``i`` with neighbours
+at distance ``s``)::
+
+    k1 = a[i] / b[i-s]
+    k2 = c[i] / b[i+s]
+    a'[i] = -a[i-s] * k1
+    b'[i] = b[i] - c[i-s] * k1 - a[i+s] * k2
+    c'[i] = -c[i+s] * k2
+    d'[i] = d[i] - d[i-s] * k1 - d[i+s] * k2
+
+Boundary handling follows the CUDA code: the rightmost active equation
+has ``c == 0`` (invariant maintained from ``c[n-1] == 0``), so its
+``k2`` contribution vanishes with a clamped neighbour index; likewise
+the leftmost active equation keeps ``a == 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .systems import TridiagonalSystems
+from .validate import require_power_of_two
+
+
+def forward_reduction_level(a, b, c, d, idx: np.ndarray, s: int,
+                            n: int) -> None:
+    """One in-place forward-reduction level over equations ``idx``.
+
+    ``idx`` holds the active equation indices (``s*(k+1)-1``), ``s`` is
+    the current neighbour distance.  Shared by CR and the hybrids.
+    """
+    left = idx - s
+    right = np.minimum(idx + s, n - 1)  # clamp; c[idx]==0 kills the term
+    with np.errstate(divide="ignore", invalid="ignore"):
+        k1 = a[:, idx] / b[:, left]
+        k2 = c[:, idx] / b[:, right]
+    new_a = -a[:, left] * k1
+    new_b = b[:, idx] - c[:, left] * k1 - a[:, right] * k2
+    new_c = -c[:, right] * k2
+    new_d = d[:, idx] - d[:, left] * k1 - d[:, right] * k2
+    a[:, idx] = new_a
+    b[:, idx] = new_b
+    c[:, idx] = new_c
+    d[:, idx] = new_d
+
+
+def solve_two_unknowns(b, c, a2, b2, d, d2):
+    """Solve the 2x2 systems ``[[b, c], [a2, b2]] [x1, x2] = [d, d2]``.
+
+    All arguments are arrays of matching shape; returns ``(x1, x2)``.
+    Used by CR's middle stage and by PCR's final stage.
+    """
+    det = b * b2 - c * a2
+    x1 = (d * b2 - c * d2) / det
+    x2 = (b * d2 - d * a2) / det
+    return x1, x2
+
+
+def backward_substitution_level(a, b, c, d, x, idx: np.ndarray,
+                                s: int) -> None:
+    """Solve unknowns ``idx`` given already-solved ``x[idx +/- s]``.
+
+    The leftmost equation of each level has ``a == 0``; its left
+    neighbour index is clamped to 0.
+    """
+    left = np.maximum(idx - s, 0)
+    right = idx + s  # always < n for the level structure used here
+    x[:, idx] = (d[:, idx] - a[:, idx] * x[:, left]
+                 - c[:, idx] * x[:, right]) / b[:, idx]
+
+
+def cyclic_reduction(systems: TridiagonalSystems) -> np.ndarray:
+    """Solve a batch of power-of-two systems by cyclic reduction.
+
+    Returns the ``(num_systems, n)`` solution array in the systems'
+    dtype.  ``2 * log2(n) - 1`` algorithmic steps (Table 1).
+    """
+    n = systems.n
+    require_power_of_two(n, "cyclic_reduction")
+    work = systems.copy()
+    a, b, c, d = work.a, work.b, work.c, work.d
+    S = systems.num_systems
+    x = np.zeros((S, n), dtype=systems.dtype)
+
+    if n == 2:
+        x[:, 0], x[:, 1] = solve_two_unknowns(
+            b[:, 0], c[:, 0], a[:, 1], b[:, 1], d[:, 0], d[:, 1])
+        return x
+
+    levels = int(np.log2(n))
+    # Forward reduction: levels-1 steps, stride 2, 4, ..., n/2.
+    for k in range(levels - 1):
+        stride = 2 << k
+        idx = stride * (np.arange(n // stride) + 1) - 1
+        forward_reduction_level(a, b, c, d, idx, stride // 2, n)
+
+    # Solve the remaining 2-unknown system (indices n/2-1 and n-1).
+    i1, i2 = n // 2 - 1, n - 1
+    x[:, i1], x[:, i2] = solve_two_unknowns(
+        b[:, i1], c[:, i1], a[:, i2], b[:, i2], d[:, i1], d[:, i2])
+
+    # Backward substitution: levels-1 steps, stride n/2, ..., 2.
+    for k in range(levels - 2, -1, -1):
+        stride = 2 << k
+        half = stride // 2
+        idx = half - 1 + stride * np.arange(n // stride)
+        backward_substitution_level(a, b, c, d, x, idx, half)
+    return x
+
+
+def forward_reduce_to(systems_work: tuple[np.ndarray, ...], n: int,
+                      m: int) -> np.ndarray:
+    """Run CR forward reduction in place until ``m`` unknowns remain.
+
+    ``systems_work`` is the mutable ``(a, b, c, d)`` tuple.  Returns the
+    indices of the surviving equations (``stride-1, 2*stride-1, ...``
+    with ``stride = n // m``).  Shared with the hybrid solvers.
+    """
+    a, b, c, d = systems_work
+    require_power_of_two(n, "forward_reduce_to")
+    require_power_of_two(m, "forward_reduce_to")
+    if not 2 <= m <= n:
+        raise ValueError(f"intermediate size {m} outside [2, {n}]")
+    stride = 1
+    while n // stride > m:
+        stride *= 2
+        idx = stride * (np.arange(n // stride) + 1) - 1
+        forward_reduction_level(a, b, c, d, idx, stride // 2, n)
+    return stride * (np.arange(m) + 1) - 1
+
+
+def back_substitute_from(systems_work: tuple[np.ndarray, ...],
+                         x: np.ndarray, n: int, m: int) -> None:
+    """CR backward substitution from an ``m``-unknown solved level.
+
+    Fills in the unknowns that :func:`forward_reduce_to` skipped, given
+    ``x`` already holds values at the surviving indices.
+    """
+    a, b, c, d = systems_work
+    stride = n // m
+    while stride > 1:
+        half = stride // 2
+        idx = half - 1 + stride * np.arange(n // stride)
+        backward_substitution_level(a, b, c, d, x, idx, half)
+        stride = half
+
+
+def operation_count(n: int) -> int:
+    """Arithmetic operations of CR (Table 1: 17n)."""
+    return 17 * n
+
+
+def step_count(n: int) -> int:
+    """Algorithmic steps of CR (Table 1: 2 log2 n - 1)."""
+    return 2 * int(np.log2(n)) - 1

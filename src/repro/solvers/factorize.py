@@ -1,0 +1,156 @@
+"""Reusable tridiagonal factorizations: factor once, solve many.
+
+ADI methods and implicit time steppers solve against the *same*
+matrix every step (only the right-hand side changes).  Refactoring per
+solve wastes roughly half the arithmetic; this module exposes the LU
+decomposition the Thomas algorithm computes implicitly so it can be
+reused:
+
+    F = thomas_factorize(systems)      # once
+    x1 = F.solve(d1)                   # 5n ops per solve instead of 8n
+    x2 = F.solve(d2)
+
+Also provided: a prefactored PCR-style *reduction plan* capturing the
+k1/k2 multipliers of every reduction level, the analogous reuse for
+the paper's parallel algorithms (their multipliers depend only on the
+matrix, not the right-hand side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .systems import TridiagonalSystems
+
+
+@dataclass
+class ThomasFactorization:
+    """LU factors of a batch, in Thomas-recurrence form.
+
+    ``cp`` holds the normalised super-diagonal of U, ``denom`` the
+    pivots ``b_i - cp_{i-1} a_i``; ``a`` is kept for the forward sweep.
+    """
+
+    a: np.ndarray
+    cp: np.ndarray
+    denom: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.cp.shape
+
+    def solve(self, d: np.ndarray) -> np.ndarray:
+        """Solve for one batch of right-hand sides ``(S, n)`` or a
+        stack ``(S, n, k)`` of k simultaneous RHS per system."""
+        d = np.asarray(d, dtype=self.cp.dtype)
+        stacked = d.ndim == 3
+        if not stacked:
+            d = d[..., None]
+        S, n, k = d.shape
+        if (S, n) != self.shape:
+            raise ValueError(f"rhs shape {(S, n)} != factors {self.shape}")
+        dp = np.empty_like(d)
+        dp[:, 0] = d[:, 0] / self.denom[:, 0, None]
+        for i in range(1, n):
+            dp[:, i] = ((d[:, i] - dp[:, i - 1] * self.a[:, i, None])
+                        / self.denom[:, i, None])
+        x = np.empty_like(d)
+        x[:, n - 1] = dp[:, n - 1]
+        for i in range(n - 2, -1, -1):
+            x[:, i] = dp[:, i] - self.cp[:, i, None] * x[:, i + 1]
+        return x if stacked else x[..., 0]
+
+    def determinant_sign_and_logabs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-system ``(sign, log|det|)`` from the pivots -- free with
+        the factorization, useful for monitoring near-singularity."""
+        sign = np.prod(np.sign(self.denom), axis=1)
+        logabs = np.sum(np.log(np.abs(self.denom)), axis=1)
+        return sign, logabs
+
+
+def thomas_factorize(systems: TridiagonalSystems) -> ThomasFactorization:
+    """Compute the Thomas LU factors of a batch (no pivoting; the same
+    §5.4 stability conditions as the solver apply)."""
+    a, b, c = systems.a, systems.b, systems.c
+    S, n = systems.shape
+    cp = np.empty((S, n), dtype=systems.dtype)
+    denom = np.empty((S, n), dtype=systems.dtype)
+    denom[:, 0] = b[:, 0]
+    cp[:, 0] = c[:, 0] / b[:, 0]
+    for i in range(1, n):
+        denom[:, i] = b[:, i] - cp[:, i - 1] * a[:, i]
+        cp[:, i] = c[:, i] / denom[:, i]
+    return ThomasFactorization(a=a.copy(), cp=cp, denom=denom)
+
+
+@dataclass
+class PCRPlan:
+    """Prefactored PCR reduction: the per-level k1/k2 multipliers.
+
+    PCR's reduction coefficients depend only on the matrix; replaying
+    them against a new right-hand side costs 4 ops per element-level
+    instead of 12 -- the parallel-algorithm analogue of LU reuse (and
+    what a production GPU ADI solver would cache between sweeps).
+    """
+
+    n: int
+    levels: list[tuple[np.ndarray, np.ndarray]]   # (k1, k2) per level
+    final_b: np.ndarray
+    final_c: np.ndarray
+    final_a: np.ndarray
+
+    def solve(self, d: np.ndarray) -> np.ndarray:
+        from .cr import solve_two_unknowns
+
+        d = np.asarray(d, dtype=self.final_b.dtype).copy()
+        n = self.n
+        stride = 1
+        idx = np.arange(n)
+        for k1, k2 in self.levels:
+            left = np.maximum(idx - stride, 0)
+            right = np.minimum(idx + stride, n - 1)
+            d = d - d[:, left] * k1 - d[:, right] * k2
+            stride *= 2
+        x = np.empty_like(d)
+        half = n // 2
+        i1 = np.arange(half)
+        i2 = i1 + half
+        x1, x2 = solve_two_unknowns(
+            self.final_b[:, i1], self.final_c[:, i1],
+            self.final_a[:, i2], self.final_b[:, i2],
+            d[:, i1], d[:, i2])
+        x[:, i1] = x1
+        x[:, i2] = x2
+        return x
+
+
+def pcr_factorize(systems: TridiagonalSystems) -> PCRPlan:
+    """Precompute PCR's reduction multipliers for a batch."""
+    from .validate import require_power_of_two
+
+    n = systems.n
+    require_power_of_two(n, "pcr_factorize")
+    if n < 4:
+        raise ValueError("pcr_factorize needs n >= 4")
+    a = systems.a.copy()
+    b = systems.b.copy()
+    c = systems.c.copy()
+    levels = []
+    stride = 1
+    idx = np.arange(n)
+    lev_count = int(np.log2(n)) - 1
+    for _ in range(lev_count):
+        left = np.maximum(idx - stride, 0)
+        right = np.minimum(idx + stride, n - 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            k1 = a / b[:, left]
+            k2 = c / b[:, right]
+        new_a = -a[:, left] * k1
+        new_b = b - c[:, left] * k1 - a[:, right] * k2
+        new_c = -c[:, right] * k2
+        a, b, c = new_a, new_b, new_c
+        levels.append((k1, k2))
+        stride *= 2
+    return PCRPlan(n=n, levels=levels, final_b=b, final_c=c, final_a=a)

@@ -1,0 +1,132 @@
+"""Tridiagonal Gaussian elimination with partial pivoting (the paper's
+"GEP" baseline, equivalent to LAPACK's ``sgtsv``).
+
+Partial pivoting on a tridiagonal matrix introduces a second
+super-diagonal as rows are swapped, so elimination carries three upper
+bands (the classic ``gtsv`` scheme).  This gives the accuracy reference
+of Fig 18: "GEP always has the best accuracy because it has pivoting".
+
+:func:`gep_batched` vectorises the row-swap decision across systems
+using ``np.where`` masks, which keeps the per-system pivoting decisions
+independent and identical to the scalar algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .systems import TridiagonalSystems
+
+
+def gep_single(a, b, c, d) -> np.ndarray:
+    """Solve one system by GE with partial pivoting (gtsv scheme)."""
+    a = np.asarray(a)
+    n = a.shape[0]
+    dtype = np.result_type(a, b, c, d)
+    # Working bands: dl (lower, between rows i and i+1), diag, du (first
+    # upper), du2 (second upper, created by pivoting).
+    dl = np.array(a, dtype=dtype, copy=True)
+    dg = np.array(b, dtype=dtype, copy=True)
+    du = np.array(c, dtype=dtype, copy=True)
+    du2 = np.zeros(n, dtype=dtype)
+    rhs = np.array(d, dtype=dtype, copy=True)
+    for i in range(n - 1):
+        low = dl[i + 1]
+        if abs(dg[i]) >= abs(low):
+            # No swap: eliminate row i+1 with multiplier low/dg[i].
+            if dg[i] == 0:
+                raise ZeroDivisionError(f"zero pivot at row {i}")
+            m = low / dg[i]
+            dg[i + 1] = dg[i + 1] - m * du[i]
+            rhs[i + 1] = rhs[i + 1] - m * rhs[i]
+            # du2[i] stays 0; dl[i+1] conceptually zeroed.
+        else:
+            # Swap rows i and i+1, then eliminate (LAPACK *gtsv scheme).
+            m = dg[i] / low
+            dg[i] = low
+            temp = dg[i + 1]
+            dg[i + 1] = du[i] - m * temp
+            du2[i] = du[i + 1]          # zero when i == n-2 (out of band)
+            du[i + 1] = -m * du2[i]
+            du[i] = temp
+            rhs[i], rhs[i + 1] = rhs[i + 1], rhs[i] - m * rhs[i + 1]
+    # Back substitution over three upper bands.
+    x = np.zeros(n, dtype=dtype)
+    x[n - 1] = rhs[n - 1] / dg[n - 1]
+    if n >= 2:
+        x[n - 2] = (rhs[n - 2] - du[n - 2] * x[n - 1]) / dg[n - 2]
+    for i in range(n - 3, -1, -1):
+        x[i] = (rhs[i] - du[i] * x[i + 1] - du2[i] * x[i + 2]) / dg[i]
+    return x
+
+
+def gep_batched(systems: TridiagonalSystems) -> np.ndarray:
+    """GE with partial pivoting, vectorised across the batch.
+
+    Per-system pivot decisions are made with boolean masks; the result
+    matches :func:`gep_single` applied to each system.
+    """
+    S, n = systems.shape
+    dtype = systems.dtype
+    dl = systems.a.copy()
+    dg = systems.b.copy()
+    du = systems.c.copy()
+    du2 = np.zeros((S, n), dtype=dtype)
+    rhs = systems.d.copy()
+    for i in range(n - 1):
+        low = dl[:, i + 1].copy()
+        noswap = np.abs(dg[:, i]) >= np.abs(low)
+        swap = ~noswap
+
+        # --- no-swap lane: eliminate with m = low / dg[i] ---
+        with np.errstate(divide="ignore", invalid="ignore"):
+            m_ns = np.where(noswap, low / dg[:, i], 0)
+        dg_ns = dg[:, i + 1] - m_ns * du[:, i]
+        rhs_ns = rhs[:, i + 1] - m_ns * rhs[:, i]
+
+        # --- swap lane: exchange rows i, i+1 then eliminate ---
+        with np.errstate(divide="ignore", invalid="ignore"):
+            m_sw = np.where(swap, dg[:, i] / np.where(swap, low, 1), 0)
+        du_i_sw = dg[:, i + 1].copy()          # temp in the scalar code
+        dg_n_sw = du[:, i] - m_sw * dg[:, i + 1]
+        du2_i_sw = du[:, i + 1].copy()         # zero when i == n-2
+        du_n_sw = -m_sw * du2_i_sw
+        rhs_i_sw = rhs[:, i + 1].copy()
+        rhs_n_sw = rhs[:, i] - m_sw * rhs[:, i + 1]
+
+        dg[:, i] = np.where(swap, low, dg[:, i])
+        du[:, i] = np.where(swap, du_i_sw, du[:, i])
+        du2[:, i] = np.where(swap, du2_i_sw, 0)
+        dg[:, i + 1] = np.where(swap, dg_n_sw, dg_ns)
+        du[:, i + 1] = np.where(swap, du_n_sw, du[:, i + 1])
+        rhs[:, i] = np.where(swap, rhs_i_sw, rhs[:, i])
+        rhs[:, i + 1] = np.where(swap, rhs_n_sw, rhs_ns)
+
+    x = np.zeros((S, n), dtype=dtype)
+    x[:, n - 1] = rhs[:, n - 1] / dg[:, n - 1]
+    if n >= 2:
+        x[:, n - 2] = (rhs[:, n - 2] - du[:, n - 2] * x[:, n - 1]) / dg[:, n - 2]
+    for i in range(n - 3, -1, -1):
+        x[:, i] = (rhs[:, i] - du[:, i] * x[:, i + 1]
+                   - du2[:, i] * x[:, i + 2]) / dg[:, i]
+    return x
+
+
+def lapack_gtsv(systems: TridiagonalSystems) -> np.ndarray:
+    """Solve via SciPy's LAPACK ``gtsv`` binding (the actual LAPACK
+    solver the paper benchmarks against).  Used in accuracy tests as an
+    external cross-check for :func:`gep_batched`."""
+    from scipy.linalg import lapack
+
+    gtsv = (lapack.sgtsv if systems.dtype == np.float32 else lapack.dgtsv)
+    out = np.empty_like(systems.d)
+    for s in range(systems.num_systems):
+        dl = systems.a[s, 1:].copy()
+        dg = systems.b[s].copy()
+        du = systems.c[s, :-1].copy()
+        rhs = systems.d[s].copy()
+        _, _, _, xs, info = gtsv(dl, dg, du, rhs)
+        if info != 0:
+            raise np.linalg.LinAlgError(f"gtsv failed on system {s}: info={info}")
+        out[s] = xs.ravel()
+    return out

@@ -1,0 +1,111 @@
+"""Batch memory layouts and a cuSPARSE-style convenience API.
+
+The paper stores systems contiguously ("the data of the first system
+stored at the beginning of the arrays, followed by the second system",
+§4) -- the *sequential* layout.  Production batched solvers (cuSPARSE
+``gtsv2StridedBatch``, MKL) frequently use the *interleaved* layout
+instead (element i of every system adjacent), which is what makes the
+naive one-thread-per-system mapping coalesce
+(cf. ``bench_ablation_thread_mapping.py``).
+
+This module converts between the two and offers a
+``gtsv_strided_batch`` entry point shaped like the cuSPARSE call, so
+code written against that API can run on this library unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import solve
+from .systems import TridiagonalSystems
+
+
+def interleave(batch: np.ndarray) -> np.ndarray:
+    """Sequential ``(S, n)`` -> flat interleaved ``(n*S,)`` layout
+    (element i of all systems adjacent)."""
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ValueError(f"expected (S, n) batch, got shape {batch.shape}")
+    return np.ascontiguousarray(batch.T).ravel()
+
+
+def deinterleave(flat: np.ndarray, num_systems: int) -> np.ndarray:
+    """Flat interleaved ``(n*S,)`` -> sequential ``(S, n)``."""
+    flat = np.asarray(flat)
+    if flat.ndim != 1 or flat.size % num_systems:
+        raise ValueError(
+            f"flat array of {flat.size} cannot hold {num_systems} systems")
+    n = flat.size // num_systems
+    return np.ascontiguousarray(flat.reshape(n, num_systems).T)
+
+
+def from_strided(flat: np.ndarray, num_systems: int, n: int,
+                 batch_stride: int) -> np.ndarray:
+    """Extract a ``(S, n)`` batch from a cuSPARSE-style strided flat
+    array (system s occupies ``flat[s*batch_stride : s*batch_stride+n]``)."""
+    flat = np.asarray(flat)
+    if batch_stride < n:
+        raise ValueError("batch_stride must be >= n")
+    need = (num_systems - 1) * batch_stride + n
+    if flat.size < need:
+        raise ValueError(
+            f"flat array of {flat.size} too small for {num_systems} "
+            f"systems of {n} at stride {batch_stride}")
+    idx = (np.arange(num_systems)[:, None] * batch_stride
+           + np.arange(n)[None, :])
+    return flat[idx]
+
+
+def to_strided(batch: np.ndarray, batch_stride: int,
+               out: np.ndarray | None = None) -> np.ndarray:
+    """Write a ``(S, n)`` batch into a strided flat array."""
+    batch = np.asarray(batch)
+    S, n = batch.shape
+    if batch_stride < n:
+        raise ValueError("batch_stride must be >= n")
+    size = (S - 1) * batch_stride + n
+    if out is None:
+        out = np.zeros(size, dtype=batch.dtype)
+    elif out.size < size:
+        raise ValueError("output array too small")
+    idx = (np.arange(S)[:, None] * batch_stride + np.arange(n)[None, :])
+    out[idx] = batch
+    return out
+
+
+def gtsv_strided_batch(dl: np.ndarray, d: np.ndarray, du: np.ndarray,
+                       x: np.ndarray, n: int, batch_count: int,
+                       batch_stride: int, method: str = "auto") -> np.ndarray:
+    """cuSPARSE ``gtsv2StridedBatch``-shaped entry point.
+
+    Parameters mirror the CUDA call: ``dl, d, du`` are the lower, main
+    and upper diagonals and ``x`` the right-hand sides, all flat arrays
+    with ``batch_stride`` elements between consecutive systems
+    (``batch_stride >= n``).  Solves in place semantics: returns a new
+    flat array with the solutions at the same strided positions (the
+    input ``x`` is not mutated -- NumPy idiom over CUDA's in-place).
+    """
+    a = from_strided(dl, batch_count, n, batch_stride)
+    b = from_strided(d, batch_count, n, batch_stride)
+    c = from_strided(du, batch_count, n, batch_stride)
+    rhs = from_strided(x, batch_count, n, batch_stride)
+    sol = solve(a, b, c, rhs, method=method)
+    out = np.array(x, copy=True)
+    return to_strided(np.atleast_2d(sol), batch_stride, out=out)
+
+
+def gtsv_interleaved_batch(dl: np.ndarray, d: np.ndarray, du: np.ndarray,
+                           x: np.ndarray, batch_count: int,
+                           method: str = "auto") -> np.ndarray:
+    """cuSPARSE ``gtsvInterleavedBatch``-shaped entry point.
+
+    All four flat arrays use the interleaved layout (element i of
+    every system adjacent).  Returns the solutions in the same layout.
+    """
+    a = deinterleave(dl, batch_count)
+    b = deinterleave(d, batch_count)
+    c = deinterleave(du, batch_count)
+    rhs = deinterleave(x, batch_count)
+    sol = solve(a, b, c, rhs, method=method)
+    return interleave(np.atleast_2d(sol))

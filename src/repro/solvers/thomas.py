@@ -1,0 +1,87 @@
+"""Thomas algorithm: Gaussian elimination for tridiagonal systems.
+
+This is the paper's sequential baseline ("GE", §5.2): forward
+elimination followed by backward substitution, 8n operations, 2n
+inherently serial steps.  Two entry points:
+
+- :func:`thomas_single` -- literal per-system scalar loop (the
+  reference used by tests; also the cost basis for the GE CPU model).
+- :func:`thomas_batched` -- vectorised over the *batch* dimension while
+  remaining sequential in ``i``.  This is the natural CPU analogue of
+  the paper's multi-threaded "MT" solver, which also keeps each system
+  serial and exploits parallelism across systems.
+
+Neither pivots; for general matrices use
+:func:`repro.solvers.gauss.gaussian_elimination_pivoting`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .systems import TridiagonalSystems
+
+
+def thomas_single(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                  d: np.ndarray) -> np.ndarray:
+    """Solve one tridiagonal system with the Thomas algorithm.
+
+    Parameters are 1-D arrays of length n (``a[0]`` and ``c[-1]``
+    ignored).  Computation happens in the arrays' common dtype -- pass
+    float32 inputs to reproduce the paper's single-precision behaviour.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    c = np.asarray(c)
+    d = np.asarray(d)
+    n = b.shape[0]
+    dtype = np.result_type(a, b, c, d)
+    cp = np.empty(n, dtype=dtype)
+    dp = np.empty(n, dtype=dtype)
+    cp[0] = c[0] / b[0]
+    dp[0] = d[0] / b[0]
+    for i in range(1, n):
+        denom = b[i] - cp[i - 1] * a[i]
+        cp[i] = c[i] / denom
+        dp[i] = (d[i] - dp[i - 1] * a[i]) / denom
+    x = np.empty(n, dtype=dtype)
+    x[n - 1] = dp[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def thomas_batched(systems: TridiagonalSystems) -> np.ndarray:
+    """Solve a batch with Thomas, vectorised across systems.
+
+    Sequential in the unknown index (the algorithm's data dependence),
+    parallel across the batch -- the same decomposition as the paper's
+    MT CPU solver ("multiple threads solving multiple systems
+    simultaneously", §5.2).
+    """
+    a, b, c, d = systems.a, systems.b, systems.c, systems.d
+    S, n = systems.shape
+    dtype = systems.dtype
+    cp = np.empty((S, n), dtype=dtype)
+    dp = np.empty((S, n), dtype=dtype)
+    cp[:, 0] = c[:, 0] / b[:, 0]
+    dp[:, 0] = d[:, 0] / b[:, 0]
+    for i in range(1, n):
+        denom = b[:, i] - cp[:, i - 1] * a[:, i]
+        cp[:, i] = c[:, i] / denom
+        dp[:, i] = (d[:, i] - dp[:, i - 1] * a[:, i]) / denom
+    x = np.empty((S, n), dtype=dtype)
+    x[:, n - 1] = dp[:, n - 1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = dp[:, i] - cp[:, i] * x[:, i + 1]
+    return x
+
+
+def operation_count(n: int) -> int:
+    """Arithmetic operations of the Thomas algorithm (paper §2: 8n)."""
+    return 8 * n
+
+
+def step_count(n: int) -> int:
+    """Serial steps of the Thomas algorithm (paper §2: 2n)."""
+    return 2 * n

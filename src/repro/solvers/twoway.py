@@ -1,0 +1,98 @@
+"""Two-way Gaussian elimination (burn-at-both-ends) -- the paper's
+ref [15] (Ho & Johnsson), the second coarse-grained method §3 names.
+
+Two elimination fronts run simultaneously: a forward sweep from row 0
+and a backward sweep from row n-1, meeting in the middle where a
+small 2x2 system couples the fronts.  Each front is a Thomas-style
+recurrence, so the method exposes exactly 2-way parallelism per
+system -- double Thomas throughput on two cores (or warp halves), and
+a classic building block of the distributed-memory solvers the paper
+cites.
+
+Derivation.  The forward sweep produces, for i in the lower half,
+``x_i = dL_i - cL_i * x_{i+1}`` once ``x_{i+1}`` is known (standard
+Thomas back-substitution form).  The backward sweep symmetrically
+produces ``x_i = dU_i - aU_i * x_{i-1}`` for the upper half.  At the
+interface rows m-1 (last of the forward front) and m (first of the
+backward front) the two expressions close a 2x2 system:
+
+    x_{m-1} + cL_{m-1} x_m     = dL_{m-1}
+    aU_m x_{m-1} +     x_m     = dU_m
+
+After solving it, the halves back-substitute outward in parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cr import solve_two_unknowns
+from .systems import TridiagonalSystems
+
+
+def two_way_elimination(systems: TridiagonalSystems) -> np.ndarray:
+    """Solve a batch by two-way (bidirectional) Gaussian elimination.
+
+    Works for any ``n >= 2``; no pivoting (the usual §5.4 stability
+    conditions).  Vectorised across the batch; within a system the two
+    fronts are computed in the same loop (they are independent, which
+    is the method's parallelism).
+    """
+    S, n = systems.shape
+    a, b, c, d = systems.a, systems.b, systems.c, systems.d
+    dtype = systems.dtype
+    m = n // 2  # forward front covers [0, m), backward covers [m, n)
+
+    # Forward front: cL_i = c_i / denom, dL_i = (d_i - dL_{i-1} a_i)/denom.
+    cL = np.empty((S, m), dtype=dtype)
+    dL = np.empty((S, m), dtype=dtype)
+    # Backward front (mirror): aU_i = a_i / denom,
+    # dU_i = (d_i - dU_{i+1} c_i) / denom, for i = n-1 down to m.
+    aU = np.empty((S, n - m), dtype=dtype)
+    dU = np.empty((S, n - m), dtype=dtype)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cL[:, 0] = c[:, 0] / b[:, 0]
+        dL[:, 0] = d[:, 0] / b[:, 0]
+        aU[:, -1] = a[:, n - 1] / b[:, n - 1]
+        dU[:, -1] = d[:, n - 1] / b[:, n - 1]
+        for k in range(1, max(m, n - m)):
+            i = k
+            if i < m:
+                denom = b[:, i] - cL[:, i - 1] * a[:, i]
+                cL[:, i] = c[:, i] / denom
+                dL[:, i] = (d[:, i] - dL[:, i - 1] * a[:, i]) / denom
+            j = n - 1 - k
+            if j >= m:
+                jj = j - m
+                denom = b[:, j] - aU[:, jj + 1] * c[:, j]
+                aU[:, jj] = a[:, j] / denom
+                dU[:, jj] = (d[:, j] - dU[:, jj + 1] * c[:, j]) / denom
+
+    # Interface 2x2: unknowns x_{m-1}, x_m.
+    one = np.ones(S, dtype=dtype)
+    x_lo, x_hi = solve_two_unknowns(one, cL[:, m - 1], aU[:, 0], one,
+                                    dL[:, m - 1], dU[:, 0])
+
+    x = np.empty((S, n), dtype=dtype)
+    x[:, m - 1] = x_lo
+    x[:, m] = x_hi
+    # Outward substitution, both directions in one loop (parallel fronts).
+    for k in range(1, max(m, n - m)):
+        i = m - 1 - k
+        if i >= 0:
+            x[:, i] = dL[:, i] - cL[:, i] * x[:, i + 1]
+        j = m + k
+        if j < n:
+            x[:, j] = dU[:, j - m] - aU[:, j - m] * x[:, j - 1]
+    return x
+
+
+def serial_step_count(n: int) -> int:
+    """Longest dependence chain: half of Thomas' (the method's point)."""
+    return n  # vs 2n for one-way elimination
+
+
+def parallelism() -> int:
+    """Concurrent work fronts per system."""
+    return 2

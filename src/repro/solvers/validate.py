@@ -1,0 +1,82 @@
+"""Input validation and padding helpers shared by the solvers.
+
+The paper's kernels "only handle a power-of-two system size, which
+makes thread numbering and address calculation simpler" (§4).  The
+library keeps that restriction for the algorithm cores and offers
+:func:`pad_to_power_of_two` so the public API accepts general sizes:
+a system of size n is embedded into the next power of two with
+identity rows (``b = 1, d = 0``) appended, which leaves the original
+solution untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .systems import TridiagonalSystems
+
+
+def is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def require_power_of_two(n: int, who: str) -> None:
+    if not is_power_of_two(n):
+        raise ValueError(
+            f"{who} requires a power-of-two system size (paper §4), got {n}; "
+            f"use repro.solvers.api.solve(..., pad=True) for general sizes")
+
+
+def next_power_of_two(n: int) -> int:
+    if n < 1:
+        raise ValueError("size must be positive")
+    return 1 << (n - 1).bit_length()
+
+
+def pad_to_power_of_two(systems: TridiagonalSystems
+                        ) -> tuple[TridiagonalSystems, int]:
+    """Embed systems into the next power-of-two size.
+
+    Appended rows are decoupled identity equations (``b=1, a=c=d=0``),
+    so the leading ``n`` entries of the padded solution equal the
+    original solution exactly.  Returns ``(padded, original_n)``.
+    """
+    S, n = systems.shape
+    n2 = next_power_of_two(n)
+    if n2 == n:
+        return systems, n
+    dtype = systems.dtype
+    pad = n2 - n
+
+    def _pad(arr, fill):
+        return np.concatenate(
+            [arr, np.full((S, pad), fill, dtype=dtype)], axis=1)
+
+    padded = TridiagonalSystems(
+        _pad(systems.a, 0), _pad(systems.b, 1),
+        _pad(systems.c, 0), _pad(systems.d, 0))
+    # Decouple the last original row from the first pad row.
+    padded.c[:, n - 1] = 0
+    return padded, n
+
+
+def validate_nonsingular_hint(systems: TridiagonalSystems) -> list[str]:
+    """Cheap red flags for the no-pivoting solvers (advisory only).
+
+    Returns human-readable warnings; empty list when nothing obvious is
+    wrong.  Mirrors the paper's §5.4 caveats: the GPU solvers have no
+    pivoting and "might fail for a general tridiagonal matrix".
+    """
+    warnings = []
+    if np.any(systems.b == 0):
+        warnings.append("zero on the main diagonal: no-pivoting solvers "
+                        "will divide by zero")
+    if not np.all(systems.is_diagonally_dominant(strict=False)):
+        warnings.append("matrix is not diagonally dominant: CR/PCR/RD "
+                        "accuracy is not guaranteed without pivoting "
+                        "(paper §5.4)")
+    interior_c = systems.c[:, :-1]
+    if np.any(interior_c == 0):
+        warnings.append("zero super-diagonal entry: recursive doubling "
+                        "divides by c_i and will fail")
+    return warnings

@@ -1,0 +1,75 @@
+"""Fig 17: switch-point sweep and autotuning."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.autotune import best_switch_point, sweep_switch_point
+from repro.numerics.generators import diagonally_dominant_fluid
+
+
+@pytest.fixture(scope="module")
+def batch_512():
+    return diagonally_dominant_fluid(2, 512, seed=0)
+
+
+class TestSweep:
+    def test_sweep_covers_all_powers(self, batch_512):
+        res = sweep_switch_point(batch_512, "pcr")
+        assert [p.intermediate_size for p in res.points] == \
+            [2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+    def test_cr_pcr_best_far_above_warp_size(self, batch_512):
+        """§5.3.4: "The best switch point ... is far larger than the
+        warp size 32" (paper: 256; our model: 128-256)."""
+        best = best_switch_point(batch_512, "pcr")
+        assert best >= 128
+
+    def test_cr_rd_best_is_128(self, batch_512):
+        """§5.3.5: CR+RD's best (and only feasible large) intermediate
+        size is 128."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = sweep_switch_point(batch_512, "rd")
+        assert res.best().intermediate_size == 128
+
+    def test_cr_rd_m256_infeasible(self, batch_512):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = sweep_switch_point(batch_512, "rd")
+        by_m = {p.intermediate_size: p for p in res.points}
+        assert by_m[256].solver_ms is None
+        assert "shared" in by_m[256].reason
+
+    def test_curve_decreases_from_cr_endpoint(self, batch_512):
+        """Fig 17: moving off the pure-CR endpoint improves (almost)
+        monotonically until the optimum.  A few-percent tolerance
+        covers the copy-overhead bump of the smallest hybrids relative
+        to the pure-CR endpoint."""
+        res = sweep_switch_point(batch_512, "pcr")
+        ms = [p.solver_ms for p in res.points if p.solver_ms is not None]
+        best_idx = ms.index(min(ms))
+        for i in range(best_idx):
+            assert ms[i] >= ms[i + 1] * 0.97
+
+    def test_endpoints_are_pure_solvers(self, batch_512):
+        """Fig 17 caption: endpoints mark non-hybrid implementations."""
+        from repro.analysis.timing import timed_solve
+        res = sweep_switch_point(batch_512, "pcr")
+        pure_cr = timed_solve("cr", batch_512).solver_ms
+        pure_pcr = timed_solve("pcr", batch_512).solver_ms
+        assert res.points[0].solver_ms == pytest.approx(pure_cr)
+        assert res.points[-1].solver_ms == pytest.approx(pure_pcr)
+
+    def test_bad_inner_rejected(self, batch_512):
+        with pytest.raises(ValueError):
+            sweep_switch_point(batch_512, "thomas")
+
+
+class TestSmallProblemBehaviour:
+    def test_small_systems_prefer_pure_inner(self):
+        """Fig 6 / §5.2: at 64x64 the hybrids lose to PCR -- the best
+        'switch point' is the pure-PCR endpoint."""
+        s = diagonally_dominant_fluid(2, 64, seed=1)
+        res = sweep_switch_point(s, "pcr")
+        assert res.best().intermediate_size == 64

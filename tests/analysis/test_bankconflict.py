@@ -1,0 +1,61 @@
+"""Fig 9: bank-conflict impact on CR's forward reduction."""
+
+import pytest
+
+from repro.analysis.bankconflict import (forward_reduction_conflicts,
+                                         overall_conflict_penalty)
+from repro.numerics.generators import diagonally_dominant_fluid
+
+
+@pytest.fixture(scope="module")
+def steps_512():
+    s = diagonally_dominant_fluid(2, 512, seed=0)
+    return forward_reduction_conflicts(s)
+
+
+class TestFig9Shape:
+    def test_eight_steps(self, steps_512):
+        assert len(steps_512) == 8
+
+    def test_degree_ladder(self, steps_512):
+        assert [round(s.conflict_degree) for s in steps_512] == \
+            [2, 4, 8, 16, 16, 8, 4, 2]
+
+    def test_penalties_exceed_one(self, steps_512):
+        for s in steps_512:
+            assert s.penalty > 1.0
+
+    def test_peak_penalty_at_16way(self, steps_512):
+        """Fig 9's worst annotated slowdown (4.8x) sits at the 16-way
+        steps; ours must peak there too."""
+        penalties = [s.penalty for s in steps_512]
+        peak = max(range(8), key=lambda i: penalties[i])
+        assert peak in (3, 4)
+        assert penalties[peak] > 2.0
+
+    def test_without_conflicts_flattens_below_warp(self, steps_512):
+        """Fig 9: once active threads < 32, conflict-free step time is
+        roughly constant (warp granularity + per-step overhead)."""
+        sub_warp = [s.without_conflicts_ms for s in steps_512
+                    if s.active_threads <= 32]
+        assert max(sub_warp) / min(sub_warp) < 1.3
+
+    def test_with_conflicts_decreases_late(self, steps_512):
+        """Fig 9: with conflicts, per-step time keeps shrinking after
+        the 16-way peak because fewer lanes serialize."""
+        with_c = [s.with_conflicts_ms for s in steps_512]
+        assert with_c[4] > with_c[5] > with_c[6] > with_c[7]
+
+    def test_overall_penalty_band(self, steps_512):
+        """Whole-phase slowdown: material, order of the paper's peak
+        per-step factors."""
+        assert 1.3 <= overall_conflict_penalty(steps_512) <= 5.0
+
+
+class TestSmallSizes:
+    def test_penalty_grows_with_n(self):
+        p = {}
+        for n in (64, 256):
+            s = diagonally_dominant_fluid(2, n, seed=n)
+            p[n] = overall_conflict_penalty(forward_reduction_conflicts(s))
+        assert p[256] > p[64] >= 1.0

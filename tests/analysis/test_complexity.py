@@ -1,0 +1,91 @@
+"""Table 1 closed forms and their validation against measured counters."""
+
+import pytest
+
+from repro.analysis.complexity import (compare, cr_complexity,
+                                       cr_pcr_complexity, cr_rd_complexity,
+                                       measured_complexity, pcr_complexity,
+                                       rd_complexity, table1)
+
+
+class TestClosedForms:
+    def test_table1_values_at_paper_sizes(self):
+        cr = cr_complexity(512)
+        assert (cr.shared_accesses, cr.arithmetic_ops, cr.divisions,
+                cr.steps, cr.global_accesses) == (11776, 8704, 1536, 17, 2560)
+        pcr = pcr_complexity(512)
+        assert pcr.shared_accesses == 16 * 512 * 9
+        assert pcr.steps == 9
+        rd = rd_complexity(512)
+        assert rd.steps == 11
+        hp = cr_pcr_complexity(512, 256)
+        assert hp.steps == 9
+        hr = cr_rd_complexity(512, 128)
+        assert hr.steps == 12
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            cr_complexity(100)
+
+    def test_table_has_five_rows(self):
+        rows = table1(512, 256, 128)
+        assert [r.algorithm for r in rows] == ["cr", "pcr", "rd",
+                                               "cr_pcr", "cr_rd"]
+
+    def test_hybrid_interpolates(self):
+        """CR+PCR ops at m=2 ~ CR; at m=n ~ PCR."""
+        n = 512
+        assert cr_pcr_complexity(n, 2).arithmetic_ops == pytest.approx(
+            cr_complexity(n).arithmetic_ops, rel=0.02)
+        assert cr_pcr_complexity(n, n).arithmetic_ops == \
+            pcr_complexity(n).arithmetic_ops
+
+
+class TestMeasuredValidation:
+    @pytest.fixture(scope="class")
+    def launches(self):
+        import warnings
+        from repro.kernels.api import run_kernel
+        from repro.numerics.generators import diagonally_dominant_fluid
+        s = diagonally_dominant_fluid(2, 128, seed=0)
+        out = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for name, m in [("cr", None), ("pcr", None), ("rd", None),
+                            ("cr_pcr", 32), ("cr_rd", 16)]:
+                _x, res = run_kernel(name, s, intermediate_size=m)
+                out[(name, m)] = res
+        return out
+
+    def test_cr_counters_close(self, launches):
+        ratios = compare(cr_complexity(128),
+                         measured_complexity("cr", launches[("cr", None)]))
+        for col in ("shared_accesses", "arithmetic_ops", "divisions",
+                    "global_accesses"):
+            assert 0.75 <= ratios[col] <= 1.25, col
+
+    def test_pcr_counters_close(self, launches):
+        ratios = compare(pcr_complexity(128),
+                         measured_complexity("pcr", launches[("pcr", None)]))
+        for col in ("shared_accesses", "arithmetic_ops", "global_accesses"):
+            assert 0.7 <= ratios[col] <= 1.2, col
+
+    def test_rd_known_deviation(self, launches):
+        """Our RD moves ~18 n log n shared words against the paper's
+        32 n log n ledger entry; the documented ratio band."""
+        ratios = compare(rd_complexity(128),
+                         measured_complexity("rd", launches[("rd", None)]))
+        assert 0.45 <= ratios["shared_accesses"] <= 0.75
+        assert 0.85 <= ratios["arithmetic_ops"] <= 1.15
+
+    def test_hybrid_counters_close(self, launches):
+        ratios = compare(
+            cr_pcr_complexity(128, 32),
+            measured_complexity("cr_pcr", launches[("cr_pcr", 32)]))
+        assert 0.7 <= ratios["arithmetic_ops"] <= 1.3
+
+    def test_steps_exact_for_cr_and_pcr(self, launches):
+        assert measured_complexity(
+            "cr", launches[("cr", None)]).steps == cr_complexity(128).steps
+        assert measured_complexity(
+            "pcr", launches[("pcr", None)]).steps == pcr_complexity(128).steps

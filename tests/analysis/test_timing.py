@@ -1,0 +1,57 @@
+"""Timing harness: composition of solver time and PCIe transfer."""
+
+import pytest
+
+from repro.analysis.timing import best_gpu_ms, compare_solvers, timed_solve
+from repro.numerics.generators import diagonally_dominant_fluid
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return diagonally_dominant_fluid(4, 64, seed=0)
+
+
+class TestTimedSolve:
+    def test_returns_solution_and_times(self, batch):
+        t = timed_solve("cr", batch)
+        assert t.x.shape == batch.shape
+        assert t.solver_ms > 0
+        assert t.transfer_ms > 0
+        assert t.total_ms == pytest.approx(t.solver_ms + t.transfer_ms)
+
+    def test_transfer_independent_of_solver(self, batch):
+        t1 = timed_solve("cr", batch)
+        t2 = timed_solve("pcr", batch)
+        assert t1.transfer_ms == t2.transfer_ms
+
+    def test_transfer_dominates_end_to_end(self, batch):
+        """Fig 6 right: with transfer included, all solvers look alike
+        because the PCIe bus dominates."""
+        times = compare_solvers(batch, names=("cr", "pcr"))
+        totals = [t.total_ms for t in times.values()]
+        assert max(totals) / min(totals) < 1.6
+
+
+class TestCompare:
+    def test_all_five(self, batch):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            results = compare_solvers(batch)
+        assert set(results) == {"cr", "pcr", "rd", "cr_pcr", "cr_rd"}
+
+    def test_best_gpu_small_size_is_pcr(self, batch):
+        """Fig 6: PCR wins at 64-unknown systems."""
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            name, ms = best_gpu_ms(batch)
+        assert name == "pcr"
+
+    def test_best_gpu_large_size_is_hybrid(self):
+        import warnings
+        s = diagonally_dominant_fluid(2, 512, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            name, _ms = best_gpu_ms(s)
+        assert name == "cr_pcr"

@@ -1,0 +1,111 @@
+"""2-D ADI diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.applications.adi import ADIDiffusion2D
+
+
+def gaussian_field(n=34):
+    yy, xx = np.mgrid[0:n, 0:n]
+    c = (n - 1) / 2
+    return np.exp(-((xx - c) ** 2 + (yy - c) ** 2) / (n / 6) ** 2)
+
+
+class TestPhysics:
+    def test_interior_heat_conserved_with_cold_boundary(self):
+        """Zero-boundary ADI conserves interior heat up to boundary
+        leakage, which must be small for a centred blob."""
+        u0 = gaussian_field()
+        adi = ADIDiffusion2D(u0, alpha=0.1, dt=0.2, method="thomas")
+        before = adi.total_heat()
+        adi.step(3)
+        after = adi.total_heat()
+        assert after == pytest.approx(before, rel=0.02)
+
+    def test_smooths_peak(self):
+        u0 = np.zeros((18, 18))
+        u0[9, 9] = 1.0
+        adi = ADIDiffusion2D(u0, alpha=0.5, dt=0.2, method="gep")
+        u = adi.step(4)
+        assert u[9, 9] < 1.0
+        assert u[9, 11] > 0.0
+
+    def test_decay_matches_analytic_mode(self):
+        """Product sine mode decays at the Peaceman-Rachford rate
+        r = ((1-s)/(1+s))^2 per full step with s = 2 r_coef
+        (1 - cos(pi k h))-style discrete eigenvalues."""
+        n = 33
+        x = np.linspace(0, 1, n)
+        u0 = np.outer(np.sin(np.pi * x), np.sin(np.pi * x))
+        dx = x[1] - x[0]
+        adi = ADIDiffusion2D(u0, alpha=1.0, dx=dx, dt=1e-4,
+                             method="thomas")
+        u1 = adi.step(1)
+        mid = n // 2
+        measured = u1[mid, mid] / u0[mid, mid]
+        lam = 2.0 * (1 - np.cos(np.pi * dx)) / dx ** 2  # discrete mode
+        r = 1e-4 / 2 / dx ** 2 * 1.0 * (2 * (1 - np.cos(np.pi * dx)))
+        expected = ((1 - r) / (1 + r)) ** 2
+        assert measured == pytest.approx(expected, rel=1e-3)
+
+    def test_rectangular_grid(self):
+        u0 = np.zeros((18, 34))
+        u0[8:10, 15:19] = 1.0
+        adi = ADIDiffusion2D(u0, alpha=0.2, dt=0.3, method="thomas")
+        u = adi.step(2)
+        assert u.shape == (18, 34)
+        assert np.isfinite(u).all()
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("method", ["cr", "pcr", "cr_pcr"])
+    def test_gpu_path_matches_thomas(self, method):
+        u0 = gaussian_field(34).astype(np.float64)
+        ref = ADIDiffusion2D(u0.copy(), alpha=0.1, dt=0.2,
+                             method="thomas").step(2)
+        got = ADIDiffusion2D(u0.copy(), alpha=0.1, dt=0.2,
+                             method=method).step(2)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-8)
+
+    def test_systems_per_step_is_paper_workload(self):
+        adi = ADIDiffusion2D(np.zeros((512, 512)))
+        count, size = adi.systems_per_step()
+        assert count == 1024
+        assert size == 512
+
+
+class TestValidation:
+    def test_needs_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ADIDiffusion2D(np.zeros(8))
+
+
+class TestFactorizedMethod:
+    def test_identical_to_thomas(self):
+        u0 = gaussian_field(34).astype(np.float64)
+        ref = ADIDiffusion2D(u0.copy(), alpha=0.1, dt=0.2,
+                             method="thomas")
+        fac = ADIDiffusion2D(u0.copy(), alpha=0.1, dt=0.2,
+                             method="factorized")
+        ref.step(3)
+        fac.step(3)
+        np.testing.assert_allclose(fac.u, ref.u, rtol=1e-13, atol=1e-15)
+
+    def test_factors_cached_per_direction(self):
+        u0 = np.zeros((18, 34))
+        adi = ADIDiffusion2D(u0, dt=0.3, method="factorized")
+        adi.step(4)
+        # One factorization per sweep direction, built once.
+        assert len(adi._factors) == 2
+
+    def test_rectangular_grid_correct(self):
+        u0 = np.zeros((18, 34))
+        u0[8:10, 15:19] = 1.0
+        ref = ADIDiffusion2D(u0.copy(), alpha=0.2, dt=0.3,
+                             method="thomas")
+        fac = ADIDiffusion2D(u0.copy(), alpha=0.2, dt=0.3,
+                             method="factorized")
+        ref.step(3)
+        fac.step(3)
+        np.testing.assert_allclose(fac.u, ref.u, rtol=1e-13, atol=1e-15)

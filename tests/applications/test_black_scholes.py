@@ -1,0 +1,74 @@
+"""Crank-Nicolson Black-Scholes pricing vs the closed form."""
+
+import numpy as np
+import pytest
+
+from repro.applications.black_scholes import (CrankNicolsonPricer,
+                                              black_scholes_closed_form)
+
+K, R, SIG, T = 100.0, 0.05, 0.2, 1.0
+
+
+def fd_price(spot, kind="call", method="thomas", **kw):
+    p = CrankNicolsonPricer(K, SIG, R, T, kind=kind, method=method,
+                            num_s=kw.pop("num_s", 400),
+                            num_t=kw.pop("num_t", 200), **kw)
+    return p.price(spot)[0]
+
+
+class TestEuropean:
+    @pytest.mark.parametrize("kind", ["call", "put"])
+    @pytest.mark.parametrize("spot", [80.0, 100.0, 120.0])
+    def test_matches_closed_form(self, kind, spot):
+        fd = fd_price(spot, kind)
+        cf = black_scholes_closed_form(spot, K, R, SIG, T, kind)
+        assert fd == pytest.approx(cf, abs=5e-3)
+
+    def test_put_call_parity_on_grid(self):
+        spot = 105.0
+        call = fd_price(spot, "call")
+        put = fd_price(spot, "put")
+        parity = spot - K * np.exp(-R * T)
+        assert call - put == pytest.approx(parity, abs=1e-2)
+
+    def test_convergence_with_grid(self):
+        spot = 100.0
+        cf = black_scholes_closed_form(spot, K, R, SIG, T, "call")
+        coarse = abs(fd_price(spot, num_s=100, num_t=50) - cf)
+        fine = abs(fd_price(spot, num_s=400, num_t=200) - cf)
+        assert fine < coarse
+
+    def test_batched_book(self):
+        strikes = np.array([90.0, 100.0, 110.0])
+        p = CrankNicolsonPricer(strikes, SIG, R, T, kind="call",
+                                num_s=300, num_t=150)
+        prices = p.price(np.full(3, 100.0))
+        cf = black_scholes_closed_form(100.0, strikes, R, SIG, T, "call")
+        np.testing.assert_allclose(prices, cf, atol=1e-2)
+        assert prices[0] > prices[1] > prices[2]  # moneyness ordering
+
+
+class TestAmerican:
+    def test_early_exercise_premium(self):
+        am = CrankNicolsonPricer(K, SIG, R, T, kind="put", american=True,
+                                 num_s=400, num_t=400).price(90.0)[0]
+        eu = fd_price(90.0, "put", num_t=400)
+        assert am > eu
+        assert am >= 10.0 - 1e-6  # never below intrinsic
+
+    def test_american_call_rejected(self):
+        with pytest.raises(ValueError, match="American calls"):
+            CrankNicolsonPricer(K, SIG, R, T, kind="call", american=True)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("method", ["gep", "cr_pcr"])
+    def test_gpu_path_matches_thomas(self, method):
+        ref = fd_price(100.0, "call", method="thomas", num_s=128,
+                       num_t=60)
+        got = fd_price(100.0, "call", method=method, num_s=128, num_t=60)
+        assert got == pytest.approx(ref, abs=1e-6)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            CrankNicolsonPricer(K, SIG, R, T, kind="straddle")

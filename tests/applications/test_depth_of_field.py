@@ -1,0 +1,68 @@
+"""Depth-of-field blur (Kass-style implicit diffusion)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.depth_of_field import (circle_of_confusion,
+                                               depth_of_field_blur,
+                                               synthetic_scene)
+
+
+class TestCoC:
+    def test_zero_in_focus_band(self):
+        depth = np.array([[1.0, 1.04, 0.96]])
+        coc = circle_of_confusion(depth, focus_depth=1.0, focus_range=0.05)
+        np.testing.assert_array_equal(coc, 0.0)
+
+    def test_grows_then_clamps(self):
+        depth = np.array([[1.5, 2.0, 50.0]])
+        coc = circle_of_confusion(depth, focus_depth=1.0,
+                                  focus_range=0.1, max_coc=4.0)
+        assert coc[0, 0] < coc[0, 1] <= coc[0, 2] == 4.0
+
+
+class TestBlur:
+    def test_in_focus_region_sharp(self):
+        img, depth = synthetic_scene(64, 64)
+        out = depth_of_field_blur(img, depth, focus_depth=1.0,
+                                  method="thomas")
+        bar = (depth == 1.0)
+        # The high-frequency foreground stripes survive where focused.
+        np.testing.assert_allclose(out[bar], img[bar], atol=1e-6)
+
+    def test_out_of_focus_region_smoothed(self):
+        img, depth = synthetic_scene(64, 64, seed=1)
+        out = depth_of_field_blur(img, depth, focus_depth=1.0,
+                                  method="thomas")
+        disc = (depth == 2.0)
+        assert np.var(out[disc]) < np.var(img[disc])
+
+    def test_mean_intensity_preserved(self):
+        """Diffusion conserves total light (interior, Neumann-free
+        tridiagonal rows sum to 1)."""
+        img, depth = synthetic_scene(48, 48, seed=2)
+        out = depth_of_field_blur(img, depth, focus_depth=2.0,
+                                  method="gep")
+        assert out.mean() == pytest.approx(img.mean(), abs=5e-3)
+
+    def test_multichannel(self):
+        img, depth = synthetic_scene(32, 32)
+        rgb = np.stack([img, img * 0.5, img * 0.25], axis=2)
+        out = depth_of_field_blur(rgb, depth, focus_depth=2.0,
+                                  method="thomas")
+        assert out.shape == (32, 32, 3)
+        np.testing.assert_allclose(out[:, :, 1], out[:, :, 0] * 0.5,
+                                   atol=1e-8)
+
+    def test_gpu_backend_matches_thomas(self):
+        img, depth = synthetic_scene(32, 32, seed=3)
+        ref = depth_of_field_blur(img, depth, focus_depth=2.0,
+                                  method="thomas")
+        got = depth_of_field_blur(img, depth, focus_depth=2.0,
+                                  method="cr_pcr")
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-7)
+
+    def test_depth_shape_mismatch(self):
+        with pytest.raises(ValueError, match="sizes differ"):
+            depth_of_field_blur(np.zeros((8, 8)), np.zeros((4, 4)),
+                                focus_depth=1.0)

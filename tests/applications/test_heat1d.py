@@ -1,0 +1,69 @@
+"""Implicit 1-D heat equation."""
+
+import numpy as np
+import pytest
+
+from repro.applications.heat1d import HeatRod1D
+
+
+def sine_rods(num_rods=4, n=65, mode=1):
+    x = np.linspace(0.0, 1.0, n)
+    u0 = np.sin(mode * np.pi * x)[None, :].repeat(num_rods, axis=0)
+    return u0, x[1] - x[0]
+
+
+class TestPhysics:
+    @pytest.mark.parametrize("theta", [0.5, 1.0])
+    def test_sine_mode_decays_at_analytic_rate(self, theta):
+        u0, dx = sine_rods()
+        rod = HeatRod1D(u0, alpha=0.01, dx=dx, dt=0.02, theta=theta,
+                        method="thomas")
+        u1 = rod.step(1)
+        measured = u1[0, 32] / u0[0, 32]
+        expected = rod.analytic_decay_mode(1)
+        assert measured == pytest.approx(expected, rel=5e-3)
+
+    def test_dirichlet_boundaries_fixed(self):
+        u0, dx = sine_rods()
+        u0[:, 0] = 0.25
+        u0[:, -1] = -0.5
+        rod = HeatRod1D(u0, dx=dx, dt=0.1, method="thomas")
+        u = rod.step(5)
+        np.testing.assert_allclose(u[:, 0], 0.25, atol=1e-6)
+        np.testing.assert_allclose(u[:, -1], -0.5, atol=1e-6)
+
+    def test_maximum_principle(self):
+        """Backward Euler heat flow cannot create new extrema."""
+        rng = np.random.default_rng(0)
+        u0 = rng.uniform(0.0, 1.0, (4, 33))
+        rod = HeatRod1D(u0, alpha=0.5, dt=0.5, theta=1.0, method="gep")
+        u = rod.step(10)
+        assert u.max() <= u0.max() + 1e-6
+        assert u.min() >= u0.min() - 1e-6
+
+    def test_steady_state_is_linear_profile(self):
+        u0 = np.zeros((1, 33))
+        u0[:, 0] = 1.0
+        rod = HeatRod1D(u0, alpha=1.0, dx=1.0, dt=5.0, theta=1.0,
+                        method="thomas")
+        u = rod.step(500)
+        expected = np.linspace(1.0, 0.0, 33)
+        np.testing.assert_allclose(u[0], expected, atol=1e-3)
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("method", ["thomas", "cr", "pcr", "cr_pcr"])
+    def test_backends_agree(self, method):
+        u0, dx = sine_rods(n=64)
+        ref = HeatRod1D(u0.copy(), alpha=0.01, dx=dx, dt=0.05,
+                        method="thomas").step(3)
+        got = HeatRod1D(u0.copy(), alpha=0.01, dx=dx, dt=0.05,
+                        method=method).step(3)
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-7)
+
+
+class TestValidation:
+    def test_bad_theta(self):
+        u0, dx = sine_rods()
+        with pytest.raises(ValueError, match="theta"):
+            HeatRod1D(u0, theta=0.0)

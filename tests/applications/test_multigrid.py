@@ -1,0 +1,86 @@
+"""Semi-coarsening multigrid with line relaxation (paper ref [24])."""
+
+import numpy as np
+import pytest
+
+from repro.applications.multigrid import (AnisotropicPoisson2D,
+                                          point_jacobi_factor)
+
+
+def problem(ny=32, nx=31, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((ny, nx))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("eps", [1.0, 0.1, 0.01, 0.001])
+    def test_fast_convergence_across_anisotropy(self, eps):
+        """Line relaxation + semi-coarsening is robust in eps -- the
+        whole point of ref [24]."""
+        mg = AnisotropicPoisson2D(problem(), eps=eps)
+        mg.solve(tol=1e-8, max_cycles=25)
+        assert mg.history[-1] < 1e-8
+        assert mg.convergence_factor() < 0.25
+
+    def test_beats_point_jacobi_under_anisotropy(self):
+        f = problem()
+        mg = AnisotropicPoisson2D(f, eps=0.01)
+        mg.solve(tol=1e-8)
+        assert mg.convergence_factor() < 0.2
+        assert point_jacobi_factor(f, eps=0.01) > 0.9
+
+    def test_solution_satisfies_pde(self):
+        from repro.applications.multigrid import _apply_operator
+        f = problem(24, 31, seed=1)
+        mg = AnisotropicPoisson2D(f, eps=0.05)
+        u = mg.solve(tol=1e-10)
+        r = f - _apply_operator(u, 0.05, 1.0, 1.0)
+        assert np.linalg.norm(r) / np.linalg.norm(f) < 1e-9
+
+    def test_gpu_backend(self):
+        f = problem(16, 31, seed=2)
+        ref = AnisotropicPoisson2D(f, eps=0.01, method="thomas")
+        got = AnisotropicPoisson2D(f, eps=0.01, method="cr_pcr")
+        u_ref = ref.solve(tol=1e-9)
+        u_got = got.solve(tol=1e-9)
+        np.testing.assert_allclose(u_got, u_ref, rtol=1e-5, atol=1e-7)
+
+
+class TestTransfers:
+    def test_restrict_prolong_shapes(self):
+        r = np.arange(30.0).reshape(2, 15)
+        rc = AnisotropicPoisson2D.restrict_x(r)
+        assert rc.shape == (2, 7)
+        e = AnisotropicPoisson2D.prolong_x(rc, 15)
+        assert e.shape == (2, 15)
+
+    def test_prolong_exact_on_injected_columns(self):
+        e = np.random.default_rng(3).standard_normal((4, 7))
+        fine = AnisotropicPoisson2D.prolong_x(e, 15)
+        np.testing.assert_array_equal(fine[:, 1::2], e)
+
+    def test_restriction_preserves_constants_weighting(self):
+        r = np.ones((3, 15))
+        rc = AnisotropicPoisson2D.restrict_x(r)
+        np.testing.assert_allclose(rc, 1.0)
+
+
+class TestValidation:
+    def test_bad_nx(self):
+        with pytest.raises(ValueError, match="2\\^k"):
+            AnisotropicPoisson2D(np.zeros((8, 10)))
+
+    def test_bad_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            AnisotropicPoisson2D(np.zeros((8, 7)), eps=0.0)
+
+    def test_zebra_halves_are_exact_line_solves(self):
+        """After one even half-sweep, the even columns' equations hold
+        exactly (given the current odd columns)."""
+        from repro.applications.multigrid import _apply_operator
+        f = problem(12, 15, seed=4)
+        mg = AnisotropicPoisson2D(f, eps=0.1)
+        u = np.random.default_rng(5).standard_normal(f.shape)
+        mg._line_solve(u, f, np.arange(0, 15, 2), 0.1, 1.0)
+        r = f - _apply_operator(u, 0.1, 1.0, 1.0)
+        assert np.max(np.abs(r[:, 0::2])) < 1e-10

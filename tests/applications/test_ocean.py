@@ -1,0 +1,89 @@
+"""Ocean column model (vertical mixing, the paper's HYCOM citation)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.ocean import (OceanColumnModel,
+                                      default_layer_thicknesses,
+                                      mixed_layer_diffusivity)
+
+
+def profile(num_columns=8, n=40):
+    return np.tile(np.linspace(20.0, 4.0, n), (num_columns, 1))
+
+
+class TestGrid:
+    def test_layer_thicknesses_grow_with_depth(self):
+        dz = default_layer_thicknesses(30)
+        assert np.all(np.diff(dz) > 0)
+        assert dz[0] == pytest.approx(2.0)
+
+    def test_diffusivity_profile_decays(self):
+        depths = np.linspace(1.0, 300.0, 50)
+        k = mixed_layer_diffusivity(depths, mld=30.0)
+        assert k[0] > 100 * k[-1]
+        assert np.all(np.diff(k) <= 1e-12)
+
+
+class TestPhysics:
+    def test_heat_conserved_without_forcing(self):
+        m = OceanColumnModel(profile(), dt=3600.0, surface_flux=0.0,
+                             method="thomas")
+        h0 = m.heat_content().copy()
+        m.step(48)
+        np.testing.assert_allclose(m.heat_content(), h0, rtol=1e-12)
+
+    def test_mixing_homogenises_mixed_layer(self):
+        m = OceanColumnModel(profile(), dt=3600.0, mld=30.0,
+                             method="thomas")
+        m.step(72)
+        # Layers inside the mixed layer converge to near-uniform T.
+        centers = np.cumsum(m.dz, axis=1) - m.dz / 2
+        inside = centers[0] <= 20.0
+        spread = m.T[0, inside].max() - m.T[0, inside].min()
+        assert spread < 0.5
+
+    def test_deep_ocean_untouched(self):
+        m = OceanColumnModel(profile(), dt=3600.0, mld=30.0,
+                             method="thomas")
+        before = m.T[:, -1].copy()
+        m.step(48)
+        np.testing.assert_allclose(m.T[:, -1], before, atol=1e-3)
+
+    def test_surface_flux_warms(self):
+        cold = OceanColumnModel(profile(), dt=3600.0, surface_flux=0.0)
+        warm = OceanColumnModel(profile(), dt=3600.0, surface_flux=1e-4)
+        cold.step(24)
+        warm.step(24)
+        assert np.all(warm.mixed_layer_temperature()
+                      > cold.mixed_layer_temperature())
+
+    def test_systems_are_dominant(self):
+        m = OceanColumnModel(profile(), dt=3600.0)
+        s = m.build_systems()
+        assert s.is_diagonally_dominant(strict=True).all()
+
+    def test_per_column_mld(self):
+        mlds = np.linspace(10.0, 80.0, 8)
+        m = OceanColumnModel(profile(), dt=3600.0, mld=mlds,
+                             method="thomas")
+        m.step(48)
+        # Deeper mixed layers entrain more cold water.
+        t = m.mixed_layer_temperature()
+        assert t[-1] < t[0]
+
+
+class TestBackends:
+    @pytest.mark.parametrize("method", ["cr", "pcr", "cr_pcr", "qr"])
+    def test_gpu_path_matches_thomas(self, method):
+        ref = OceanColumnModel(profile(), dt=3600.0, method="thomas")
+        got = OceanColumnModel(profile(), dt=3600.0, method=method)
+        ref.step(6)
+        got.step(6)
+        np.testing.assert_allclose(got.T, ref.T, rtol=1e-7, atol=1e-9)
+
+
+class TestValidation:
+    def test_nonpositive_thickness_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            OceanColumnModel(profile(1, 4), layer_dz=np.array([1, -1, 1, 1.0]))

@@ -1,0 +1,55 @@
+"""Spectral (Hockney) Poisson solver."""
+
+import numpy as np
+import pytest
+
+from repro.applications.poisson import (manufactured_problem,
+                                        poisson_dirichlet_2d,
+                                        poisson_residual)
+
+
+class TestManufactured:
+    @pytest.mark.parametrize("shape", [(31, 31), (63, 31), (16, 48)])
+    def test_exact_to_rounding(self, shape):
+        f, u_exact = manufactured_problem(*shape)
+        u = poisson_dirichlet_2d(f, method="thomas")
+        np.testing.assert_allclose(u, u_exact, atol=1e-10)
+
+    def test_residual_small(self):
+        f, _ = manufactured_problem(31, 31)
+        u = poisson_dirichlet_2d(f, method="thomas")
+        assert poisson_residual(u, f) < 1e-10
+
+    def test_grid_spacing(self):
+        f, u_exact = manufactured_problem(31, 31, dx=0.25)
+        u = poisson_dirichlet_2d(f, dx=0.25, method="thomas")
+        np.testing.assert_allclose(u, u_exact, atol=1e-10)
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("method", ["gep", "cr", "cr_pcr"])
+    def test_backends_agree(self, method):
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((32, 32))
+        ref = poisson_dirichlet_2d(f, method="thomas")
+        got = poisson_dirichlet_2d(f, method=method)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-8)
+
+
+class TestProperties:
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        f1 = rng.standard_normal((16, 16))
+        f2 = rng.standard_normal((16, 16))
+        u1 = poisson_dirichlet_2d(f1, method="thomas")
+        u2 = poisson_dirichlet_2d(f2, method="thomas")
+        u12 = poisson_dirichlet_2d(f1 + 2 * f2, method="thomas")
+        np.testing.assert_allclose(u12, u1 + 2 * u2, atol=1e-9)
+
+    def test_negative_definite(self):
+        """-laplace is positive definite: <u, f> = <u, Lu> < 0 for
+        nonzero f."""
+        rng = np.random.default_rng(2)
+        f = rng.standard_normal((24, 24))
+        u = poisson_dirichlet_2d(f, method="thomas")
+        assert float((u * f).sum()) < 0

@@ -1,0 +1,87 @@
+"""Property-based tests over the application layer.
+
+Physics invariants that must hold for *any* admissible parameters:
+conservation, maximum principles, backend equivalence, and PDE
+consistency -- the application-level analogue of the solver-layer
+equivalence properties.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.adi import ADIDiffusion2D
+from repro.applications.heat1d import HeatRod1D
+from repro.applications.shallow_water import ShallowWater1D
+
+seeds = st.integers(min_value=0, max_value=10**6)
+alphas = st.floats(min_value=0.01, max_value=2.0)
+dts = st.floats(min_value=0.01, max_value=1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, alpha=alphas, dt=dts)
+def test_heat_maximum_principle(seed, alpha, dt):
+    """Backward-Euler heat flow never creates new extrema, for any
+    diffusivity/time-step combination (unconditional stability)."""
+    rng = np.random.default_rng(seed)
+    u0 = rng.uniform(0.0, 1.0, (3, 33))
+    rod = HeatRod1D(u0, alpha=alpha, dt=dt, theta=1.0, method="thomas")
+    u = rod.step(5)
+    assert u.max() <= u0.max() + 1e-8
+    assert u.min() >= u0.min() - 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, alpha=alphas, dt=dts)
+def test_heat_smooths_variance(seed, alpha, dt):
+    """Interior variance never grows under pure diffusion."""
+    rng = np.random.default_rng(seed)
+    u0 = rng.uniform(0.0, 1.0, (2, 33))
+    u0[:, 0] = u0[:, -1] = 0.5  # fixed equal boundaries
+    rod = HeatRod1D(u0, alpha=alpha, dt=dt, theta=1.0, method="thomas")
+    u = rod.step(3)
+    assert u[:, 1:-1].var(axis=1).max() <= \
+        u0[:, 1:-1].var(axis=1).max() + 1e-10
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, alpha=st.floats(min_value=0.05, max_value=0.5),
+       dt=st.floats(min_value=0.05, max_value=0.5))
+def test_adi_heat_conservation(seed, alpha, dt):
+    """Interior heat is conserved for fields vanishing at the ring."""
+    rng = np.random.default_rng(seed)
+    u0 = np.zeros((26, 26))
+    u0[8:18, 8:18] = rng.uniform(0.0, 1.0, (10, 10))
+    adi = ADIDiffusion2D(u0, alpha=alpha, dt=dt, method="thomas")
+    before = adi.total_heat()
+    adi.step(2)
+    # Leakage only through the cold boundary: heat can decrease a
+    # little, never increase.
+    assert adi.total_heat() <= before + 1e-8
+    assert adi.total_heat() >= 0.5 * before  # two steps can't drain it
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, dt=st.floats(min_value=0.005, max_value=0.05),
+       damping=st.floats(min_value=0.9, max_value=1.0))
+def test_water_volume_conserved_for_any_params(seed, dt, damping):
+    rng = np.random.default_rng(seed)
+    h0 = 1.0 + 0.2 * rng.random((2, 48))
+    sw = ShallowWater1D(h0, dt=dt, damping=damping, method="thomas")
+    v0 = sw.total_volume().copy()
+    sw.step(10)
+    np.testing.assert_allclose(sw.total_volume(), v0, rtol=1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_backend_equivalence_random_fields(seed):
+    """Thomas and CR+PCR backends agree on random ADI problems."""
+    rng = np.random.default_rng(seed)
+    u0 = np.zeros((34, 34))
+    u0[5:29, 5:29] = rng.uniform(0.0, 1.0, (24, 24))
+    ref = ADIDiffusion2D(u0.copy(), alpha=0.2, dt=0.3, method="thomas")
+    got = ADIDiffusion2D(u0.copy(), alpha=0.2, dt=0.3, method="cr_pcr")
+    ref.step(2)
+    got.step(2)
+    np.testing.assert_allclose(got.u, ref.u, rtol=1e-6, atol=1e-8)

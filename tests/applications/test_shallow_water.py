@@ -1,0 +1,117 @@
+"""Kass-Miller shallow water."""
+
+import numpy as np
+import pytest
+
+from repro.applications.shallow_water import ShallowWater1D
+
+
+def bump(num=4, n=64, height=1.0, amp=0.5):
+    h = np.full((num, n), height)
+    h[:, n // 2 - 4:n // 2 + 4] += amp
+    return h
+
+
+class TestPhysics:
+    def test_volume_conserved(self):
+        sw = ShallowWater1D(bump(), dt=0.02, method="thomas")
+        v0 = sw.total_volume().copy()
+        sw.step(30)
+        np.testing.assert_allclose(sw.total_volume(), v0, rtol=1e-10)
+
+    def test_bump_spreads(self):
+        sw = ShallowWater1D(bump(), dt=0.02, method="thomas")
+        peak0 = sw.h.max()
+        sw.step(20)
+        assert sw.h.max() < peak0
+
+    def test_flat_water_stays_flat(self):
+        sw = ShallowWater1D(np.ones((2, 32)), dt=0.05, method="thomas")
+        sw.step(10)
+        np.testing.assert_allclose(sw.h, 1.0, atol=1e-10)
+
+    def test_ground_respected(self):
+        ground = np.zeros((1, 64))
+        ground[0, 40:50] = 0.8
+        h = np.maximum(bump(1), ground + 0.01)
+        sw = ShallowWater1D(h, ground=ground, dt=0.02, method="thomas")
+        sw.step(20)
+        assert np.all(sw.h >= sw.ground - 1e-12)
+
+    def test_systems_are_paper_accuracy_class(self):
+        """The implicit step's matrices are the diagonally dominant
+        'fluid simulation' class of Fig 18."""
+        sw = ShallowWater1D(bump(), dt=0.05)
+        s = sw.build_systems()
+        assert s.is_diagonally_dominant(strict=True).all()
+
+
+class TestBackends:
+    @pytest.mark.parametrize("method", ["cr", "pcr", "cr_pcr"])
+    def test_gpu_path_matches_thomas(self, method):
+        ref = ShallowWater1D(bump(), dt=0.02, method="thomas")
+        got = ShallowWater1D(bump(), dt=0.02, method=method)
+        ref.step(5)
+        got.step(5)
+        np.testing.assert_allclose(got.h, ref.h, rtol=1e-6, atol=1e-8)
+
+
+class TestValidation:
+    def test_water_below_ground_rejected(self):
+        with pytest.raises(ValueError, match="below ground"):
+            ShallowWater1D(np.zeros((1, 16)), ground=np.ones((1, 16)))
+
+
+class TestTwoDimensional:
+    def _pool(self, n=48):
+        import numpy as np
+        h = np.ones((n, n))
+        h[n // 2 - 4: n // 2 + 4, n // 2 - 4: n // 2 + 4] += 0.4
+        return h
+
+    def test_volume_conserved(self):
+        from repro.applications.shallow_water import ShallowWater2D
+        sw = ShallowWater2D(self._pool(), dt=0.02, method="thomas")
+        v0 = sw.total_volume()
+        sw.step(20)
+        assert abs(sw.total_volume() - v0) < 1e-8 * v0
+
+    def test_wave_spreads_radially(self):
+        import numpy as np
+        from repro.applications.shallow_water import ShallowWater2D
+        sw = ShallowWater2D(self._pool(), dt=0.02, method="thomas")
+        peak0 = sw.h.max()
+        sw.step(15)
+        assert sw.h.max() < peak0
+        # Symmetric initial condition stays symmetric up to the
+        # O(dt^2) row-then-column splitting error.
+        np.testing.assert_allclose(sw.h, sw.h.T, atol=5e-3)
+
+    def test_flat_stays_flat(self):
+        import numpy as np
+        from repro.applications.shallow_water import ShallowWater2D
+        sw = ShallowWater2D(np.ones((24, 24)), dt=0.05, method="thomas")
+        sw.step(5)
+        np.testing.assert_allclose(sw.h, 1.0, atol=1e-10)
+
+    def test_systems_per_step_is_adi_shaped(self):
+        import numpy as np
+        from repro.applications.shallow_water import ShallowWater2D
+        sw = ShallowWater2D(np.ones((512, 512)))
+        assert sw.systems_per_step() == (1024, 512)
+
+    def test_gpu_backend_matches_thomas(self):
+        import numpy as np
+        from repro.applications.shallow_water import ShallowWater2D
+        ref = ShallowWater2D(self._pool(), dt=0.02, method="thomas")
+        got = ShallowWater2D(self._pool(), dt=0.02, method="cr_pcr")
+        ref.step(5)
+        got.step(5)
+        np.testing.assert_allclose(got.h, ref.h, rtol=1e-6, atol=1e-8)
+
+    def test_needs_2d(self):
+        import numpy as np
+        import pytest
+        from repro.applications.shallow_water import ShallowWater2D
+        with pytest.raises(ValueError, match="2-D"):
+            ShallowWater2D(np.ones(16))

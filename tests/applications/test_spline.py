@@ -1,0 +1,134 @@
+"""Cubic-spline interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.applications.spline import CubicSpline
+
+
+class TestInterpolation:
+    def test_passes_through_knots(self):
+        x = np.linspace(0, 10, 13)
+        y = np.sin(x)
+        sp = CubicSpline(x, y)
+        np.testing.assert_allclose(sp(x)[0], y, atol=1e-10)
+
+    def test_approximates_smooth_function(self):
+        x = np.linspace(0, 2 * np.pi, 33)
+        sp = CubicSpline(x, np.sin(x))
+        xq = np.linspace(0.1, 6.1, 200)
+        assert np.max(np.abs(sp(xq)[0] - np.sin(xq))) < 5e-5
+
+    def test_convergence_rate(self):
+        """Natural-spline interior error shrinks ~h^4 on refinement."""
+        errs = []
+        for n in (17, 33, 65):
+            x = np.linspace(0, 2 * np.pi, n)
+            sp = CubicSpline(x, np.sin(x))
+            xq = np.linspace(2.0, 4.0, 101)  # interior, away from ends
+            errs.append(np.max(np.abs(sp(xq)[0] - np.sin(xq))))
+        assert errs[0] / errs[1] > 10
+        assert errs[1] / errs[2] > 10
+
+    def test_linear_data_reproduced_exactly(self):
+        x = np.linspace(0, 5, 11)
+        y = 3 * x + 1
+        sp = CubicSpline(x, y)
+        xq = np.linspace(0, 5, 57)
+        np.testing.assert_allclose(sp(xq)[0], 3 * xq + 1, atol=1e-10)
+
+    def test_matches_scipy(self):
+        from scipy.interpolate import CubicSpline as ScipySpline
+        x = np.linspace(0, 4, 15)
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(15)
+        ours = CubicSpline(x, y, bc="natural")
+        ref = ScipySpline(x, y, bc_type="natural")
+        xq = np.linspace(0, 4, 99)
+        np.testing.assert_allclose(ours(xq)[0], ref(xq), atol=1e-9)
+
+
+class TestBatched:
+    def test_many_curves_at_once(self):
+        x = np.linspace(0, 1, 17)
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal((20, 17))
+        sp = CubicSpline(x, y)
+        out = sp(np.linspace(0, 1, 40))
+        assert out.shape == (20, 40)
+        # each curve matches its solo fit
+        solo = CubicSpline(x, y[7])
+        np.testing.assert_allclose(out[7], solo(np.linspace(0, 1, 40))[0],
+                                   atol=1e-10)
+
+    def test_non_uniform_knots(self):
+        x = np.sort(np.random.default_rng(2).uniform(0, 10, 21))
+        sp = CubicSpline(x, np.cos(x))
+        np.testing.assert_allclose(sp(x)[0], np.cos(x), atol=1e-9)
+
+
+class TestBoundaryConditions:
+    def test_natural_second_derivative_zero(self):
+        x = np.linspace(0, 3, 9)
+        sp = CubicSpline(x, np.exp(x), bc="natural")
+        m = sp.moments()
+        np.testing.assert_allclose(m[:, 0], 0, atol=1e-12)
+        np.testing.assert_allclose(m[:, -1], 0, atol=1e-12)
+
+    def test_clamped_flat_ends(self):
+        x = np.linspace(0, 1, 33)
+        sp = CubicSpline(x, np.sin(np.pi * x) ** 2, bc="clamped")
+        h = 1e-5
+        left_slope = (sp(np.array([h]))[0, 0] - sp(np.array([0.0]))[0, 0]) / h
+        assert abs(left_slope) < 1e-2
+
+
+class TestValidation:
+    def test_unsorted_knots(self):
+        with pytest.raises(ValueError, match="increasing"):
+            CubicSpline(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_too_few_knots(self):
+        with pytest.raises(ValueError, match="3 knots"):
+            CubicSpline(np.array([0.0, 1.0]), np.zeros(2))
+
+    def test_unknown_bc(self):
+        with pytest.raises(ValueError, match="boundary"):
+            CubicSpline(np.linspace(0, 1, 5), np.zeros(5), bc="not-a-knot")
+
+
+class TestPeriodic:
+    def test_matches_scipy_periodic(self):
+        from scipy.interpolate import CubicSpline as ScipySpline
+        x = np.linspace(0, 2 * np.pi, 17)
+        y = np.sin(2 * x)
+        ours = CubicSpline(x, y, bc="periodic")
+        ref = ScipySpline(x, y, bc_type="periodic")
+        xq = np.linspace(0, 2 * np.pi, 200)
+        np.testing.assert_allclose(ours(xq)[0], ref(xq), atol=1e-10)
+
+    def test_smooth_across_the_seam(self):
+        """First derivative continuous where the curve closes."""
+        x = np.linspace(0, 1, 33)
+        y = np.cos(2 * np.pi * x)
+        sp = CubicSpline(x, y, bc="periodic")
+        h = 1e-6
+        left = (sp(np.array([h]))[0, 0] - sp(np.array([0.0]))[0, 0]) / h
+        right = (sp(np.array([1.0]))[0, 0]
+                 - sp(np.array([1.0 - h]))[0, 0]) / h
+        assert left == pytest.approx(right, abs=1e-3)
+
+    def test_batched_closed_curves(self):
+        x = np.linspace(0, 2 * np.pi, 25)
+        phases = np.linspace(0, 1, 5)[:, None]
+        y = np.sin(x[None, :] + 2 * np.pi * phases)
+        y[:, -1] = y[:, 0]
+        sp = CubicSpline(x, y, bc="periodic")
+        out = sp(np.linspace(0.5, 5.5, 50))
+        assert out.shape == (5, 50)
+        assert np.max(np.abs(out)) < 1.2
+
+    def test_mismatched_endpoints_rejected(self):
+        x = np.linspace(0, 1, 9)
+        with pytest.raises(ValueError, match="periodic"):
+            CubicSpline(x, x.copy(), bc="periodic")

@@ -1,0 +1,208 @@
+"""BlockContext: counter bookkeeping, phases, steps, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (GTX280, BlockContext, KernelError, StopKernel,
+                          launch)
+
+
+def make_ctx(blocks=2, threads=32):
+    return BlockContext(GTX280, blocks, threads)
+
+
+class TestConstruction:
+    def test_block_too_large(self):
+        with pytest.raises(KernelError, match="exceeds device limit"):
+            BlockContext(GTX280, 1, 1024)
+
+    def test_bad_sizes(self):
+        with pytest.raises(KernelError):
+            BlockContext(GTX280, 0, 32)
+
+
+class TestActiveLanes:
+    def test_prefix_activation(self):
+        ctx = make_ctx()
+        lanes = ctx.set_active(5)
+        np.testing.assert_array_equal(lanes, np.arange(5))
+        assert ctx.active_count == 5
+
+    def test_contiguous_range_allowed(self):
+        ctx = make_ctx()
+        ctx.set_active(np.arange(8, 24))
+        assert ctx.active_count == 16
+
+    def test_non_contiguous_rejected(self):
+        ctx = make_ctx()
+        with pytest.raises(KernelError, match="non-contiguous"):
+            ctx.set_active(np.array([0, 2, 4]))
+
+    def test_non_contiguous_allowed_when_disabled(self):
+        ctx = BlockContext(GTX280, 1, 32, check_contiguous_active=False)
+        ctx.set_active(np.array([0, 2, 4]))
+        assert ctx.active_count == 3
+
+    def test_out_of_block_lane_rejected(self):
+        ctx = make_ctx(threads=8)
+        with pytest.raises(KernelError, match="outside block"):
+            ctx.set_active(np.array([7, 8]))
+
+    def test_count_out_of_range(self):
+        ctx = make_ctx(threads=8)
+        with pytest.raises(KernelError):
+            ctx.set_active(9)
+
+
+class TestSharedAccounting:
+    def test_load_counts(self):
+        ctx = make_ctx()
+        arr = ctx.shared(64)
+        ctx.set_active(16)
+        ctx.sload(arr, np.arange(16))
+        pc = ctx.ledger.phase("main")
+        assert pc.shared_words == 16
+        assert pc.shared_instructions == 1
+        assert pc.shared_cycles == 1  # unit stride
+
+    def test_strided_store_conflicts(self):
+        ctx = make_ctx()
+        arr = ctx.shared(512)
+        ctx.set_active(16)
+        ctx.sstore(arr, np.arange(16) * 16, np.zeros((2, 16)))
+        pc = ctx.ledger.phase("main")
+        assert pc.shared_cycles == 16  # 16-way conflict
+
+    def test_cost_idx_overrides_cost_only(self):
+        ctx = make_ctx()
+        arr = ctx.shared(512)
+        arr.data[:, :] = np.arange(512)[None, :]
+        ctx.set_active(16)
+        idx = np.arange(16) * 16
+        vals = ctx.sload(arr, idx, cost_idx=np.arange(16))
+        pc = ctx.ledger.phase("main")
+        assert pc.shared_cycles == 1          # costed as unit stride
+        np.testing.assert_array_equal(vals[0], idx)  # values are real
+
+    def test_out_of_bounds_raises(self):
+        ctx = make_ctx()
+        arr = ctx.shared(8)
+        ctx.set_active(4)
+        with pytest.raises(KernelError, match="out of bounds"):
+            ctx.sload(arr, np.array([0, 1, 2, 8]))
+
+    def test_wrong_lane_count_raises(self):
+        ctx = make_ctx()
+        arr = ctx.shared(8)
+        ctx.set_active(4)
+        with pytest.raises(KernelError, match="does not match"):
+            ctx.sload(arr, np.arange(3))
+
+    def test_shared_overflow_raises(self):
+        ctx = make_ctx()
+        with pytest.raises(KernelError, match="footprint"):
+            ctx.shared(5000)  # 20 KB > 16 KB
+
+    def test_latency_units_scale_with_warps(self):
+        ctx = make_ctx(threads=512)
+        arr = ctx.shared(512)
+        ctx.set_active(512)           # 16 warps: fully hidden
+        ctx.sload(arr, np.arange(512))
+        assert ctx.ledger.phase("main").latency_units == 0.0
+        ctx.set_active(32)            # 1 warp: mostly exposed
+        ctx.sload(arr, np.arange(32))
+        assert ctx.ledger.phase("main").latency_units > 0.5
+
+
+class TestOpsAccounting:
+    def test_flops_scale_with_active(self):
+        ctx = make_ctx()
+        ctx.set_active(10)
+        ctx.ops(5, divs=2)
+        pc = ctx.ledger.phase("main")
+        assert pc.flops == 50
+        assert pc.divs == 20
+        assert pc.warp_instructions == 5  # one warp
+
+    def test_invalid_counts(self):
+        ctx = make_ctx()
+        with pytest.raises(KernelError):
+            ctx.ops(2, divs=3)
+        with pytest.raises(KernelError):
+            ctx.ops(-1)
+
+
+class TestPhasesAndSteps:
+    def test_phase_attribution(self):
+        ctx = make_ctx()
+        arr = ctx.shared(32)
+        ctx.set_active(8)
+        with ctx.phase("alpha"):
+            ctx.sload(arr, np.arange(8))
+        with ctx.phase("beta"):
+            ctx.ops(3)
+        assert ctx.ledger.phase("alpha").shared_words == 8
+        assert ctx.ledger.phase("beta").flops == 24
+        assert ctx.ledger.phase("alpha").flops == 0
+
+    def test_step_records_deltas(self):
+        ctx = make_ctx()
+        ctx.set_active(4)
+        with ctx.phase("p"):
+            with ctx.step():
+                ctx.ops(2)
+            with ctx.step():
+                ctx.ops(3)
+        steps = ctx.ledger.steps_in_phase("p")
+        assert len(steps) == 2
+        assert steps[0].flops == 8
+        assert steps[1].flops == 12
+        assert ctx.ledger.phase("p").steps == 2
+
+    def test_steps_do_not_nest(self):
+        ctx = make_ctx()
+        with pytest.raises(KernelError, match="nest"):
+            with ctx.step():
+                with ctx.step():
+                    pass
+
+    def test_sync_counted(self):
+        ctx = make_ctx()
+        ctx.sync()
+        ctx.sync()
+        assert ctx.ledger.phase("main").syncs == 2
+
+    def test_ledger_total_merges(self):
+        ctx = make_ctx()
+        ctx.set_active(4)
+        with ctx.phase("a"):
+            ctx.ops(1)
+        with ctx.phase("b"):
+            ctx.ops(2)
+        assert ctx.ledger.total().flops == 12
+
+
+class TestStepLimit:
+    def test_stop_kernel_raised(self):
+        ctx = BlockContext(GTX280, 1, 32, step_limit=2)
+        with ctx.step():
+            pass
+        with pytest.raises(StopKernel):
+            with ctx.step():
+                pass
+
+    def test_launch_catches_stop(self):
+        def kernel(ctx):
+            for _ in range(5):
+                with ctx.step():
+                    ctx.ops(1)
+            return "finished"
+
+        full = launch(kernel, num_blocks=1, threads_per_block=32)
+        assert full.outputs == "finished"
+        assert full.ledger.total().steps == 5
+
+        cut = launch(kernel, num_blocks=1, threads_per_block=32,
+                     step_limit=3)
+        assert cut.outputs is None
+        assert cut.ledger.total().steps == 3

@@ -1,0 +1,103 @@
+"""Cost model: linearity, grid scaling, report structure."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (GTX280, BlockContext, CostModel, CostModelParams,
+                          launch)
+from repro.gpusim.counters import PhaseCounters
+
+UNIT = CostModelParams(
+    shared_cycle_ns=1.0, shared_latency_ns=1.0, global_transaction_ns=1.0,
+    global_word_ns=1.0, warp_issue_ns=1.0, div_ns=1.0, sync_ns=1.0,
+    step_ns=1.0, launch_overhead_ns=0.0, latency_hiding=0.0)
+
+
+def pc(**kw):
+    out = PhaseCounters()
+    for k, v in kw.items():
+        setattr(out, k, v)
+    return out
+
+
+class TestPhaseTime:
+    def test_linear_in_counters(self):
+        cm = CostModel(UNIT)
+        t1 = cm.phase_time_block_ns(pc(shared_cycles=10)).total_ms
+        t2 = cm.phase_time_block_ns(pc(shared_cycles=20)).total_ms
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_components_routed(self):
+        cm = CostModel(UNIT)
+        t = cm.phase_time_block_ns(pc(shared_cycles=3, global_words=5,
+                                      warp_instructions=7))
+        assert t.shared_ms == 3
+        assert t.global_ms == 5
+        assert t.compute_ms == 7
+
+    def test_latency_divided_by_residency(self):
+        cm = CostModel(UNIT)
+        t1 = cm.phase_time_block_ns(pc(latency_units=8.0), blocks_per_sm=1)
+        t4 = cm.phase_time_block_ns(pc(latency_units=8.0), blocks_per_sm=4)
+        assert t1.shared_ms == pytest.approx(4 * t4.shared_ms)
+
+
+class TestGridScale:
+    def test_one_block_per_sm(self):
+        cm = CostModel(UNIT)
+        scale, conc, waves = cm.grid_scale(GTX280, 512, 5 * 512 * 4, 256)
+        assert conc == 1
+        assert waves == 18  # ceil(512 / 30)
+        assert scale == pytest.approx(18)
+
+    def test_latency_hiding_discount(self):
+        params = CostModelParams(**{**UNIT.__dict__, "latency_hiding": 0.5})
+        cm = CostModel(params)
+        scale, conc, waves = cm.grid_scale(GTX280, 240, 5 * 256 * 4, 128)
+        assert conc == 3
+        assert waves == 3  # ceil(240/90)
+        eff = 1 - 0.5 * (1 - 1 / 3)
+        assert scale == pytest.approx(3 * 3 * eff)
+
+    def test_overflow_raises(self):
+        cm = CostModel(UNIT)
+        with pytest.raises(ValueError, match="shared memory"):
+            cm.grid_scale(GTX280, 1, 20 * 1024, 64)
+
+
+class TestReport:
+    def _launch(self):
+        def kernel(ctx):
+            arr = ctx.shared(64)
+            with ctx.phase("load"):
+                ctx.set_active(32)
+                ctx.sload(arr, np.arange(32))
+            with ctx.phase("work"):
+                with ctx.step():
+                    ctx.ops(4, divs=1)
+        return launch(kernel, num_blocks=60, threads_per_block=32)
+
+    def test_phases_present_in_order(self):
+        cm = CostModel(UNIT)
+        rep = cm.report(self._launch())
+        assert list(rep.phases) == ["load", "work"]
+
+    def test_total_is_sum(self):
+        cm = CostModel(UNIT)
+        rep = cm.report(self._launch())
+        assert rep.total_ms == pytest.approx(
+            sum(p.total_ms for p in rep.phases.values())
+            + rep.launch_overhead_ms)
+
+    def test_per_step_times(self):
+        cm = CostModel(UNIT)
+        rep = cm.report(self._launch())
+        assert len(rep.steps_ms("work")) == 1
+        assert rep.steps_ms("work")[0] > 0
+
+    def test_resource_totals(self):
+        cm = CostModel(UNIT)
+        rep = cm.report(self._launch())
+        assert rep.shared_ms > 0
+        assert rep.compute_ms > 0
+        assert rep.global_ms == 0  # kernel never touched global memory

@@ -1,0 +1,86 @@
+"""Property tests on the cost model: monotonicity and scaling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import GTX280, CostModel, gt200_cost_model
+from repro.gpusim.counters import PhaseCounters
+
+counts = st.integers(min_value=0, max_value=10_000)
+fields = st.sampled_from(["shared_cycles", "global_transactions",
+                          "global_words", "flops", "divs",
+                          "warp_instructions", "syncs", "steps",
+                          "latency_units", "global_latency_units"])
+
+
+def make_pc(vals):
+    pc = PhaseCounters()
+    for k, v in vals.items():
+        setattr(pc, k, v)
+    return pc
+
+
+class TestMonotonicity:
+    @settings(max_examples=100, deadline=None)
+    @given(base=st.dictionaries(fields, counts, min_size=1),
+           bump_field=fields, bump=st.integers(min_value=1, max_value=100))
+    def test_more_counters_never_cheaper(self, base, bump_field, bump):
+        cm = gt200_cost_model()
+        pc1 = make_pc(base)
+        pc2 = make_pc(base)
+        setattr(pc2, bump_field, getattr(pc2, bump_field) + bump)
+        t1 = cm.phase_time_block_ns(pc1).total_ms
+        t2 = cm.phase_time_block_ns(pc2).total_ms
+        assert t2 >= t1
+
+    @settings(max_examples=50, deadline=None)
+    @given(base=st.dictionaries(fields, counts, min_size=1),
+           k=st.floats(min_value=0.0, max_value=16.0))
+    def test_linearity(self, base, k):
+        cm = gt200_cost_model()
+        pc = make_pc(base)
+        scaled = pc.scaled(k)
+        t = cm.phase_time_block_ns(pc).total_ms
+        tk = cm.phase_time_block_ns(scaled).total_ms
+        assert tk == pytest.approx(k * t, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(latency=st.floats(min_value=0.1, max_value=100.0),
+           conc=st.integers(min_value=1, max_value=8))
+    def test_residency_hides_latency(self, latency, conc):
+        cm = gt200_cost_model()
+        pc = make_pc({"latency_units": latency})
+        t1 = cm.phase_time_block_ns(pc, blocks_per_sm=1).shared_ms
+        tc = cm.phase_time_block_ns(pc, blocks_per_sm=conc).shared_ms
+        assert tc == pytest.approx(t1 / conc, rel=1e-9)
+
+
+class TestGridScale:
+    @settings(max_examples=60, deadline=None)
+    @given(blocks=st.integers(min_value=1, max_value=4096),
+           shared=st.integers(min_value=4, max_value=15000),
+           threads=st.sampled_from([32, 64, 128, 256, 512]))
+    def test_scale_monotone_in_blocks(self, blocks, shared, threads):
+        cm = gt200_cost_model()
+        s1, _, _ = cm.grid_scale(GTX280, blocks, shared, threads)
+        s2, _, _ = cm.grid_scale(GTX280, blocks + 30, shared, threads)
+        assert s2 >= s1 - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(blocks=st.integers(min_value=1, max_value=2048),
+           shared=st.integers(min_value=4, max_value=15000),
+           threads=st.sampled_from([32, 64, 128, 256, 512]))
+    def test_scale_bounds(self, blocks, shared, threads):
+        """Scale is at least one wave-equivalent and at most serial."""
+        cm = gt200_cost_model()
+        s, conc, waves = cm.grid_scale(GTX280, blocks, shared, threads)
+        assert conc >= 1
+        assert waves >= 1
+        assert s <= blocks + 1e-9          # never worse than serial/SM
+        assert s >= blocks / (GTX280.num_sms * 8) - 1e-9
+
+    def test_full_device_equals_one(self):
+        cm = gt200_cost_model()
+        s, conc, waves = cm.grid_scale(GTX280, 30, 5 * 512 * 4, 256)
+        assert (s, conc, waves) == (pytest.approx(1.0), 1, 1)

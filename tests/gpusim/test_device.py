@@ -1,0 +1,105 @@
+"""Device spec and occupancy rules, including the paper's numbers."""
+
+import pytest
+
+from repro.gpusim.device import (GTX280, G80_8800GTX, DeviceSpec,
+                                 occupancy_report)
+
+
+class TestSpec:
+    def test_gtx280_parameters(self):
+        assert GTX280.num_sms == 30
+        assert GTX280.cores_per_sm == 8
+        assert GTX280.warp_size == 32
+        assert GTX280.shared_mem_banks == 16
+        assert GTX280.shared_mem_per_sm == 16 * 1024
+        assert GTX280.conflict_granularity == 16
+
+    def test_warps_rounding(self):
+        assert GTX280.warps(1) == 1
+        assert GTX280.warps(32) == 1
+        assert GTX280.warps(33) == 2
+        assert GTX280.warps(512) == 16
+        assert GTX280.warps(0) == 1  # a warp is the smallest unit
+
+    def test_half_warps(self):
+        assert GTX280.half_warps(16) == 1
+        assert GTX280.half_warps(17) == 2
+        assert GTX280.half_warps(256) == 16
+
+
+class TestOccupancy:
+    def test_paper_512_case_one_block_per_sm(self):
+        """5 arrays x 512 words x 4 B = 10 KiB -> one resident block
+        (the §5.2 explanation of the 512x512 performance dip)."""
+        assert GTX280.blocks_per_sm(5 * 512 * 4, 256) == 1
+
+    def test_paper_256_case_multiple_blocks(self):
+        """n = 256 systems fit 3 blocks per SM -> latency hiding."""
+        assert GTX280.blocks_per_sm(5 * 256 * 4, 128) == 3
+
+    def test_block_cap_applies(self):
+        assert GTX280.blocks_per_sm(64, 16) == GTX280.max_blocks_per_sm
+
+    def test_thread_cap_applies(self):
+        assert GTX280.blocks_per_sm(64, 512) == 2  # 1024 threads / 512
+
+    def test_too_large_block_returns_zero(self):
+        assert GTX280.blocks_per_sm(17 * 1024, 64) == 0
+
+    def test_reserved_bytes_matter(self):
+        """The CR+RD m=256 configuration needs exactly 16 KiB of
+        arrays; the reserved parameter area excludes it (paper's m=128
+        shared-memory limit, §5.3.5)."""
+        words = 5 * 512 + 6 * 256 + 1
+        assert words * 4 > GTX280.usable_shared_per_block
+        words_128 = 5 * 512 + 6 * 128 + 1
+        assert GTX280.blocks_per_sm(words_128 * 4, 256) == 1
+
+    def test_g80_differs(self):
+        assert G80_8800GTX.num_sms == 16
+        assert G80_8800GTX.blocks_per_sm(64, 512) == 1  # 768 threads
+
+
+class TestOccupancyReport:
+    def test_limits_identified(self):
+        rep = occupancy_report(GTX280, 5 * 512 * 4, 256)
+        assert rep["blocks_per_sm"] == 1
+        assert "shared_memory" in rep["limited_by"]
+        assert rep["fits_in_shared"]
+
+    def test_unfit_block(self):
+        rep = occupancy_report(GTX280, 20 * 1024, 64)
+        assert rep["blocks_per_sm"] == 0
+        assert not rep["fits_in_shared"]
+
+    def test_custom_device(self):
+        tiny = DeviceSpec(name="tiny", shared_mem_per_sm=1024,
+                          shared_mem_reserved=0)
+        assert tiny.blocks_per_sm(512, 32) == 2
+
+
+class TestRegisterOccupancy:
+    def test_registers_can_be_the_limit(self):
+        """§5.2 lists register count among the occupancy limits."""
+        # 256 threads x 32 regs = 8192 regs/block -> 2 blocks by regs,
+        # while shared memory alone would allow 8.
+        assert GTX280.blocks_per_sm(512, 256, registers_per_thread=32) == 2
+
+    def test_zero_means_unconstrained(self):
+        base = GTX280.blocks_per_sm(5 * 256 * 4, 128)
+        assert GTX280.blocks_per_sm(5 * 256 * 4, 128,
+                                    registers_per_thread=0) == base
+
+    def test_impossible_register_demand(self):
+        assert GTX280.blocks_per_sm(512, 512,
+                                    registers_per_thread=64) == 0
+
+    def test_paper_case_not_register_limited(self):
+        """The paper notes its blocks are limited by shared memory,
+        'rather than register usage in our case' (§5.3): a ~16-register
+        CR kernel at n=512 stays shared-memory-limited."""
+        by_regs = GTX280.registers_per_sm // (16 * 256)
+        assert GTX280.blocks_per_sm(5 * 512 * 4, 256,
+                                    registers_per_thread=16) == 1
+        assert by_regs > 1

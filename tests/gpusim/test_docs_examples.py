@@ -1,0 +1,64 @@
+"""The code shown in docs/simulator.md must actually run.
+
+Documentation examples rot silently; this test executes the guide's
+worked kernel verbatim-in-spirit and checks both its functional result
+and the properties the guide claims (conflict-free, fully coalesced).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import gt200_cost_model, launch
+from repro.kernels.common import GlobalSystemArrays
+from repro.numerics.generators import diagonally_dominant_fluid
+
+
+def reverse_kernel(ctx, gmem):
+    """The docs/simulator.md worked example: reverse each system's d."""
+    n = gmem.n
+    buf = ctx.shared(n)
+    with ctx.phase("load"):
+        ctx.set_active(n)
+        i = ctx.lanes
+        ctx.sstore(buf, i, ctx.gload(gmem.d, gmem.block_bases, i))
+        ctx.sync()
+    with ctx.phase("store"):
+        ctx.set_active(n)
+        i = ctx.lanes
+        vals = ctx.sload(buf, n - 1 - i)
+        ctx.gstore(gmem.x, gmem.block_bases, i, vals)
+
+
+@pytest.fixture(scope="module")
+def run():
+    systems = diagonally_dominant_fluid(4, 64, seed=0)
+    gmem = GlobalSystemArrays.from_systems(systems)
+    result = launch(reverse_kernel, num_blocks=4, threads_per_block=64,
+                    gmem=gmem)
+    return systems, gmem, result
+
+
+class TestGuideExample:
+    def test_functional(self, run):
+        systems, gmem, _res = run
+        np.testing.assert_array_equal(gmem.solution(),
+                                      systems.d[:, ::-1])
+
+    def test_reversed_read_is_conflict_free(self, run):
+        """The guide's claim: a reversed unit-stride gather still maps
+        one word per bank."""
+        _s, _g, res = run
+        for name, pc in res.ledger.phases.items():
+            assert pc.conflict_degree == pytest.approx(1.0), name
+
+    def test_fully_coalesced(self, run):
+        _s, _g, res = run
+        total = res.ledger.total()
+        words_per_seg = 16
+        assert total.global_transactions == total.global_words // words_per_seg
+
+    def test_costable(self, run):
+        _s, _g, res = run
+        rep = gt200_cost_model().report(res)
+        assert rep.total_ms > 0
+        assert set(rep.phases) == {"load", "store"}

@@ -1,0 +1,127 @@
+"""Bank-conflict and coalescing accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GTX280
+from repro.gpusim.memory import (GlobalArray, SharedMemorySpace,
+                                 bank_conflict_cycles,
+                                 coalesced_transactions,
+                                 max_conflict_degree)
+
+
+class TestBankConflicts:
+    def test_unit_stride_conflict_free(self):
+        addrs = np.arange(16)
+        cycles, hw = bank_conflict_cycles(addrs, GTX280)
+        assert (cycles, hw) == (1, 1)
+
+    @pytest.mark.parametrize("stride,expected", [
+        (2, 2), (4, 4), (8, 8), (16, 16), (32, 16), (64, 16),
+    ])
+    def test_power_of_two_strides(self, stride, expected):
+        """Full half-warp with stride 2^k: min(2^k, 16)-way conflicts --
+        the Fig 9 ladder."""
+        addrs = np.arange(16) * stride
+        assert max_conflict_degree(addrs, GTX280) == expected
+
+    def test_same_address_broadcasts(self):
+        """16 lanes reading one word: broadcast, no serialization."""
+        addrs = np.zeros(16, dtype=int)
+        cycles, hw = bank_conflict_cycles(addrs, GTX280)
+        assert (cycles, hw) == (1, 1)
+
+    def test_partial_half_warp_stride(self):
+        """8 lanes at stride 64 words: all hit bank 0 -> 8-way
+        (Fig 9's (8,1,8) label)."""
+        addrs = np.arange(8) * 64
+        assert max_conflict_degree(addrs, GTX280) == 8
+
+    def test_two_half_warps_summed(self):
+        addrs = np.arange(32) * 2  # 2-way in each half-warp
+        cycles, hw = bank_conflict_cycles(addrs, GTX280)
+        assert hw == 2
+        assert cycles == 4
+
+    def test_lane_id_grouping(self):
+        """Lanes 8..23 split across two half-warps by lane id, not
+        position."""
+        lanes = np.arange(8, 24)
+        addrs = np.arange(8, 24) * 16  # stride 16: same bank
+        cycles, hw = bank_conflict_cycles(addrs, GTX280, lane_ids=lanes)
+        assert hw == 2
+        assert cycles == 8 + 8
+
+    def test_empty(self):
+        assert bank_conflict_cycles(np.array([], dtype=int), GTX280) == (0, 0)
+        assert max_conflict_degree(np.array([], dtype=int), GTX280) == 0
+
+    def test_odd_stride_conflict_free(self):
+        """Odd strides are coprime with 16 banks -> no conflicts (the
+        classic padding trick relies on this)."""
+        for stride in (1, 3, 5, 7, 9, 15, 17):
+            addrs = np.arange(16) * stride
+            assert max_conflict_degree(addrs, GTX280) == 1, stride
+
+
+class TestCoalescing:
+    def test_contiguous_is_one_transaction(self):
+        addrs = np.arange(16)
+        assert coalesced_transactions(addrs, GTX280) == 1
+
+    def test_contiguous_full_warp(self):
+        addrs = np.arange(32)
+        assert coalesced_transactions(addrs, GTX280) == 2  # two half-warps
+
+    def test_strided_explodes(self):
+        addrs = np.arange(16) * 16
+        assert coalesced_transactions(addrs, GTX280) == 16
+
+    def test_unaligned_but_within_segments(self):
+        addrs = np.arange(16) + 8  # straddles two 16-word segments
+        assert coalesced_transactions(addrs, GTX280) == 2
+
+
+class TestSharedSpace:
+    def test_bump_allocation(self):
+        space = SharedMemorySpace(2, GTX280)
+        a = space.allocate(100)
+        b = space.allocate(28)
+        assert a.base == 0
+        assert b.base == 100
+        assert space.words_allocated == 128
+        assert space.bytes_allocated == 512
+
+    def test_zero_allocation_rejected(self):
+        space = SharedMemorySpace(1, GTX280)
+        with pytest.raises(ValueError):
+            space.allocate(0)
+
+    def test_gather_scatter_roundtrip(self):
+        space = SharedMemorySpace(3, GTX280)
+        arr = space.allocate(8)
+        vals = np.arange(12, dtype=np.float32).reshape(3, 4)
+        arr.scatter(np.array([1, 3, 5, 7]), vals)
+        got = arr.gather(np.array([1, 3, 5, 7]))
+        np.testing.assert_array_equal(got, vals)
+
+    def test_word_addrs_include_base(self):
+        space = SharedMemorySpace(1, GTX280)
+        space.allocate(10)
+        arr = space.allocate(4)
+        np.testing.assert_array_equal(arr.word_addrs(np.array([0, 1])),
+                                      [10, 11])
+
+
+class TestGlobalArray:
+    def test_block_addressing(self):
+        g = GlobalArray.from_array(np.arange(12, dtype=np.float32))
+        bases = np.array([0, 4, 8])
+        got = g.gather(bases, np.array([1, 3]))
+        np.testing.assert_array_equal(got, [[1, 3], [5, 7], [9, 11]])
+
+    def test_scatter(self):
+        g = GlobalArray(8)
+        g.scatter(np.array([0, 4]), np.array([0, 1]),
+                  np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_array_equal(g.data[[0, 1, 4, 5]], [1, 2, 3, 4])

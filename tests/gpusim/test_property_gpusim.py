@@ -1,0 +1,122 @@
+"""Property-based tests of the simulator's accounting primitives.
+
+The bank-conflict and coalescing rules are checked against brute-force
+reference implementations on random address patterns; the counter
+algebra (merge/scaled) against direct arithmetic.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import GTX280
+from repro.gpusim.counters import PhaseCounters
+from repro.gpusim.memory import (bank_conflict_cycles,
+                                 coalesced_transactions,
+                                 max_conflict_degree)
+
+addresses = st.lists(st.integers(min_value=0, max_value=2047),
+                     min_size=1, max_size=64)
+
+
+def brute_force_conflicts(addrs, device):
+    """Reference: group lanes 0..k-1 by half-warp, count distinct words
+    per bank, take the max per group, sum."""
+    g = device.conflict_granularity
+    nb = device.shared_mem_banks
+    cycles = 0
+    groups = 0
+    for start in range(0, len(addrs), g):
+        chunk = addrs[start:start + g]
+        groups += 1
+        per_bank = {}
+        for w in chunk:
+            per_bank.setdefault(w % nb, set()).add(w)
+        cycles += max(len(v) for v in per_bank.values())
+    return cycles, groups
+
+
+def brute_force_transactions(addrs, device):
+    g = device.conflict_granularity
+    seg = device.coalesce_segment_bytes // device.bank_width_bytes
+    total = 0
+    for start in range(0, len(addrs), g):
+        chunk = addrs[start:start + g]
+        total += len({w // seg for w in chunk})
+    return total
+
+
+class TestConflictAccounting:
+    @settings(max_examples=200, deadline=None)
+    @given(addrs=addresses)
+    def test_matches_brute_force(self, addrs):
+        got = bank_conflict_cycles(np.array(addrs), GTX280)
+        assert got == brute_force_conflicts(addrs, GTX280)
+
+    @settings(max_examples=100, deadline=None)
+    @given(addrs=addresses)
+    def test_cycles_bounded(self, addrs):
+        cycles, groups = bank_conflict_cycles(np.array(addrs), GTX280)
+        assert groups <= cycles <= len(addrs)
+        assert max_conflict_degree(np.array(addrs), GTX280) <= \
+            GTX280.conflict_granularity
+
+    @settings(max_examples=100, deadline=None)
+    @given(addrs=addresses)
+    def test_broadcast_invariance(self, addrs):
+        """Replacing every address with one value gives group-count
+        cycles (pure broadcast)."""
+        uniform = np.full(len(addrs), addrs[0])
+        cycles, groups = bank_conflict_cycles(uniform, GTX280)
+        assert cycles == groups
+
+    @settings(max_examples=100, deadline=None)
+    @given(addrs=addresses, shift=st.integers(min_value=0, max_value=160))
+    def test_translation_invariance_by_bank_multiple(self, addrs, shift):
+        """Shifting all addresses by a multiple of the bank count does
+        not change conflict structure."""
+        base = np.array(addrs)
+        shifted = base + shift * GTX280.shared_mem_banks
+        assert bank_conflict_cycles(base, GTX280)[0] == \
+            bank_conflict_cycles(shifted, GTX280)[0]
+
+
+class TestCoalescingAccounting:
+    @settings(max_examples=200, deadline=None)
+    @given(addrs=addresses)
+    def test_matches_brute_force(self, addrs):
+        got = coalesced_transactions(np.array(addrs), GTX280)
+        assert got == brute_force_transactions(addrs, GTX280)
+
+    @settings(max_examples=100, deadline=None)
+    @given(addrs=addresses)
+    def test_bounds(self, addrs):
+        t = coalesced_transactions(np.array(addrs), GTX280)
+        groups = -(-len(addrs) // GTX280.conflict_granularity)
+        assert groups <= t <= len(addrs)
+
+
+class TestCounterAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(vals=st.lists(st.integers(min_value=0, max_value=1000),
+                         min_size=10, max_size=10),
+           f=st.floats(min_value=0.0, max_value=8.0))
+    def test_scaled_is_linear(self, vals, f):
+        pc = PhaseCounters(
+            shared_words=vals[0], shared_cycles=vals[1],
+            shared_instructions=vals[2], global_words=vals[3],
+            global_transactions=vals[4], flops=vals[5], divs=vals[6],
+            warp_instructions=vals[7], syncs=vals[8], steps=vals[9])
+        scaled = pc.scaled(f)
+        assert scaled.flops == vals[5] * f
+        assert scaled.steps == vals[9] * f
+        assert scaled.max_active_threads == pc.max_active_threads
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=100),
+           b=st.integers(min_value=0, max_value=100))
+    def test_merge_adds(self, a, b):
+        p = PhaseCounters(flops=a, steps=a)
+        q = PhaseCounters(flops=b, steps=b)
+        p.merge(q)
+        assert p.flops == a + b
+        assert p.steps == a + b

@@ -1,0 +1,75 @@
+"""Trace serialization round-trips and diffing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpusim import launch
+from repro.gpusim.counters import PhaseCounters
+from repro.gpusim.serialize import (launch_to_dict, launch_to_json,
+                                    ledger_from_dict, ledger_to_dict,
+                                    ledgers_equal, phase_from_dict,
+                                    phase_to_dict)
+
+
+def sample_launch():
+    def kernel(ctx):
+        arr = ctx.shared(64)
+        with ctx.phase("work"):
+            ctx.set_active(32)
+            with ctx.step():
+                ctx.sload(arr, np.arange(32))
+                ctx.ops(5, divs=1)
+                ctx.sync()
+    return launch(kernel, num_blocks=3, threads_per_block=32)
+
+
+class TestRoundTrip:
+    def test_phase_roundtrip(self):
+        pc = PhaseCounters(shared_words=7, flops=12, latency_units=0.5)
+        assert phase_from_dict(phase_to_dict(pc)).as_dict() == pc.as_dict()
+
+    def test_ledger_roundtrip(self):
+        res = sample_launch()
+        d = ledger_to_dict(res.ledger)
+        back = ledger_from_dict(d)
+        assert not ledgers_equal(res.ledger, back)
+
+    def test_json_is_valid_and_stable(self):
+        res = sample_launch()
+        text = launch_to_json(res)
+        parsed = json.loads(text)
+        assert parsed["num_blocks"] == 3
+        assert parsed["ledger"]["phases"]["work"]["flops"] == 5 * 32
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            phase_from_dict({"flops": 1, "bogus": 2})
+
+
+class TestDiff:
+    def test_equal_ledgers_no_diffs(self):
+        res = sample_launch()
+        assert ledgers_equal(res.ledger, res.ledger) == []
+
+    def test_counter_drift_reported(self):
+        res = sample_launch()
+        other = ledger_from_dict(ledger_to_dict(res.ledger))
+        other.phases["work"].flops += 1
+        diffs = ledgers_equal(res.ledger, other)
+        assert any("work.flops" in d for d in diffs)
+
+    def test_missing_phase_reported(self):
+        res = sample_launch()
+        other = ledger_from_dict(ledger_to_dict(res.ledger))
+        other.phases["extra"] = PhaseCounters()
+        diffs = ledgers_equal(res.ledger, other)
+        assert any("extra" in d for d in diffs)
+
+    def test_rel_tol_loosens_floats(self):
+        res = sample_launch()
+        other = ledger_from_dict(ledger_to_dict(res.ledger))
+        other.phases["work"].latency_units *= 1.0000001
+        assert ledgers_equal(res.ledger, other, rel_tol=1e-5) == []
+        assert ledgers_equal(res.ledger, other) != []

@@ -1,0 +1,58 @@
+"""Warp partitioning, contiguity checks, divergence accounting."""
+
+import numpy as np
+
+from repro.gpusim.device import GTX280
+from repro.gpusim.warp import (divergence_penalty_warps, is_contiguous_prefix,
+                               is_contiguous_range, issue_count,
+                               warps_touched)
+
+
+class TestWarpsTouched:
+    def test_prefix(self):
+        assert warps_touched(np.arange(64), GTX280) == 2
+
+    def test_partial_warp(self):
+        assert warps_touched(np.arange(5), GTX280) == 1
+
+    def test_offset_range_spans_boundary(self):
+        assert warps_touched(np.arange(16, 48), GTX280) == 2
+
+    def test_empty(self):
+        assert warps_touched(np.array([], dtype=int), GTX280) == 0
+
+
+class TestContiguity:
+    def test_prefix_true(self):
+        assert is_contiguous_prefix(np.arange(7))
+        assert is_contiguous_prefix(np.array([], dtype=int))
+
+    def test_prefix_false_for_offset(self):
+        assert not is_contiguous_prefix(np.arange(3, 10))
+
+    def test_range_true_for_offset(self):
+        assert is_contiguous_range(np.arange(3, 10))
+
+    def test_range_false_for_gaps(self):
+        assert not is_contiguous_range(np.array([0, 2, 4]))
+
+
+class TestDivergence:
+    def test_contiguous_prefix_no_penalty(self):
+        assert divergence_penalty_warps(np.arange(40), GTX280) == 0
+
+    def test_strided_lanes_penalised(self):
+        """Every other lane active across 4 warps: work that a packed
+        layout would do in 2 warps."""
+        lanes = np.arange(0, 128, 2)
+        assert divergence_penalty_warps(lanes, GTX280) > 0
+
+    def test_empty_no_penalty(self):
+        assert divergence_penalty_warps(np.array([], dtype=int), GTX280) == 0
+
+
+class TestIssueCount:
+    def test_rounds_up(self):
+        assert issue_count(1, GTX280) == 1
+        assert issue_count(33, GTX280) == 2
+        assert issue_count(512, GTX280) == 16

@@ -1,0 +1,64 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 280" in out
+        assert "cr_pcr" in out
+
+    def test_verify_passes(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all headline checks passed" in out
+        assert "FAIL" not in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "cr", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "prioritized optimizations" in out
+        assert "forward_reduction" in out
+
+    def test_analyze_hybrid_with_switch_point(self, capsys):
+        assert main(["analyze", "cr_pcr", "--n", "64",
+                     "--intermediate-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "inner_forward_reduction" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "sor"])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "matches the paper" in out
+        assert "overflow" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "rep.md"
+        assert main(["report", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "Solver totals at 512x512" in text
+        assert "Bank conflicts" in text
+        assert "Hybrid switch points" in text
+
+
+class TestExperimentsCommand:
+    def test_lists_all_artifacts(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 18" in out
+        assert "bench_table1_complexity.py" in out

@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; letting them rot defeats
+their purpose.  Each runs in a subprocess exactly as a user would run
+it.  The heaviest ones (full 512x512 ADI, the complete performance
+walkthrough) are exercised with reduced work via environment-free
+direct runs of their faster siblings; the rest run as-is.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+#: (script, timeout seconds).  Chosen to keep the suite under a minute
+#: while covering every example at least weekly-CI-fast.
+FAST_EXAMPLES = [
+    ("quickstart.py", 120),
+    ("cubic_spline_demo.py", 120),
+    ("eigenvalues_demo.py", 120),
+    ("ocean_mixing.py", 180),
+    ("block_reaction_diffusion.py", 120),
+    ("pond_ripples.py", 180),
+    ("multigrid_anisotropic.py", 180),
+]
+
+HEAVY_EXAMPLES = [
+    ("adi_heat_diffusion.py", 420),
+    ("depth_of_field_blur.py", 420),
+    ("performance_analysis.py", 420),
+    ("accuracy_study.py", 420),
+    ("option_pricing.py", 420),
+]
+
+
+def _run(script, timeout):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=timeout)
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("script,timeout", FAST_EXAMPLES)
+def test_fast_example(script, timeout):
+    _run(script, timeout)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,timeout", HEAVY_EXAMPLES)
+def test_heavy_example(script, timeout):
+    _run(script, timeout)

@@ -1,0 +1,78 @@
+"""Golden-trace regression pins.
+
+Every shipped kernel's architectural counters at a fixed configuration
+are stored in ``golden_traces_n64.json``.  Any change to an access
+pattern, op count, or phase structure -- intentional or not -- fails
+here with a counter-level diff.  If the change is intentional,
+regenerate the fixture (see the snippet in this file's docstring
+history / DESIGN.md) and re-run the calibration sanity tests.
+"""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.gpusim.serialize import ledger_from_dict, ledgers_equal
+from repro.kernels.api import (run_cr_global, run_cr_split, run_kernel,
+                               run_pcr_pingpong, run_rd_full)
+from repro.kernels.thomas_kernel import run_thomas_per_thread
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "golden_traces_n64.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE) as fh:
+        return json.load(fh)
+
+
+def _run(name):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        s = (close_values(2, 64, seed=0) if "rd" in name
+             else diagonally_dominant_fluid(2, 64, seed=0))
+        if name in ("cr", "pcr", "rd", "cr_pcr", "cr_rd"):
+            m = 16 if name in ("cr_pcr", "cr_rd") else None
+            _x, res = run_kernel(name, s, intermediate_size=m)
+        elif name == "cr_split":
+            _x, res = run_cr_split(s)
+        elif name == "cr_global":
+            _x, res = run_cr_global(s)
+        elif name == "pcr_pingpong":
+            _x, res = run_pcr_pingpong(s)
+        elif name == "rd_full":
+            _x, res = run_rd_full(s)
+        elif name == "thomas_per_thread":
+            _x, res = run_thomas_per_thread(
+                diagonally_dominant_fluid(32, 32, seed=0))
+        else:
+            raise KeyError(name)
+    return res
+
+
+ALL_KERNELS = ["cr", "pcr", "rd", "cr_pcr", "cr_rd", "cr_split",
+               "cr_global", "pcr_pingpong", "rd_full",
+               "thomas_per_thread"]
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_trace_pinned(golden, name):
+    res = _run(name)
+    expected = ledger_from_dict(golden[name]["ledger"])
+    diffs = ledgers_equal(res.ledger, expected, rel_tol=1e-12)
+    assert not diffs, f"{name} trace drifted:\n" + "\n".join(diffs[:20])
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_launch_config_pinned(golden, name):
+    res = _run(name)
+    g = golden[name]
+    assert res.threads_per_block == g["threads_per_block"], name
+    assert res.shared_bytes == g["shared_bytes"], name
+
+
+def test_fixture_covers_all_kernels(golden):
+    assert set(golden) == set(ALL_KERNELS)

@@ -1,0 +1,68 @@
+"""Full-matrix RD vs the paper's two-row storage trick (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import KernelError, gt200_cost_model
+from repro.kernels.api import run_rd, run_rd_full
+from repro.numerics.generators import close_values
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_bit_identical_to_tricked_rd(self, n):
+        """The third row is [0,0,1] throughout, so carrying it changes
+        nothing numerically."""
+        s = close_values(3, n, seed=n)
+        x1, _ = run_rd(s)
+        x2, _ = run_rd_full(s)
+        np.testing.assert_array_equal(x1, x2)
+
+
+class TestTrickValue:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        s = close_values(2, 256, seed=0)
+        _x, trick = run_rd(s)
+        _x, full = run_rd_full(s)
+        return trick, full
+
+    def test_half_the_flops(self, pair):
+        """45-op general products vs 20-op structured ones (§4:
+        "save several floating point operations")."""
+        trick, full = pair
+        ratio = full.ledger.total().flops / trick.ledger.total().flops
+        assert 1.9 <= ratio <= 2.4
+
+    def test_fifty_percent_more_traffic(self, pair):
+        trick, full = pair
+        ratio = (full.ledger.total().shared_words
+                 / trick.ledger.total().shared_words)
+        assert 1.4 <= ratio <= 1.6
+
+    def test_full_variant_closer_to_table1_count(self, pair):
+        """Our Table 1 deviation explained: the paper's 32 n log2 n
+        shared-access entry matches the untricked kernel far better
+        than the tricked one it describes in §4."""
+        from repro.analysis.complexity import (measured_complexity,
+                                               rd_complexity)
+        trick, full = pair
+        paper = rd_complexity(256).shared_accesses
+        err_trick = abs(measured_complexity("rd", trick).shared_accesses
+                        - paper)
+        err_full = abs(measured_complexity("rd", full).shared_accesses
+                       - paper)
+        assert err_full < err_trick
+
+    def test_trick_is_faster(self, pair):
+        cm = gt200_cost_model()
+        trick, full = pair
+        assert cm.report(trick).total_ms < cm.report(full).total_ms
+
+    def test_trick_required_at_512(self):
+        """Nine n-word arrays exceed shared memory at n = 512: the
+        storage trick is what makes RD run the flagship size at all."""
+        s = close_values(2, 512, seed=1)
+        run_rd(s)  # fits
+        with pytest.raises(KernelError, match="shared"):
+            run_rd_full(s)

@@ -1,0 +1,67 @@
+"""Condition estimation (Hager/Higham on tridiagonal solves)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.condition import (condition_estimate,
+                                      estimate_inverse_norm_1,
+                                      float32_accuracy_forecast, norm_inf)
+from repro.numerics.generators import (close_values,
+                                       diagonally_dominant_fluid,
+                                       ill_conditioned, toeplitz_spd)
+from repro.solvers.systems import TridiagonalSystems
+
+
+def dense_cond_1(systems):
+    d = systems.astype(np.float64).to_dense()
+    return np.array([np.linalg.cond(d[i], 1)
+                     for i in range(systems.num_systems)])
+
+
+class TestNormInf:
+    def test_matches_dense(self):
+        s = close_values(3, 16, seed=0, dtype=np.float64)
+        dense = s.to_dense()
+        expected = np.abs(dense).sum(axis=2).max(axis=1)
+        np.testing.assert_allclose(norm_inf(s), expected, rtol=1e-14)
+
+
+class TestInverseNormEstimate:
+    def test_identity(self):
+        n = 8
+        s = TridiagonalSystems(np.zeros((2, n)), np.ones((2, n)),
+                               np.zeros((2, n)), np.ones((2, n)))
+        np.testing.assert_allclose(estimate_inverse_norm_1(s), 1.0,
+                                   rtol=1e-12)
+
+    @pytest.mark.parametrize("gen,seed", [
+        (close_values, 1), (diagonally_dominant_fluid, 2),
+        (toeplitz_spd, 3)])
+    def test_close_to_dense_truth(self, gen, seed):
+        s = gen(4, 24, seed=seed, dtype=np.float64)
+        est = condition_estimate(s)
+        true = dense_cond_1(s)
+        # Hager's estimate is a lower bound, usually tight.
+        assert np.all(est <= true * 1.01)
+        assert np.all(est >= true * 0.3)
+
+
+class TestForecast:
+    def test_ill_conditioned_flagged(self):
+        good = diagonally_dominant_fluid(4, 32, seed=4, dtype=np.float64)
+        bad = ill_conditioned(4, 32, seed=5, dtype=np.float64)
+        assert (float32_accuracy_forecast(bad).max()
+                > 10 * float32_accuracy_forecast(good).max())
+
+    def test_forecast_tracks_observed_float32_error(self):
+        """The eps32*kappa forecast should upper-bound (within a small
+        factor) the observed forward error of a stable float32 solve."""
+        from repro.numerics.generators import with_known_solution
+        from repro.numerics.residual import forward_error
+        from repro.solvers.gauss import gep_batched
+        base = close_values(8, 64, seed=6, dtype=np.float64)
+        s, x_true = with_known_solution(base, seed=7)
+        x32 = gep_batched(s.astype(np.float32))
+        err = forward_error(x32, x_true)
+        forecast = float32_accuracy_forecast(s)
+        assert np.all(err <= 50 * forecast)

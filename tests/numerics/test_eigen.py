@@ -1,0 +1,114 @@
+"""Sturm-bisection eigenvalues (the paper's ref [31] algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.eigen import (eigvals_in_interval,
+                                  eigvalsh_tridiagonal, gershgorin_bounds,
+                                  spectral_condition_spd, sturm_count)
+
+
+def random_symmetric(S, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.uniform(-2, 2, (S, n)), rng.uniform(-1, 1, (S, n - 1)))
+
+
+def dense_eigs(d, e):
+    out = []
+    for i in range(d.shape[0]):
+        T = np.diag(d[i]) + np.diag(e[i], 1) + np.diag(e[i], -1)
+        out.append(np.linalg.eigvalsh(T))
+    return np.array(out)
+
+
+class TestSturmCount:
+    def test_counts_match_dense(self):
+        d, e = random_symmetric(3, 16, seed=1)
+        ref = dense_eigs(d, e)
+        shifts = np.linspace(-4, 4, 9)[None, :].repeat(3, axis=0)
+        counts = sturm_count(d, e, shifts)
+        expected = (ref[:, None, :] < shifts[:, :, None]).sum(axis=2)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_monotone_in_shift(self):
+        d, e = random_symmetric(2, 24, seed=2)
+        shifts = np.linspace(-5, 5, 21)[None, :].repeat(2, axis=0)
+        counts = sturm_count(d, e, shifts)
+        assert np.all(np.diff(counts, axis=1) >= 0)
+
+    def test_extremes(self):
+        d, e = random_symmetric(2, 8, seed=3)
+        lo, hi = gershgorin_bounds(d, e)
+        assert np.all(sturm_count(d, e, (lo - 1)[:, None]) == 0)
+        assert np.all(sturm_count(d, e, (hi + 1)[:, None]) == 8)
+
+    def test_bad_off_diagonal_length(self):
+        with pytest.raises(ValueError, match="n-1"):
+            sturm_count(np.zeros((1, 8)), np.zeros((1, 4)), [[0.0]])
+
+
+class TestBisection:
+    @pytest.mark.parametrize("n", [2, 8, 33])
+    def test_matches_lapack(self, n):
+        d, e = random_symmetric(3, n, seed=n)
+        eigs = eigvalsh_tridiagonal(d, e)
+        np.testing.assert_allclose(eigs, dense_eigs(d, e), atol=1e-9)
+
+    def test_poisson_analytic(self):
+        n = 32
+        d = np.full((1, n), 2.0)
+        e = np.full((1, n - 1), -1.0)
+        eigs = eigvalsh_tridiagonal(d, e)[0]
+        k = np.arange(1, n + 1)
+        exact = 2.0 - 2.0 * np.cos(np.pi * k / (n + 1))
+        np.testing.assert_allclose(np.sort(eigs), np.sort(exact),
+                                   atol=1e-10)
+
+    def test_ascending_order(self):
+        d, e = random_symmetric(4, 20, seed=4)
+        eigs = eigvalsh_tridiagonal(d, e)
+        assert np.all(np.diff(eigs, axis=1) >= -1e-10)
+
+    def test_multiple_eigenvalues(self):
+        """Decoupled blocks create exact multiplicities; bisection must
+        still count them correctly."""
+        n = 8
+        d = np.full((1, n), 3.0)
+        e = np.zeros((1, n - 1))  # diagonal matrix: eigenvalue 3, x8
+        eigs = eigvalsh_tridiagonal(d, e)
+        np.testing.assert_allclose(eigs, 3.0, atol=1e-10)
+
+
+class TestHelpers:
+    def test_interval_selection(self):
+        d, e = random_symmetric(2, 16, seed=5)
+        ref = dense_eigs(d, e)
+        got = eigvals_in_interval(d, e, 0.0, 2.0)
+        for i in range(2):
+            expected = ref[i][(ref[i] > 0.0) & (ref[i] <= 2.0)]
+            np.testing.assert_allclose(np.sort(got[i]), np.sort(expected),
+                                       atol=1e-8)
+
+    def test_spd_condition(self):
+        n = 16
+        d = np.full((1, n), 2.0)
+        e = np.full((1, n - 1), -1.0)
+        kappa = spectral_condition_spd(d, e)[0]
+        lam = 2.0 - 2.0 * np.cos(np.pi * np.arange(1, n + 1) / (n + 1))
+        assert kappa == pytest.approx(lam.max() / lam.min(), rel=1e-8)
+
+    def test_indefinite_rejected(self):
+        d = np.array([[1.0, -1.0, 1.0]])
+        e = np.zeros((1, 2))
+        with pytest.raises(ValueError, match="positive definite"):
+            spectral_condition_spd(d, e)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_bisection_matches_lapack(n, seed):
+    d, e = random_symmetric(2, n, seed=seed)
+    eigs = eigvalsh_tridiagonal(d, e)
+    np.testing.assert_allclose(eigs, dense_eigs(d, e), atol=1e-8)

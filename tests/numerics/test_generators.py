@@ -1,0 +1,88 @@
+"""Matrix generators: class properties the experiments depend on."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import (MATRIX_CLASSES, close_values,
+                                       diagonally_dominant_fluid,
+                                       ill_conditioned, random_dominant,
+                                       toeplitz_spd, with_known_solution)
+
+
+class TestDominantFluid:
+    def test_strictly_dominant(self):
+        s = diagonally_dominant_fluid(8, 64, seed=0)
+        assert s.is_diagonally_dominant(strict=True).all()
+
+    def test_symmetric(self):
+        from repro.numerics.stability import is_symmetric
+        s = diagonally_dominant_fluid(4, 32, seed=1, dtype=np.float64)
+        assert is_symmetric(s).all()
+
+    def test_reproducible(self):
+        a = diagonally_dominant_fluid(2, 16, seed=42)
+        b = diagonally_dominant_fluid(2, 16, seed=42)
+        np.testing.assert_array_equal(a.b, b.b)
+
+    def test_dtype(self):
+        s = diagonally_dominant_fluid(1, 8, seed=0, dtype=np.float64)
+        assert s.dtype == np.float64
+
+    def test_coupling_scales_offdiagonals(self):
+        weak = diagonally_dominant_fluid(2, 16, seed=3, coupling=0.1)
+        strong = diagonally_dominant_fluid(2, 16, seed=3, coupling=1.0)
+        assert np.abs(weak.a).max() < np.abs(strong.a).max()
+
+
+class TestCloseValues:
+    def test_rows_are_close(self):
+        s = close_values(4, 32, seed=0, spread=0.05)
+        rows = np.stack([np.abs(s.a[:, 1:-1]), np.abs(s.b[:, 1:-1]),
+                         np.abs(s.c[:, 1:-1])])
+        ratio = rows.max(axis=0) / rows.min(axis=0)
+        assert ratio.max() < 1.3
+
+    def test_not_dominant(self):
+        s = close_values(8, 64, seed=1)
+        assert not s.is_diagonally_dominant().any()
+
+    def test_rd_growth_bounded(self):
+        from repro.numerics.stability import rd_overflow_risk
+        s = close_values(4, 512, seed=2)
+        assert not rd_overflow_risk(s).any()
+
+
+class TestOtherClasses:
+    def test_toeplitz_is_poisson_stencil(self):
+        s = toeplitz_spd(1, 8)
+        assert np.all(s.b == 2.0)
+        assert np.all(s.a[:, 1:] == -1.0)
+
+    def test_toeplitz_rejects_non_spd(self):
+        with pytest.raises(ValueError):
+            toeplitz_spd(1, 8, diag=1.0, off=-1.0)
+
+    def test_random_dominant(self):
+        s = random_dominant(8, 32, seed=3)
+        assert s.is_diagonally_dominant(strict=True).all()
+
+    def test_ill_conditioned_has_tiny_pivots(self):
+        s = ill_conditioned(16, 64, seed=4, epsilon=1e-3)
+        assert np.abs(s.b).min() <= 1e-3
+
+    def test_registry_complete(self):
+        assert set(MATRIX_CLASSES) == {
+            "diagonally_dominant", "close_values", "toeplitz_spd",
+            "random_dominant", "ill_conditioned"}
+        for gen in MATRIX_CLASSES.values():
+            s = gen(2, 8, seed=0)
+            assert s.shape == (2, 8)
+
+
+class TestKnownSolution:
+    def test_solution_recovered(self):
+        from repro.solvers.thomas import thomas_batched
+        base = diagonally_dominant_fluid(4, 32, seed=5, dtype=np.float64)
+        s, x_true = with_known_solution(base, seed=6)
+        x = thomas_batched(s)
+        np.testing.assert_allclose(x, x_true, rtol=1e-9, atol=1e-11)

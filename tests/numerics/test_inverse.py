@@ -1,0 +1,99 @@
+"""Tridiagonal inverse elements (Usmani recurrences, log form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.generators import (close_values,
+                                       diagonally_dominant_fluid,
+                                       toeplitz_spd)
+from repro.numerics.inverse import (greens_function, inverse_diagonal,
+                                    inverse_elements)
+
+
+def dense_inverse(systems):
+    return np.linalg.inv(systems.astype(np.float64).to_dense())
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("gen,seed", [
+        (diagonally_dominant_fluid, 0), (close_values, 1),
+        (toeplitz_spd, 2)])
+    def test_all_entries(self, gen, seed):
+        s = gen(3, 10, seed=seed, dtype=np.float64)
+        inv = dense_inverse(s)
+        ii, jj = np.meshgrid(np.arange(10), np.arange(10), indexing="ij")
+        got = inverse_elements(s, ii.ravel(), jj.ravel())
+        np.testing.assert_allclose(got.reshape(3, 10, 10), inv,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_diagonal(self):
+        s = diagonally_dominant_fluid(2, 16, seed=3, dtype=np.float64)
+        inv = dense_inverse(s)
+        np.testing.assert_allclose(
+            inverse_diagonal(s),
+            inv[:, np.arange(16), np.arange(16)], rtol=1e-11)
+
+    def test_greens_function_column(self):
+        s = toeplitz_spd(1, 20, seed=4, dtype=np.float64)
+        inv = dense_inverse(s)
+        np.testing.assert_allclose(greens_function(s, 7), inv[:, :, 7],
+                                   rtol=1e-11)
+
+
+class TestOverflowRobustness:
+    def test_large_n_stays_finite(self):
+        """theta_n overflows float64 well below n = 512 for dominant
+        matrices; the log-form recurrences must not care."""
+        s = diagonally_dominant_fluid(2, 512, seed=5, dtype=np.float64)
+        d = inverse_diagonal(s)
+        assert np.isfinite(d).all()
+
+    def test_large_n_matches_solve(self):
+        """Cross-check one Green's column against a linear solve."""
+        from repro.solvers.thomas import thomas_batched
+        from repro.solvers.systems import TridiagonalSystems
+        s = diagonally_dominant_fluid(2, 256, seed=6, dtype=np.float64)
+        col = 100
+        e = np.zeros(s.shape)
+        e[:, col] = 1.0
+        x = thomas_batched(TridiagonalSystems(s.a, s.b, s.c, e))
+        np.testing.assert_allclose(greens_function(s, col), x,
+                                   rtol=1e-9, atol=1e-12)
+
+
+class TestStructure:
+    def test_symmetric_matrix_symmetric_inverse(self):
+        s = toeplitz_spd(1, 12, seed=7, dtype=np.float64)
+        i = np.array([2, 3, 4])
+        j = np.array([8, 9, 10])
+        np.testing.assert_allclose(inverse_elements(s, i, j),
+                                   inverse_elements(s, j, i), rtol=1e-11)
+
+    def test_greens_decay_for_dominant(self):
+        """Dominant operators have exponentially decaying inverses --
+        entries far from the diagonal are tiny."""
+        s = diagonally_dominant_fluid(1, 64, seed=8, dtype=np.float64)
+        g = np.abs(greens_function(s, 32)[0])
+        assert g[32] > 100 * g[0]
+        assert g[32] > 100 * g[-1]
+
+    def test_index_validation(self):
+        s = diagonally_dominant_fluid(1, 8, seed=9)
+        with pytest.raises(ValueError, match="out of range"):
+            inverse_elements(s, np.array([0]), np.array([8]))
+        with pytest.raises(ValueError, match="same shape"):
+            inverse_elements(s, np.array([0, 1]), np.array([0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=16),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_matches_dense(n, seed):
+    s = close_values(2, n, seed=seed, dtype=np.float64)
+    inv = dense_inverse(s)
+    rng = np.random.default_rng(seed)
+    i = rng.integers(0, n, 6)
+    j = rng.integers(0, n, 6)
+    np.testing.assert_allclose(inverse_elements(s, i, j), inv[:, i, j],
+                               rtol=1e-8, atol=1e-10)

@@ -1,0 +1,49 @@
+"""Accuracy metrics, overflow classification."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.numerics.residual import (AccuracyResult, evaluate_accuracy,
+                                     forward_error, relative_residual)
+from repro.solvers.thomas import thomas_batched
+
+
+class TestEvaluateAccuracy:
+    def test_clean_solution(self, dominant_small):
+        x = thomas_batched(dominant_small)
+        res = evaluate_accuracy("thomas", dominant_small, x)
+        assert not res.overflowed
+        assert res.median_residual < 1e-4
+        assert "thomas" in res.summary()
+
+    def test_partial_overflow(self, dominant_small):
+        x = thomas_batched(dominant_small).astype(np.float64)
+        x[0, 0] = np.inf
+        res = evaluate_accuracy("broken", dominant_small, x)
+        assert res.overflow_fraction == pytest.approx(1 / 8)
+        assert res.overflowed
+        assert np.isnan(res.residuals[0])
+        assert np.isfinite(res.residuals[1:]).all()
+
+    def test_total_overflow_summary(self, dominant_small):
+        x = np.full(dominant_small.shape, np.nan)
+        res = evaluate_accuracy("rd", dominant_small, x)
+        assert res.summary() == "rd: overflow"
+        assert np.isnan(res.median_residual)
+
+
+class TestErrorMetrics:
+    def test_forward_error_zero_for_exact(self):
+        x = np.random.default_rng(0).uniform(-1, 1, (3, 8))
+        np.testing.assert_allclose(forward_error(x, x), 0, atol=1e-15)
+
+    def test_forward_error_relative(self):
+        x_true = np.ones((1, 4))
+        x = x_true * 1.01
+        assert forward_error(x, x_true)[0] == pytest.approx(0.01)
+
+    def test_relative_residual(self, dominant_small):
+        x = thomas_batched(dominant_small)
+        rel = relative_residual(dominant_small, x)
+        assert (rel < 1e-5).all()

@@ -1,0 +1,51 @@
+"""Scaled recursive doubling: the §5.4 overflow remedy."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+from repro.numerics.scaling import (scaled_recursive_doubling,
+                                    scan_rescale_count)
+from repro.solvers.rd import recursive_doubling
+from repro.solvers.thomas import thomas_batched
+
+
+class TestFiniteGuarantee:
+    @pytest.mark.parametrize("n", [64, 128, 512])
+    def test_always_finite_on_dominant(self, n):
+        """Plain float32 RD overflows here; scaled RD must not."""
+        s = diagonally_dominant_fluid(4, n, seed=n)
+        x = scaled_recursive_doubling(s)
+        assert np.isfinite(x).all()
+
+    def test_plain_rd_overflows_same_input(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            s = diagonally_dominant_fluid(4, 128, seed=128)
+            assert not np.isfinite(recursive_doubling(s)).all()
+
+
+class TestAccuracyWherePlainRdWorks:
+    def test_close_values_matches_thomas(self):
+        s = close_values(4, 128, seed=0, dtype=np.float64)
+        x = scaled_recursive_doubling(s)
+        ref = thomas_batched(s)
+        np.testing.assert_allclose(x, ref, rtol=1e-4, atol=1e-5)
+
+    def test_small_dominant_accurate(self):
+        s = diagonally_dominant_fluid(4, 16, seed=1, dtype=np.float64)
+        x = scaled_recursive_doubling(s)
+        assert s.residual(x).max() < 1e-5
+
+
+class TestControlOverhead:
+    def test_rescales_grow_with_dominant_size(self):
+        c = [scan_rescale_count(diagonally_dominant_fluid(2, n, seed=2))
+             for n in (32, 128, 512)]
+        assert c[0] < c[1] < c[2]
+
+    def test_no_rescales_on_close_values(self):
+        s = close_values(2, 128, seed=3)
+        assert scan_rescale_count(s) == 0

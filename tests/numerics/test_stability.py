@@ -1,0 +1,82 @@
+"""Stability predicates: the §5.4 decision logic."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import (close_values,
+                                       diagonally_dominant_fluid)
+from repro.numerics.stability import (classify, cr_stable_without_pivoting,
+                                      is_symmetric, rd_applicable,
+                                      rd_growth_log2, rd_overflow_risk,
+                                      recommend_solver)
+
+
+class TestPredicates:
+    def test_cr_stable_on_dominant(self, dominant_small):
+        assert cr_stable_without_pivoting(dominant_small).all()
+
+    def test_cr_unsafe_on_close_values(self, close_batch):
+        assert not cr_stable_without_pivoting(close_batch).any()
+
+    def test_symmetry_detection(self):
+        s = diagonally_dominant_fluid(2, 16, seed=0, dtype=np.float64)
+        assert is_symmetric(s).all()
+        s2 = s.copy()
+        s2.a[:, 5] *= 2.0
+        assert not is_symmetric(s2).any()
+
+
+class TestRdOverflowBoundary:
+    def test_paper_boundary_around_64(self):
+        """§5.4: "for the systems of size larger than 64, RD favors
+        matrices with close values in rows ... otherwise it might
+        overflow"."""
+        small = diagonally_dominant_fluid(8, 16, seed=1)
+        large = diagonally_dominant_fluid(8, 128, seed=1)
+        assert not rd_overflow_risk(small).any()
+        assert rd_overflow_risk(large).all()
+
+    def test_close_values_never_at_risk(self):
+        s = close_values(8, 512, seed=2)
+        assert not rd_overflow_risk(s).any()
+
+    def test_growth_monotone_in_n(self):
+        g = [rd_growth_log2(diagonally_dominant_fluid(2, n, seed=3)).max()
+             for n in (16, 64, 256)]
+        assert g[0] < g[1] < g[2]
+
+    def test_risk_predicts_actual_overflow(self):
+        """The predicate agrees with what float32 RD actually does."""
+        import warnings
+        from repro.solvers.rd import recursive_doubling
+        for n, seed in ((16, 4), (256, 5)):
+            s = diagonally_dominant_fluid(4, n, seed=seed)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                x = recursive_doubling(s)
+            predicted = rd_overflow_risk(s).any()
+            actual = not np.isfinite(x).all()
+            assert predicted == actual, n
+
+    def test_rd_applicable_rejects_zero_c(self, close_batch):
+        s = close_batch.copy()
+        s.c[0, 5] = 0.0
+        ok = rd_applicable(s)
+        assert not ok[0]
+        assert ok[1:].all()
+
+
+class TestRecommendation:
+    def test_non_dominant_gets_gep(self, close_batch):
+        assert recommend_solver(close_batch) == "gep"
+
+    def test_dominant_gets_hybrid(self, dominant_small):
+        assert recommend_solver(dominant_small) == "cr_pcr"
+
+    def test_classify_report(self, dominant_small):
+        rep = classify(dominant_small)
+        assert rep["diagonally_dominant"]
+        assert rep["recommended"] == "cr_pcr"
+        assert set(rep) == {"diagonally_dominant", "symmetric",
+                            "rd_overflow_risk", "rd_applicable",
+                            "recommended"}

@@ -1,0 +1,98 @@
+"""Public solve() API: methods, auto selection, padding, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+from repro.solvers.api import (SOLVERS, choose_method, residual, solve)
+from repro.solvers.systems import TridiagonalSystems
+
+
+class TestSolve:
+    @pytest.mark.parametrize("method", sorted(SOLVERS))
+    def test_every_method_solves_dominant_batch(self, method):
+        n = 32  # small enough that even RD is stable-ish? RD needs care
+        if method in ("rd", "cr_rd"):
+            s = close_values(4, n, seed=1)
+        else:
+            s = diagonally_dominant_fluid(4, n, seed=1)
+        x = solve(s.a, s.b, s.c, s.d, method=method)
+        assert residual(s.a, s.b, s.c, s.d, x).max() < 1e-2
+
+    def test_single_system_shape(self):
+        s = diagonally_dominant_fluid(1, 16, seed=2)
+        x = solve(s.a[0], s.b[0], s.c[0], s.d[0], method="cr")
+        assert x.shape == (16,)
+
+    def test_batch_shape(self):
+        s = diagonally_dominant_fluid(5, 16, seed=3)
+        x = solve(s.a, s.b, s.c, s.d, method="pcr")
+        assert x.shape == (5, 16)
+
+    def test_unknown_method(self):
+        s = diagonally_dominant_fluid(1, 8, seed=4)
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(s.a, s.b, s.c, s.d, method="cholesky")
+
+    def test_intermediate_size_forwarded(self):
+        s = diagonally_dominant_fluid(2, 64, seed=5)
+        x = solve(s.a, s.b, s.c, s.d, method="cr_pcr", intermediate_size=8)
+        assert residual(s.a, s.b, s.c, s.d, x).max() < 1e-3
+
+
+class TestPadding:
+    @pytest.mark.parametrize("n", [3, 7, 20, 100])
+    def test_non_power_of_two_padded(self, n):
+        s = diagonally_dominant_fluid(3, n, seed=n)
+        x = solve(s.a, s.b, s.c, s.d, method="cr")
+        assert x.shape == (3, n)
+        assert residual(s.a, s.b, s.c, s.d, x).max() < 1e-3
+
+    def test_padded_matches_thomas(self):
+        s = diagonally_dominant_fluid(3, 21, seed=6, dtype=np.float64)
+        x_pad = solve(s.a, s.b, s.c, s.d, method="pcr")
+        x_ref = solve(s.a, s.b, s.c, s.d, method="thomas")
+        np.testing.assert_allclose(x_pad, x_ref, rtol=1e-8, atol=1e-10)
+
+    def test_pad_false_raises(self):
+        s = diagonally_dominant_fluid(1, 12, seed=7)
+        with pytest.raises(ValueError, match="pad=False"):
+            solve(s.a, s.b, s.c, s.d, method="cr", pad=False)
+
+    def test_thomas_needs_no_padding(self):
+        s = diagonally_dominant_fluid(1, 12, seed=8)
+        x = solve(s.a[0], s.b[0], s.c[0], s.d[0], method="thomas",
+                  pad=False)
+        assert x.shape == (12,)
+
+
+class TestAutoSelection:
+    def test_non_dominant_gets_pivoting(self):
+        s = close_values(4, 64, seed=9)
+        assert choose_method(s) == "gep"
+
+    def test_tiny_batch_gets_thomas(self):
+        s = diagonally_dominant_fluid(2, 16, seed=10)
+        assert choose_method(s) == "thomas"
+
+    def test_small_systems_get_pcr(self):
+        s = diagonally_dominant_fluid(64, 64, seed=11)
+        assert choose_method(s) == "pcr"
+
+    def test_large_systems_get_hybrid(self):
+        s = diagonally_dominant_fluid(64, 512, seed=12)
+        assert choose_method(s) == "cr_pcr"
+
+    def test_auto_solves_correctly(self):
+        s = diagonally_dominant_fluid(16, 128, seed=13)
+        x = solve(s.a, s.b, s.c, s.d)  # method="auto"
+        assert residual(s.a, s.b, s.c, s.d, x).max() < 1e-3
+
+
+class TestResidualHelper:
+    def test_single_returns_scalar(self):
+        s = diagonally_dominant_fluid(1, 8, seed=14, dtype=np.float64)
+        x = solve(s.a[0], s.b[0], s.c[0], s.d[0], method="thomas")
+        r = residual(s.a[0], s.b[0], s.c[0], s.d[0], x)
+        assert np.ndim(r) == 0
+        assert r < 1e-10

@@ -1,0 +1,149 @@
+"""Block-tridiagonal solvers (the paper's future-work generalisation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.block import (BlockTridiagonalSystems,
+                                 block_cyclic_reduction, block_pcr,
+                                 block_thomas, solve_block)
+from repro.solvers.thomas import thomas_batched
+
+
+def random_block_dominant(S, n, k, seed=0, dtype=np.float64):
+    """Block-diagonally-dominant batch: B = (||A|| + ||C|| + margin) I
+    + small random, guaranteeing invertibility and stability."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-0.5, 0.5, (S, n, k, k))
+    c = rng.uniform(-0.5, 0.5, (S, n, k, k))
+    b = rng.uniform(-0.2, 0.2, (S, n, k, k))
+    eye = np.eye(k)
+    norm_a = np.linalg.norm(a, axis=(2, 3))
+    norm_c = np.linalg.norm(c, axis=(2, 3))
+    b += (norm_a + norm_c + 1.5)[..., None, None] * eye
+    d = rng.uniform(-1, 1, (S, n, k))
+    return BlockTridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                                   c.astype(dtype), d.astype(dtype))
+
+
+def dense_reference(systems):
+    dense = systems.to_dense()
+    rhs = systems.d.reshape(systems.num_systems, -1)
+    x = np.linalg.solve(dense, rhs[..., None])[..., 0]
+    return x.reshape(systems.d.shape)
+
+
+class TestContainer:
+    def test_shapes(self):
+        s = random_block_dominant(3, 8, 2)
+        assert (s.num_systems, s.n, s.k) == (3, 8, 2)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError, match="S, n, k, k"):
+            BlockTridiagonalSystems(np.zeros((2, 4, 2, 3)),
+                                    np.zeros((2, 4, 2, 3)),
+                                    np.zeros((2, 4, 2, 3)),
+                                    np.zeros((2, 4, 2)))
+        with pytest.raises(ValueError, match="d must be"):
+            BlockTridiagonalSystems(np.zeros((2, 4, 2, 2)),
+                                    np.zeros((2, 4, 2, 2)),
+                                    np.zeros((2, 4, 2, 2)),
+                                    np.zeros((2, 4, 3)))
+
+    def test_matvec_matches_dense(self):
+        s = random_block_dominant(2, 4, 3, seed=1)
+        x = np.random.default_rng(2).uniform(-1, 1, s.d.shape)
+        via_dense = np.einsum(
+            "sij,sj->si", s.to_dense(),
+            x.reshape(2, -1)).reshape(x.shape)
+        np.testing.assert_allclose(s.matvec(x), via_dense, rtol=1e-12)
+
+    def test_out_of_band_blocks_zeroed(self):
+        s = random_block_dominant(1, 4, 2)
+        assert np.all(s.a[:, 0] == 0)
+        assert np.all(s.c[:, -1] == 0)
+
+
+class TestBlockThomas:
+    @pytest.mark.parametrize("n,k", [(4, 1), (8, 2), (16, 3), (5, 2)])
+    def test_matches_dense_solve(self, n, k):
+        s = random_block_dominant(3, n, k, seed=n * 10 + k)
+        x = block_thomas(s)
+        np.testing.assert_allclose(x, dense_reference(s), rtol=1e-9,
+                                   atol=1e-11)
+
+    def test_k1_matches_scalar_thomas(self):
+        scalar = diagonally_dominant_fluid(4, 16, seed=0, dtype=np.float64)
+        lifted = BlockTridiagonalSystems.from_scalar(scalar)
+        x_block = block_thomas(lifted)[..., 0]
+        np.testing.assert_allclose(x_block, thomas_batched(scalar),
+                                   rtol=1e-12)
+
+
+class TestBlockCR:
+    @pytest.mark.parametrize("n,k", [(2, 2), (4, 2), (8, 3), (32, 2)])
+    def test_matches_block_thomas(self, n, k):
+        s = random_block_dominant(3, n, k, seed=n + k)
+        np.testing.assert_allclose(block_cyclic_reduction(s),
+                                   block_thomas(s), rtol=1e-8, atol=1e-10)
+
+    def test_k1_matches_scalar_cr(self):
+        from repro.solvers.cr import cyclic_reduction
+        scalar = diagonally_dominant_fluid(4, 32, seed=1, dtype=np.float64)
+        lifted = BlockTridiagonalSystems.from_scalar(scalar)
+        x_block = block_cyclic_reduction(lifted)[..., 0]
+        np.testing.assert_allclose(x_block, cyclic_reduction(scalar),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_non_power_of_two_rejected(self):
+        s = random_block_dominant(1, 6, 2)
+        with pytest.raises(ValueError, match="power-of-two"):
+            block_cyclic_reduction(s)
+
+
+class TestBlockPCR:
+    @pytest.mark.parametrize("n,k", [(2, 2), (8, 2), (16, 3)])
+    def test_matches_block_thomas(self, n, k):
+        s = random_block_dominant(3, n, k, seed=n * 3 + k)
+        np.testing.assert_allclose(block_pcr(s), block_thomas(s),
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_k1_matches_scalar_pcr(self):
+        from repro.solvers.pcr import parallel_cyclic_reduction
+        scalar = diagonally_dominant_fluid(4, 16, seed=2, dtype=np.float64)
+        lifted = BlockTridiagonalSystems.from_scalar(scalar)
+        x_block = block_pcr(lifted)[..., 0]
+        np.testing.assert_allclose(x_block,
+                                   parallel_cyclic_reduction(scalar),
+                                   rtol=1e-9, atol=1e-11)
+
+
+class TestSolveBlockAPI:
+    def test_unbatched(self):
+        s = random_block_dominant(1, 8, 2, seed=5)
+        x = solve_block(s.a[0], s.b[0], s.c[0], s.d[0], method="cr")
+        assert x.shape == (8, 2)
+        np.testing.assert_allclose(x, block_thomas(s)[0], rtol=1e-8)
+
+    def test_unknown_method(self):
+        s = random_block_dominant(1, 4, 2)
+        with pytest.raises(ValueError, match="unknown block method"):
+            solve_block(s.a, s.b, s.c, s.d, method="rd")
+
+    def test_residual_small(self):
+        s = random_block_dominant(4, 16, 2, seed=6)
+        for method in ("thomas", "cr", "pcr"):
+            x = solve_block(s.a, s.b, s.c, s.d, method=method)
+            assert s.residual(x).max() < 1e-10, method
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.sampled_from([2, 4, 8]), k=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_property_block_cr_pcr_thomas_agree(n, k, seed):
+    s = random_block_dominant(2, n, k, seed=seed)
+    ref = block_thomas(s)
+    np.testing.assert_allclose(block_cyclic_reduction(s), ref,
+                               rtol=1e-7, atol=1e-9)
+    np.testing.assert_allclose(block_pcr(s), ref, rtol=1e-7, atol=1e-9)

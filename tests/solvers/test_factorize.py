@@ -1,0 +1,82 @@
+"""Reusable factorizations (Thomas LU, PCR reduction plans)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.factorize import (PCRPlan, ThomasFactorization,
+                                     pcr_factorize, thomas_factorize)
+from repro.solvers.pcr import parallel_cyclic_reduction
+from repro.solvers.systems import TridiagonalSystems
+from repro.solvers.thomas import thomas_batched
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return diagonally_dominant_fluid(6, 32, seed=0, dtype=np.float64)
+
+
+class TestThomasFactorization:
+    def test_solve_matches_thomas(self, batch):
+        F = thomas_factorize(batch)
+        np.testing.assert_array_equal(F.solve(batch.d),
+                                      thomas_batched(batch))
+
+    def test_reuse_with_new_rhs(self, batch):
+        F = thomas_factorize(batch)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            d = rng.uniform(-1, 1, batch.shape)
+            s2 = TridiagonalSystems(batch.a, batch.b, batch.c, d)
+            np.testing.assert_allclose(F.solve(d), thomas_batched(s2),
+                                       rtol=1e-13)
+
+    def test_multiple_rhs_stack(self, batch):
+        F = thomas_factorize(batch)
+        rng = np.random.default_rng(2)
+        D = rng.uniform(-1, 1, (*batch.shape, 3))
+        X = F.solve(D)
+        assert X.shape == D.shape
+        for k in range(3):
+            s2 = TridiagonalSystems(batch.a, batch.b, batch.c, D[..., k])
+            np.testing.assert_allclose(X[..., k], thomas_batched(s2),
+                                       rtol=1e-13)
+
+    def test_rhs_shape_mismatch(self, batch):
+        F = thomas_factorize(batch)
+        with pytest.raises(ValueError, match="rhs shape"):
+            F.solve(np.zeros((2, 8)))
+
+    def test_determinant_diagnostics(self):
+        # diag(2) of size 4: det = 16.
+        s = TridiagonalSystems(np.zeros((1, 4)), np.full((1, 4), 2.0),
+                               np.zeros((1, 4)), np.ones((1, 4)))
+        sign, logabs = thomas_factorize(s).determinant_sign_and_logabs()
+        assert sign[0] == 1.0
+        assert logabs[0] == pytest.approx(np.log(16.0))
+
+
+class TestPCRPlan:
+    def test_solve_matches_pcr(self, batch):
+        plan = pcr_factorize(batch)
+        np.testing.assert_allclose(plan.solve(batch.d),
+                                   parallel_cyclic_reduction(batch),
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_reuse_with_new_rhs(self, batch):
+        plan = pcr_factorize(batch)
+        rng = np.random.default_rng(3)
+        d = rng.uniform(-1, 1, batch.shape)
+        s2 = TridiagonalSystems(batch.a, batch.b, batch.c, d)
+        np.testing.assert_allclose(plan.solve(d),
+                                   parallel_cyclic_reduction(s2),
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_requires_power_of_two(self):
+        s = diagonally_dominant_fluid(1, 12, seed=4, dtype=np.float64)
+        with pytest.raises(ValueError):
+            pcr_factorize(s)
+
+    def test_level_count(self, batch):
+        plan = pcr_factorize(batch)
+        assert len(plan.levels) == int(np.log2(batch.n)) - 1

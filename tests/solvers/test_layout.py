@@ -1,0 +1,87 @@
+"""Batch layout conversions and the cuSPARSE-shaped entry points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.layout import (deinterleave, from_strided,
+                                  gtsv_interleaved_batch,
+                                  gtsv_strided_batch, interleave,
+                                  to_strided)
+from repro.solvers.thomas import thomas_batched
+
+
+class TestInterleave:
+    def test_roundtrip(self):
+        b = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(deinterleave(interleave(b), 3), b)
+
+    def test_layout_is_element_major(self):
+        b = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(interleave(b), [1, 3, 2, 4])
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(4))
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(7), 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(S=st.integers(1, 8), n=st.integers(1, 16),
+           seed=st.integers(0, 10**6))
+    def test_property_roundtrip(self, S, n, seed):
+        b = np.random.default_rng(seed).uniform(-1, 1, (S, n))
+        np.testing.assert_array_equal(deinterleave(interleave(b), S), b)
+
+
+class TestStrided:
+    def test_roundtrip_with_padding(self):
+        b = np.arange(8.0).reshape(2, 4)
+        flat = to_strided(b, batch_stride=6)
+        assert flat.size == 10
+        np.testing.assert_array_equal(from_strided(flat, 2, 4, 6), b)
+
+    def test_stride_too_small(self):
+        with pytest.raises(ValueError, match="batch_stride"):
+            to_strided(np.zeros((2, 4)), batch_stride=3)
+
+    def test_flat_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            from_strided(np.zeros(8), 2, 4, 6)
+
+
+class TestGtsvAPIs:
+    def _batch(self, S=4, n=16, dtype=np.float64):
+        return diagonally_dominant_fluid(S, n, seed=0, dtype=dtype)
+
+    def test_strided_batch_matches_thomas(self):
+        s = self._batch()
+        stride = 20
+        pack = lambda v: to_strided(v, stride)           # noqa: E731
+        out = gtsv_strided_batch(pack(s.a), pack(s.b), pack(s.c),
+                                 pack(s.d), 16, 4, stride,
+                                 method="thomas")
+        got = from_strided(out, 4, 16, stride)
+        np.testing.assert_allclose(got, thomas_batched(s), rtol=1e-12)
+
+    def test_strided_batch_preserves_padding(self):
+        s = self._batch()
+        stride = 20
+        x_in = to_strided(s.d, stride)
+        x_in[16:20] = -99.0  # padding between systems
+        out = gtsv_strided_batch(to_strided(s.a, stride),
+                                 to_strided(s.b, stride),
+                                 to_strided(s.c, stride),
+                                 x_in, 16, 4, stride, method="thomas")
+        np.testing.assert_array_equal(out[16:20], -99.0)
+        np.testing.assert_array_equal(x_in[16:20], -99.0)  # not mutated
+
+    def test_interleaved_batch_matches_thomas(self):
+        s = self._batch()
+        out = gtsv_interleaved_batch(interleave(s.a), interleave(s.b),
+                                     interleave(s.c), interleave(s.d),
+                                     4, method="cr")
+        got = deinterleave(out, 4)
+        np.testing.assert_allclose(got, thomas_batched(s), rtol=1e-7,
+                                   atol=1e-9)

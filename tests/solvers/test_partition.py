@@ -1,0 +1,71 @@
+"""Wang's partition method (the §3 coarse-grained family)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.partition import (operation_count, partition_solve,
+                                     reduced_system_size)
+from repro.solvers.thomas import thomas_batched
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 16, 32])
+    def test_matches_thomas(self, P):
+        s = diagonally_dominant_fluid(4, 64, seed=P, dtype=np.float64)
+        np.testing.assert_allclose(partition_solve(s, P),
+                                   thomas_batched(s), rtol=1e-12,
+                                   atol=1e-13)
+
+    def test_non_power_of_two_sizes(self):
+        """Unlike CR/PCR, partitioning has no power-of-two restriction."""
+        s = diagonally_dominant_fluid(3, 60, seed=0, dtype=np.float64)
+        for P in (2, 3, 5, 6):
+            np.testing.assert_allclose(partition_solve(s, P),
+                                       thomas_batched(s), rtol=1e-12,
+                                       atol=1e-13)
+
+    def test_float32(self):
+        s = diagonally_dominant_fluid(4, 64, seed=1)
+        x = partition_solve(s, 8)
+        assert x.dtype == np.float32
+        assert s.residual(x).max() < 1e-3
+
+
+class TestValidation:
+    def test_indivisible(self):
+        s = diagonally_dominant_fluid(1, 64, seed=2)
+        with pytest.raises(ValueError, match="divisible"):
+            partition_solve(s, 7)
+
+    def test_chunks_too_small(self):
+        s = diagonally_dominant_fluid(1, 8, seed=3)
+        with pytest.raises(ValueError, match="too small"):
+            partition_solve(s, 8)
+
+    def test_bad_partition_count(self):
+        s = diagonally_dominant_fluid(1, 8, seed=4)
+        with pytest.raises(ValueError):
+            partition_solve(s, 0)
+
+
+class TestStructure:
+    def test_reduced_system_size(self):
+        assert reduced_system_size(512, 16) == 32
+
+    def test_does_about_3x_thomas_work(self):
+        """Wang's method trades ~3x the arithmetic for P-way
+        parallelism -- the §3 coarse-grained trade-off."""
+        assert operation_count(512, 8) == pytest.approx(3 * 8 * 512,
+                                                        rel=0.05)
+
+
+@settings(max_examples=25, deadline=None)
+@given(q=st.integers(min_value=2, max_value=8),
+       P=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_any_chunking_matches_thomas(q, P, seed):
+    s = diagonally_dominant_fluid(2, q * P, seed=seed, dtype=np.float64)
+    np.testing.assert_allclose(partition_solve(s, P), thomas_batched(s),
+                               rtol=1e-10, atol=1e-11)

@@ -1,0 +1,97 @@
+"""Periodic tridiagonal systems (Sherman-Morrison reduction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.periodic import (PeriodicTridiagonalSystems,
+                                    solve_periodic)
+
+
+def random_periodic(S, n, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (S, n)).astype(dtype)
+    c = rng.uniform(-1, 1, (S, n)).astype(dtype)
+    b = (np.abs(a) + np.abs(c) + rng.uniform(0.5, 2.0, (S, n))).astype(dtype)
+    d = rng.uniform(-1, 1, (S, n)).astype(dtype)
+    return a, b, c, d
+
+
+class TestContainer:
+    def test_corners_preserved(self):
+        a, b, c, d = random_periodic(2, 8)
+        s = PeriodicTridiagonalSystems(a, b, c, d)
+        assert np.all(s.a[:, 0] == a[:, 0])      # not zeroed!
+        assert np.all(s.c[:, -1] == c[:, -1])
+
+    def test_matvec_matches_dense(self):
+        a, b, c, d = random_periodic(2, 6, seed=1)
+        s = PeriodicTridiagonalSystems(a, b, c, d)
+        x = np.random.default_rng(2).uniform(-1, 1, (2, 6))
+        via_dense = np.einsum("sij,sj->si", s.to_dense(), x)
+        np.testing.assert_allclose(s.matvec(x), via_dense, rtol=1e-13)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            PeriodicTridiagonalSystems(np.zeros((1, 2)), np.ones((1, 2)),
+                                       np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestSolve:
+    @pytest.mark.parametrize("method", ["thomas", "gep", "qr", "cr",
+                                        "pcr", "cr_pcr"])
+    def test_matches_dense(self, method):
+        a, b, c, d = random_periodic(3, 16, seed=3)
+        s = PeriodicTridiagonalSystems(a, b, c, d)
+        x = solve_periodic(a, b, c, d, method=method)
+        ref = np.linalg.solve(s.to_dense(), s.d[..., None])[..., 0]
+        np.testing.assert_allclose(x, ref, rtol=1e-8, atol=1e-10)
+
+    def test_single_system(self):
+        a, b, c, d = random_periodic(1, 12, seed=4)
+        x = solve_periodic(a[0], b[0], c[0], d[0])
+        assert x.shape == (12,)
+        s = PeriodicTridiagonalSystems(a, b, c, d)
+        assert s.residual(x[None])[0] < 1e-10
+
+    def test_non_power_of_two(self):
+        a, b, c, d = random_periodic(2, 13, seed=5)
+        x = solve_periodic(a, b, c, d, method="cr")  # pads internally
+        s = PeriodicTridiagonalSystems(a, b, c, d)
+        assert s.residual(x).max() < 1e-8
+
+    def test_zero_corners_reduce_to_open_system(self):
+        """With zero corner entries the periodic solve equals the
+        ordinary tridiagonal solve."""
+        from repro.solvers.thomas import thomas_batched
+        from repro.solvers.systems import TridiagonalSystems
+        a, b, c, d = random_periodic(2, 16, seed=6)
+        a[:, 0] = 0
+        c[:, -1] = 0
+        x = solve_periodic(a, b, c, d, method="thomas")
+        ref = thomas_batched(TridiagonalSystems(a, b, c, d))
+        np.testing.assert_allclose(x, ref, rtol=1e-10, atol=1e-12)
+
+    def test_circulant_analytic(self):
+        """Constant circulant (b, c, a) = (4, 1, 1): solving against
+        e_0's column gives the known symmetric decay."""
+        n = 8
+        a = np.ones((1, n))
+        b = np.full((1, n), 4.0)
+        c = np.ones((1, n))
+        d = np.zeros((1, n))
+        d[0, 0] = 1.0
+        x = solve_periodic(a, b, c, d)[0]
+        # Circulant symmetry: x[k] == x[n-k]
+        np.testing.assert_allclose(x[1:], x[1:][::-1], rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=3, max_value=24),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_matches_dense(n, seed):
+    a, b, c, d = random_periodic(2, n, seed=seed)
+    s = PeriodicTridiagonalSystems(a, b, c, d)
+    x = solve_periodic(a, b, c, d)
+    ref = np.linalg.solve(s.to_dense(), s.d[..., None])[..., 0]
+    np.testing.assert_allclose(x, ref, rtol=1e-7, atol=1e-9)

@@ -1,0 +1,63 @@
+"""Mixed-precision iterative refinement."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+from repro.solvers.refine import refined_solve
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("method", ["cr", "pcr", "cr_pcr", "thomas"])
+    def test_reaches_float64_accuracy_on_dominant(self, method):
+        s = diagonally_dominant_fluid(4, 128, seed=0)
+        res = refined_solve(s, method=method)
+        assert res.converged, method
+        assert res.final_residual < 1e-12
+        assert res.iterations <= 4
+
+    def test_beats_plain_float32_by_orders(self):
+        s = diagonally_dominant_fluid(4, 256, seed=1)
+        from repro.solvers.api import SOLVERS
+        x32 = SOLVERS["cr_pcr"](s.astype(np.float32),
+                                intermediate_size=None)
+        r32 = s.astype(np.float64).residual(x32.astype(np.float64)).max()
+        res = refined_solve(s, method="cr_pcr")
+        r_ref = s.astype(np.float64).residual(res.x).max()
+        assert r_ref < r32 * 1e-4
+
+    def test_residual_history_monotone_until_convergence(self):
+        s = diagonally_dominant_fluid(4, 64, seed=2)
+        res = refined_solve(s, method="cr")
+        h = res.residual_history
+        assert all(h[i + 1] <= h[i] * 1.5 for i in range(len(h) - 1))
+
+    def test_qr_inner_handles_close_values(self):
+        s = close_values(4, 64, seed=3)
+        res = refined_solve(s, method="qr")
+        assert res.converged
+        assert res.final_residual < 1e-12
+
+
+class TestFailureModes:
+    def test_rd_inner_on_dominant_does_not_converge(self):
+        """RD overflows on this class (§5.4): refinement must report
+        the failure rather than mask it."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            s = diagonally_dominant_fluid(4, 256, seed=4)
+            res = refined_solve(s, method="rd", max_iterations=3)
+        assert not res.converged
+
+    def test_unknown_method(self):
+        s = diagonally_dominant_fluid(1, 16, seed=5)
+        with pytest.raises(ValueError, match="unknown method"):
+            refined_solve(s, method="magma")
+
+    def test_iteration_cap_respected(self):
+        s = diagonally_dominant_fluid(2, 64, seed=6)
+        res = refined_solve(s, method="cr", max_iterations=1,
+                            rtol=1e-30)
+        assert res.iterations == 1

@@ -1,0 +1,77 @@
+"""Thomas algorithm vs SciPy's banded solver, single vs batched."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_banded
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.thomas import (operation_count, step_count,
+                                  thomas_batched, thomas_single)
+
+
+def scipy_reference(systems):
+    out = np.empty(systems.shape, dtype=np.float64)
+    for s in range(systems.num_systems):
+        ab = np.zeros((3, systems.n))
+        ab[0, 1:] = systems.c[s, :-1]
+        ab[1] = systems.b[s]
+        ab[2, :-1] = systems.a[s, 1:]
+        out[s] = solve_banded((1, 1), ab, systems.d[s])
+    return out
+
+
+class TestSingle:
+    def test_matches_scipy(self):
+        s = diagonally_dominant_fluid(1, 17, seed=0, dtype=np.float64)
+        x = thomas_single(s.a[0], s.b[0], s.c[0], s.d[0])
+        np.testing.assert_allclose(x, scipy_reference(s)[0], rtol=1e-10)
+
+    def test_two_unknowns(self):
+        # [[2, 1], [1, 3]] x = [3, 4] -> x = [1, 1]
+        x = thomas_single(np.array([0.0, 1.0]), np.array([2.0, 3.0]),
+                          np.array([1.0, 0.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(x, [1.0, 1.0], rtol=1e-12)
+
+    def test_float32_stays_float32(self):
+        s = diagonally_dominant_fluid(1, 8, seed=1)
+        x = thomas_single(s.a[0], s.b[0], s.c[0], s.d[0])
+        assert x.dtype == np.float32
+
+    def test_non_power_of_two_sizes(self):
+        for n in (3, 5, 13, 100):
+            s = diagonally_dominant_fluid(1, n, seed=n, dtype=np.float64)
+            x = thomas_single(s.a[0], s.b[0], s.c[0], s.d[0])
+            assert s.residual(x[None])[0] < 1e-10
+
+
+class TestBatched:
+    def test_matches_single(self, dominant_batch):
+        xb = thomas_batched(dominant_batch)
+        for s in range(dominant_batch.num_systems):
+            xs = thomas_single(dominant_batch.a[s], dominant_batch.b[s],
+                               dominant_batch.c[s], dominant_batch.d[s])
+            np.testing.assert_array_equal(xb[s], xs)
+
+    def test_matches_scipy_float64(self):
+        s = diagonally_dominant_fluid(5, 33, seed=2, dtype=np.float64)
+        np.testing.assert_allclose(thomas_batched(s), scipy_reference(s),
+                                   rtol=1e-10)
+
+    def test_small_residual_float32(self, dominant_batch):
+        x = thomas_batched(dominant_batch)
+        assert dominant_batch.residual(x).max() < 1e-4
+
+    def test_independent_systems(self, dominant_batch):
+        """Solving a sub-batch gives identical answers (no coupling)."""
+        x_all = thomas_batched(dominant_batch)
+        sub = type(dominant_batch)(dominant_batch.a[3:5],
+                                   dominant_batch.b[3:5],
+                                   dominant_batch.c[3:5],
+                                   dominant_batch.d[3:5])
+        np.testing.assert_array_equal(thomas_batched(sub), x_all[3:5])
+
+
+class TestComplexity:
+    def test_paper_counts(self):
+        assert operation_count(512) == 8 * 512
+        assert step_count(512) == 1024

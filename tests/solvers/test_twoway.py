@@ -1,0 +1,49 @@
+"""Two-way Gaussian elimination (Ho & Johnsson, the paper's ref [15])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.generators import (close_values,
+                                       diagonally_dominant_fluid)
+from repro.solvers.thomas import thomas_batched
+from repro.solvers.twoway import (parallelism, serial_step_count,
+                                  two_way_elimination)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 16, 33, 64, 100])
+    def test_matches_thomas(self, n):
+        s = diagonally_dominant_fluid(4, n, seed=n, dtype=np.float64)
+        np.testing.assert_allclose(two_way_elimination(s),
+                                   thomas_batched(s), rtol=1e-12,
+                                   atol=1e-13)
+
+    def test_close_values(self):
+        s = close_values(4, 32, seed=1, dtype=np.float64)
+        x = two_way_elimination(s)
+        assert s.residual(x).max() < 1e-9
+
+    def test_float32(self):
+        s = diagonally_dominant_fluid(4, 64, seed=2)
+        x = two_way_elimination(s)
+        assert x.dtype == np.float32
+        assert s.residual(x).max() < 1e-3
+
+
+class TestStructure:
+    def test_half_the_serial_steps(self):
+        from repro.solvers.thomas import step_count
+        assert serial_step_count(512) == step_count(512) // 2
+
+    def test_two_fronts(self):
+        assert parallelism() == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=40),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_matches_thomas(n, seed):
+    s = diagonally_dominant_fluid(2, n, seed=seed, dtype=np.float64)
+    np.testing.assert_allclose(two_way_elimination(s), thomas_batched(s),
+                               rtol=1e-10, atol=1e-12)

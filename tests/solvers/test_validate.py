@@ -1,0 +1,79 @@
+"""Validation and padding helpers."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.solvers.thomas import thomas_batched
+from repro.solvers.validate import (is_power_of_two, next_power_of_two,
+                                    pad_to_power_of_two,
+                                    require_power_of_two,
+                                    validate_nonsingular_hint)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(v) for v in (1, 2, 4, 8, 1024))
+        assert not any(is_power_of_two(v) for v in (0, 3, 6, 12, 1000, -4))
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(512) == 512
+        assert next_power_of_two(513) == 1024
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_require_raises_with_context(self):
+        with pytest.raises(ValueError, match="my_solver"):
+            require_power_of_two(12, "my_solver")
+
+
+class TestPadding:
+    def test_pad_preserves_solution(self):
+        s = diagonally_dominant_fluid(3, 13, seed=0, dtype=np.float64)
+        padded, n = pad_to_power_of_two(s)
+        assert padded.n == 16
+        assert n == 13
+        x_pad = thomas_batched(padded)
+        x_ref = thomas_batched(s)
+        np.testing.assert_allclose(x_pad[:, :13], x_ref, rtol=1e-10)
+
+    def test_pad_rows_are_identity(self):
+        s = diagonally_dominant_fluid(1, 5, seed=1)
+        padded, _ = pad_to_power_of_two(s)
+        assert np.all(padded.b[:, 5:] == 1)
+        assert np.all(padded.d[:, 5:] == 0)
+        assert np.all(padded.a[:, 5:] == 0)
+        # Decoupled from the original block:
+        assert np.all(padded.c[:, 4] == 0)
+
+    def test_already_power_of_two_is_noop(self):
+        s = diagonally_dominant_fluid(1, 16, seed=2)
+        padded, n = pad_to_power_of_two(s)
+        assert padded is s
+        assert n == 16
+
+
+class TestHints:
+    def test_clean_system_no_warnings(self, dominant_small):
+        assert validate_nonsingular_hint(dominant_small) == []
+
+    def test_zero_diagonal_flagged(self, dominant_small):
+        s = dominant_small.copy()
+        s.b[0, 3] = 0.0
+        msgs = validate_nonsingular_hint(s)
+        assert any("zero on the main diagonal" in m for m in msgs)
+
+    def test_non_dominant_flagged(self, close_batch):
+        msgs = validate_nonsingular_hint(close_batch)
+        assert any("diagonally dominant" in m for m in msgs)
+
+    def test_zero_super_diagonal_flagged(self, dominant_small):
+        s = dominant_small.copy()
+        s.c[0, 5] = 0.0
+        msgs = validate_nonsingular_hint(s)
+        assert any("recursive doubling" in m for m in msgs)
