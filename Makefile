@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench figures report verify calibrate examples clean
+.PHONY: test test-fast bench figures report profile verify calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -20,6 +20,14 @@ figures:         ## regenerate every table/figure text artifact in benchmarks/re
 
 report:          ## paper-vs-model Markdown report
 	$(PY) -m repro report -o REPRODUCTION_REPORT.md
+
+profile:         ## quick telemetry smoke: write + validate profile artifacts
+	$(PY) -m repro profile --quick --outdir profiles
+	$(PY) -c "import glob, json; \
+	  path = sorted(glob.glob('profiles/*.trace.json'))[-1]; \
+	  doc = json.load(open(path)); \
+	  assert doc['traceEvents'], path; \
+	  print(f'{path}: {len(doc[\"traceEvents\"])} trace events ok')"
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify

@@ -12,6 +12,7 @@ numbers in the emitted tables come from the calibrated GT200 model.
 
 from __future__ import annotations
 
+import json
 import os
 import warnings
 
@@ -26,13 +27,28 @@ PAPER_M = {"cr_pcr": 256, "cr_rd": 128}
 SOLVER_ORDER = ["cr_pcr", "cr_rd", "pcr", "rd", "cr"]
 
 
-def emit(name: str, text: str) -> str:
-    """Print a result block and persist it to benchmarks/results/."""
+def emit(name: str, text: str, data=None) -> str:
+    """Print a result block and persist it to benchmarks/results/.
+
+    Besides the human-readable ``{name}.txt``, a structured
+    ``{name}.json`` is written next to it so the bench trajectory is
+    diffable across commits.  Benches pass ``data`` (any JSON-ready
+    value -- typically a list of row dicts with solver, sizes and
+    modeled ms); without it the text lines are archived as a fallback.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+    payload = {"name": name}
+    if data is not None:
+        payload["data"] = data
+    else:
+        payload["text"] = text.splitlines()
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
     return text
 
 

@@ -16,7 +16,7 @@ PAPER = [("global", 0.103, "48.5 GB/s"), ("shared", 0.689, "33 GB/s"),
 
 def build_table(runner=run_cr, grid=30, paper=PAPER,
                 generator=diagonally_dominant_fluid,
-                paper_grid=512) -> str:
+                paper_grid=512) -> tuple[str, list]:
     """Rates are computed on one full device wave (``grid`` = 30
     blocks); the ms columns are rescaled to the paper's grid so they
     compare directly with the published figures."""
@@ -46,16 +46,22 @@ def build_table(runner=run_cr, grid=30, paper=PAPER,
         ["TOTAL", rb.global_ms * k + rb.shared_ms * k + compute_scaled,
          1.0, sum(p[1] for p in paper), "", ""],
     ]
-    return table(["resource", "model_ms", "fraction", "paper_ms",
-                  "model_rate", "paper_rate"], rows)
+    solver = runner.__name__.removeprefix("run_")
+    data = [{"solver": solver, "num_systems": paper_grid, "n": 512,
+             "resource": name, "modeled_ms": ms, "fraction": frac}
+            for name, ms, frac, *_rest in rows]
+    return (table(["resource", "model_ms", "fraction", "paper_ms",
+                   "model_rate", "paper_rate"], rows), data)
 
 
 def test_fig10_cr_breakdown(benchmark):
-    emit("fig10_cr_breakdown", build_table())
+    text, data = build_table()
+    emit("fig10_cr_breakdown", text, data=data)
     with quiet():
         s = diagonally_dominant_fluid(2, 512, seed=0)
         benchmark(lambda: run_cr(s))
 
 
 if __name__ == "__main__":
-    emit("fig10_cr_breakdown", build_table())
+    text, data = build_table()
+    emit("fig10_cr_breakdown", text, data=data)

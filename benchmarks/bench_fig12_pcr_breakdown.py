@@ -16,11 +16,13 @@ PAPER = [("global", 0.106, "47.2 GB/s"), ("shared", 0.163, "883 GB/s"),
 
 
 def test_fig12_pcr_breakdown(benchmark):
-    emit("fig12_pcr_breakdown", build_table(runner=run_pcr, paper=PAPER))
+    text, data = build_table(runner=run_pcr, paper=PAPER)
+    emit("fig12_pcr_breakdown", text, data=data)
     with quiet():
         s = diagonally_dominant_fluid(2, 512, seed=0)
         benchmark(lambda: run_pcr(s))
 
 
 if __name__ == "__main__":
-    emit("fig12_pcr_breakdown", build_table(runner=run_pcr, paper=PAPER))
+    text, data = build_table(runner=run_pcr, paper=PAPER)
+    emit("fig12_pcr_breakdown", text, data=data)

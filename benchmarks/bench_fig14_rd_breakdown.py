@@ -16,13 +16,15 @@ PAPER = [("global", 0.109, "45.9 GB/s"), ("shared", 0.262, "1095 GB/s"),
 
 
 def test_fig14_rd_breakdown(benchmark):
-    emit("fig14_rd_breakdown",
-         build_table(runner=run_rd, paper=PAPER, generator=close_values))
+    text, data = build_table(runner=run_rd, paper=PAPER,
+                             generator=close_values)
+    emit("fig14_rd_breakdown", text, data=data)
     with quiet():
         s = close_values(2, 512, seed=0)
         benchmark(lambda: run_rd(s))
 
 
 if __name__ == "__main__":
-    emit("fig14_rd_breakdown",
-         build_table(runner=run_rd, paper=PAPER, generator=close_values))
+    text, data = build_table(runner=run_rd, paper=PAPER,
+                             generator=close_values)
+    emit("fig14_rd_breakdown", text, data=data)

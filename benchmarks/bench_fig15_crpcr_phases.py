@@ -23,7 +23,7 @@ PAPER = {
 
 def build_table(name="cr_pcr", m=256, paper=PAPER, paper_total=0.422,
                 inner_phase="inner_forward_reduction",
-                inner_avg_paper=0.029) -> str:
+                inner_avg_paper=0.029) -> tuple[str, list]:
     with quiet():
         t = modeled_grid_timing(name, 512, 512, intermediate_size=m)
     total = t.solver_ms
@@ -37,20 +37,26 @@ def build_table(name="cr_pcr", m=256, paper=PAPER, paper_total=0.422,
         ms = t.report.phases[pname].total_ms
         rows.append([pname, ms, ms / total, target])
     rows.append(["TOTAL", total, 1.0, paper_total])
+    data = [{"solver": name, "num_systems": 512, "n": 512,
+             "intermediate_size": m, "phase": pname,
+             "modeled_ms": ms, "fraction": frac}
+            for pname, ms, frac, _paper in rows]
     inner = t.report.steps_ms(inner_phase)
     extra = table(["phase", "steps", "avg_ms(model)", "avg_ms(paper)"], [
         [inner_phase, len(inner), sum(inner) / len(inner),
          inner_avg_paper]])
     return (table(["phase", "model_ms", "fraction", "paper_ms"], rows)
-            + "\n\n" + extra)
+            + "\n\n" + extra, data)
 
 
 def test_fig15_crpcr_phases(benchmark):
-    emit("fig15_crpcr_phases", build_table())
+    text, data = build_table()
+    emit("fig15_crpcr_phases", text, data=data)
     with quiet():
         s = diagonally_dominant_fluid(2, 512, seed=0)
         benchmark(lambda: run_cr_pcr(s, intermediate_size=256))
 
 
 if __name__ == "__main__":
-    emit("fig15_crpcr_phases", build_table())
+    text, data = build_table()
+    emit("fig15_crpcr_phases", text, data=data)

@@ -23,15 +23,17 @@ PAPER = {
 
 
 def test_fig16_crrd_phases(benchmark):
-    emit("fig16_crrd_phases",
-         build_table(name="cr_rd", m=128, paper=PAPER, paper_total=0.488,
-                     inner_phase="rd_scan", inner_avg_paper=0.026))
+    text, data = build_table(name="cr_rd", m=128, paper=PAPER,
+                             paper_total=0.488, inner_phase="rd_scan",
+                             inner_avg_paper=0.026)
+    emit("fig16_crrd_phases", text, data=data)
     with quiet():
         s = diagonally_dominant_fluid(2, 512, seed=0)
         benchmark(lambda: run_cr_rd(s, intermediate_size=128))
 
 
 if __name__ == "__main__":
-    emit("fig16_crrd_phases",
-         build_table(name="cr_rd", m=128, paper=PAPER, paper_total=0.488,
-                     inner_phase="rd_scan", inner_avg_paper=0.026))
+    text, data = build_table(name="cr_rd", m=128, paper=PAPER,
+                             paper_total=0.488, inner_phase="rd_scan",
+                             inner_avg_paper=0.026)
+    emit("fig16_crrd_phases", text, data=data)

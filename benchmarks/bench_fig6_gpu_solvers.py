@@ -13,8 +13,9 @@ from repro.numerics.generators import diagonally_dominant_fluid
 from _harness import PAPER_SIZES, SOLVER_ORDER, emit, hybrid_m_for, quiet, table
 
 
-def build_tables() -> tuple[str, str]:
+def build_tables() -> tuple[str, str, list, list]:
     rows_left, rows_right = [], []
+    data_left, data_right = [], []
     with quiet():
         for S, n in PAPER_SIZES:
             left = [f"{S}x{n}"]
@@ -24,16 +25,26 @@ def build_tables() -> tuple[str, str]:
                                         intermediate_size=hybrid_m_for(name, n))
                 left.append(t.solver_ms)
                 right.append(t.total_ms)
+                data_left.append({"solver": name, "num_systems": S,
+                                  "n": n, "modeled_ms": t.solver_ms})
+                data_right.append({"solver": name, "num_systems": S,
+                                   "n": n, "modeled_ms": t.total_ms,
+                                   "transfer_ms": t.transfer_ms})
             rows_left.append(left)
             rows_right.append(right)
     headers = ["size"] + SOLVER_ORDER
-    return (table(headers, rows_left), table(headers, rows_right))
+    return (table(headers, rows_left), table(headers, rows_right),
+            data_left, data_right)
+
+
+def _emit_all():
+    left, right, data_left, data_right = build_tables()
+    emit("fig6_left_without_transfer_ms", left, data=data_left)
+    emit("fig6_right_with_transfer_ms", right, data=data_right)
 
 
 def test_fig6_gpu_solvers(benchmark):
-    left, right = build_tables()
-    emit("fig6_left_without_transfer_ms", left)
-    emit("fig6_right_with_transfer_ms", right)
+    _emit_all()
     # Wall-clock: the real library solving the flagship batch.
     with quiet():
         s = diagonally_dominant_fluid(512, 512, seed=0)
@@ -41,6 +52,4 @@ def test_fig6_gpu_solvers(benchmark):
 
 
 if __name__ == "__main__":
-    left, right = build_tables()
-    emit("fig6_left_without_transfer_ms", left)
-    emit("fig6_right_with_transfer_ms", right)
+    _emit_all()

@@ -16,7 +16,7 @@ PAPER = {"global_memory_access": 0.103, "forward_reduction": 0.624,
          "solve_two": 0.033, "backward_substitution": 0.306}
 
 
-def build_table() -> str:
+def build_table() -> tuple[str, list]:
     with quiet():
         t = modeled_grid_timing("cr", 512, 512)
     total = t.solver_ms
@@ -31,6 +31,9 @@ def build_table() -> str:
     rows.insert(0, ["global_memory_access", merged_global,
                     merged_global / total, PAPER["global_memory_access"]])
     rows.append(["TOTAL", total, 1.0, 1.066])
+    data = [{"solver": "cr", "num_systems": 512, "n": 512,
+             "phase": name, "modeled_ms": ms, "fraction": frac}
+            for name, ms, frac, _paper in rows]
     # Per-step averages, as the paper reports.
     fwd_steps = t.report.steps_ms("forward_reduction")
     bwd_steps = t.report.steps_ms("backward_substitution")
@@ -41,15 +44,17 @@ def build_table() -> str:
          sum(bwd_steps) / len(bwd_steps), 0.038],
     ])
     return (table(["phase", "model_ms", "fraction", "paper_ms"], rows)
-            + "\n\n" + extra)
+            + "\n\n" + extra, data)
 
 
 def test_fig8_cr_phases(benchmark):
-    emit("fig8_cr_phases", build_table())
+    text, data = build_table()
+    emit("fig8_cr_phases", text, data=data)
     with quiet():
         s = diagonally_dominant_fluid(2, 512, seed=0)
         benchmark(lambda: run_cr(s))
 
 
 if __name__ == "__main__":
-    emit("fig8_cr_phases", build_table())
+    text, data = build_table()
+    emit("fig8_cr_phases", text, data=data)

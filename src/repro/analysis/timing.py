@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpusim import (GTX280, CostModel, DeviceSpec, LaunchResult,
                           PCIeModel, TimingReport, gt200_cost_model)
 from repro.kernels.api import run_kernel
@@ -45,11 +46,15 @@ def timed_solve(name: str, systems: TridiagonalSystems, *,
     """Run kernel ``name`` on ``systems`` and model its GTX 280 timing."""
     cm = cost_model or gt200_cost_model()
     pcie = pcie or PCIeModel()
-    x, launch = run_kernel(name, systems,
-                           intermediate_size=intermediate_size,
-                           device=device)
-    report = cm.report(launch)
-    transfer = pcie.solver_roundtrip_ms(systems.num_systems, systems.n)
+    with telemetry.span("timing.timed_solve", solver=name, n=systems.n,
+                        num_systems=systems.num_systems) as sp:
+        x, launch = run_kernel(name, systems,
+                               intermediate_size=intermediate_size,
+                               device=device)
+        report = cm.report(launch)
+        transfer = pcie.solver_roundtrip_ms(systems.num_systems, systems.n)
+        sp.set_attr("modeled_ms", report.total_ms)
+        sp.set_attr("transfer_ms", transfer)
     return SolverTiming(name=name, x=x, launch=launch, report=report,
                         transfer_ms=transfer)
 
@@ -74,23 +79,28 @@ def modeled_grid_timing(name: str, n: int, num_systems: int, *,
     cm = cost_model or gt200_cost_model()
     pcie = pcie or PCIeModel()
     systems = diagonally_dominant_fluid(sim_blocks, n, seed=seed)
-    x, launch = run_kernel(name, systems,
-                           intermediate_size=intermediate_size,
-                           device=device)
-    scale, conc, waves = cm.grid_scale(device, num_systems,
-                                       launch.shared_bytes,
-                                       launch.threads_per_block)
-    ns_to_ms = 1e-6
-    rep = TimingReport(
-        launch_overhead_ms=cm.params.launch_overhead_ns * ns_to_ms,
-        grid_scale=scale, blocks_per_sm=conc, waves=waves)
-    for pname, pc in launch.ledger.phases.items():
-        rep.phases[pname] = cm.phase_time_block_ns(
-            pc, blocks_per_sm=conc).scaled(scale * ns_to_ms)
-    for pname, idx, pc in launch.ledger.step_records:
-        t = cm.phase_time_block_ns(pc, blocks_per_sm=conc).total_ms
-        rep.per_step.append((pname, idx, t * scale * ns_to_ms))
-    transfer = pcie.solver_roundtrip_ms(num_systems, n)
+    with telemetry.span("timing.modeled_grid", solver=name, n=n,
+                        num_systems=num_systems,
+                        sim_blocks=sim_blocks) as sp:
+        x, launch = run_kernel(name, systems,
+                               intermediate_size=intermediate_size,
+                               device=device)
+        scale, conc, waves = cm.grid_scale(device, num_systems,
+                                           launch.shared_bytes,
+                                           launch.threads_per_block)
+        ns_to_ms = 1e-6
+        rep = TimingReport(
+            launch_overhead_ms=cm.params.launch_overhead_ns * ns_to_ms,
+            grid_scale=scale, blocks_per_sm=conc, waves=waves)
+        for pname, pc in launch.ledger.phases.items():
+            rep.phases[pname] = cm.phase_time_block_ns(
+                pc, blocks_per_sm=conc).scaled(scale * ns_to_ms)
+        for pname, idx, pc in launch.ledger.step_records:
+            t = cm.phase_time_block_ns(pc, blocks_per_sm=conc).total_ms
+            rep.per_step.append((pname, idx, t * scale * ns_to_ms))
+        transfer = pcie.solver_roundtrip_ms(num_systems, n)
+        sp.set_attr("modeled_ms", rep.total_ms)
+        sp.set_attr("transfer_ms", transfer)
     return SolverTiming(name=name, x=x, launch=launch, report=rep,
                         transfer_ms=transfer)
 

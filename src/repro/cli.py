@@ -6,9 +6,13 @@ Commands
 ``verify``    quick headline-reproduction check (ranking, switch
               points, overflow behaviour) -- exits nonzero on failure
 ``analyze``   run a solver kernel on a synthetic batch and print the
-              trace + optimization advisor output
+              trace + optimization advisor output (``--json`` for the
+              machine-readable trace)
 ``calibrate`` re-fit the GT200 cost model against the paper's numbers
 ``report``    generate a Markdown paper-vs-model reproduction report
+              (``--json`` for plain data)
+``profile``   run a solver workload under telemetry and export a
+              Chrome trace, a JSONL event log and a text summary
 ``experiments`` list every reproduced table/figure/ablation and its bench
 """
 
@@ -101,6 +105,21 @@ def cmd_analyze(args) -> int:
     systems = diagonally_dominant_fluid(2, args.n, seed=0)
     _x, res = run_kernel(args.solver, systems,
                          intermediate_size=args.intermediate_size)
+    if args.json:
+        import json
+
+        from repro.gpusim import (gt200_cost_model, launch_to_dict,
+                                  timing_report_to_dict)
+        rep = gt200_cost_model().report(res)
+        print(json.dumps({
+            "solver": args.solver,
+            "n": args.n,
+            "intermediate_size": args.intermediate_size,
+            "launch": launch_to_dict(res),
+            "timing": timing_report_to_dict(rep),
+            "occupancy": res.occupancy(),
+        }, indent=2, sort_keys=True))
+        return 0
     print(full_trace(res))
     print()
     print(advisor_report(res))
@@ -120,7 +139,23 @@ def cmd_calibrate(_args) -> int:
 
 def cmd_report(args) -> int:
     from repro.report import main as report_main
-    return report_main(args.output)
+    return report_main(args.output, as_json=args.json)
+
+
+def cmd_profile(args) -> int:
+    from repro.telemetry.profile import run_profile
+
+    art = run_profile(solver=args.solver, num_systems=args.systems,
+                      n=args.size,
+                      intermediate_size=args.intermediate_size,
+                      outdir=args.outdir, quick=args.quick)
+    print(art.summary_text)
+    print(f"wrote {art.trace_path}")
+    print(f"wrote {art.events_path}")
+    print(f"wrote {art.summary_path}")
+    print("\nOpen the .trace.json in https://ui.perfetto.dev "
+          "(or chrome://tracing) to browse the modeled timeline.")
+    return 0
 
 
 def cmd_experiments(_args) -> int:
@@ -144,18 +179,39 @@ def main(argv=None) -> int:
                       help="system size (power of two)")
     p_an.add_argument("--intermediate-size", type=int, default=None,
                       dest="intermediate_size")
+    p_an.add_argument("--json", action="store_true",
+                      help="machine-readable trace + timing JSON")
     sub.add_parser("calibrate", help="re-fit the GT200 cost model")
     p_rep = sub.add_parser("report",
                            help="generate a Markdown reproduction report")
     p_rep.add_argument("-o", "--output", default=None,
                        help="write to a file instead of stdout")
+    p_rep.add_argument("--json", action="store_true",
+                       help="emit the report as machine-readable JSON")
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a solver workload; export Chrome trace + JSONL "
+             "+ summary")
+    p_prof.add_argument("--solver", default="cr_pcr",
+                        choices=["cr", "pcr", "rd", "cr_pcr", "cr_rd"])
+    p_prof.add_argument("--systems", type=int, default=512,
+                        help="number of tridiagonal systems in the batch")
+    p_prof.add_argument("--size", type=int, default=512,
+                        help="system size n (power of two)")
+    p_prof.add_argument("--intermediate-size", type=int, default=None,
+                        dest="intermediate_size")
+    p_prof.add_argument("--outdir", default="profiles",
+                        help="directory for the three artifacts")
+    p_prof.add_argument("--quick", action="store_true",
+                        help="seconds-scale smoke workload (32x64)")
     sub.add_parser("experiments",
                    help="list reproduced artifacts and their benches")
 
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "verify": cmd_verify,
                "analyze": cmd_analyze, "calibrate": cmd_calibrate,
-               "report": cmd_report, "experiments": cmd_experiments}
+               "report": cmd_report, "profile": cmd_profile,
+               "experiments": cmd_experiments}
     return handler[args.command](args)
 
 

@@ -20,7 +20,8 @@ from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
                      bank_conflict_cycles, coalesced_transactions,
                      max_conflict_degree)
 from .serialize import (launch_to_dict, launch_to_json, ledger_from_dict,
-                        ledger_to_dict, ledgers_equal)
+                        ledger_to_dict, ledgers_equal,
+                        timing_report_from_dict, timing_report_to_dict)
 from .transfer import GLOBAL_ONLY_PENALTY, PCIeModel
 from .warp import is_contiguous_prefix, is_contiguous_range, warps_touched
 
@@ -33,6 +34,7 @@ __all__ = [
     "bank_conflict_cycles", "coalesced_transactions", "max_conflict_degree",
     "GLOBAL_ONLY_PENALTY", "PCIeModel", "launch_to_dict", "launch_to_json",
     "ledger_from_dict", "ledger_to_dict", "ledgers_equal",
+    "timing_report_from_dict", "timing_report_to_dict",
     "is_contiguous_prefix", "is_contiguous_range",
     "warps_touched",
 ]

@@ -37,6 +37,8 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.telemetry import callbacks as _cb
+
 from .counters import CounterLedger, PhaseCounters
 from .device import DeviceSpec
 from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
@@ -158,10 +160,12 @@ class BlockContext:
         """Attribute enclosed costs to phase ``name``."""
         prev = self._phase_name
         self._phase_name = name
+        _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_BEGIN, name=name)
         try:
             yield
         finally:
             self._phase_name = prev
+            _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_END, name=name)
 
     @contextmanager
     def step(self):
@@ -190,6 +194,8 @@ class BlockContext:
                     setattr(delta, fname,
                             getattr(after, fname) - getattr(before, fname))
             self.ledger.record_step(self._phase_name, index, delta)
+            _cb.emit(_cb.DOMAIN_STEP, _cb.SITE_RECORD,
+                     phase=self._phase_name, index=index, counters=delta)
         self._steps_executed += 1
         if self.step_limit is not None and self._steps_executed >= self.step_limit:
             raise StopKernel(self._steps_executed)

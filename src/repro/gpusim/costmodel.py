@@ -31,6 +31,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.telemetry import collector as _telemetry
+
 from .counters import CounterLedger, PhaseCounters
 from .device import DeviceSpec
 from .executor import LaunchResult
@@ -203,4 +205,28 @@ class CostModel:
         for phase, idx, pc in result.ledger.step_records:
             t = self.phase_time_block_ns(pc, blocks_per_sm=conc).total_ms
             rep.per_step.append((phase, idx, t * scale * ns_to_ms))
+        col = _telemetry.get_collector()
+        if col is not None:
+            self._record_telemetry(col, rep)
         return rep
+
+    def _record_telemetry(self, col, rep: TimingReport) -> None:
+        """Aggregate this report into the active telemetry collector.
+
+        Labeled by the solver name from the innermost open span (set by
+        ``run_kernel``/``timed_solve``) when one is available.
+        """
+        labels = {}
+        solver = _telemetry.current_attr("solver")
+        if solver is not None:
+            labels["solver"] = solver
+        m = col.metrics
+        m.counter("model.reports", "cost-model evaluations").inc(**labels)
+        m.counter("model.total_ms",
+                  "modeled grid time").inc(rep.total_ms, **labels)
+        for name, pt in rep.phases.items():
+            m.counter("model.phase_ms", "modeled time by phase").inc(
+                pt.total_ms, phase=name, **labels)
+        _telemetry.event("costmodel.report", total_ms=rep.total_ms,
+                         blocks_per_sm=rep.blocks_per_sm, waves=rep.waves,
+                         **labels)

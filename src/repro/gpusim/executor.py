@@ -13,6 +13,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.telemetry import callbacks as _cb
+
 from .context import BlockContext, StopKernel
 from .counters import CounterLedger
 from .device import DeviceSpec, GTX280
@@ -68,15 +70,27 @@ def launch(kernel: Callable[..., Any], *, num_blocks: int,
     ctx = BlockContext(device, num_blocks, threads_per_block, dtype=dtype,
                        check_contiguous_active=check_contiguous_active,
                        step_limit=step_limit)
+    kernel_name = getattr(kernel, "__name__", str(kernel))
+    _cb.emit(_cb.DOMAIN_LAUNCH, _cb.SITE_BEGIN, kernel=kernel_name,
+             num_blocks=num_blocks, threads_per_block=threads_per_block,
+             device=device.name)
+    result = None
     try:
-        outputs = kernel(ctx, **kernel_args)
-    except StopKernel:
-        outputs = None
-    return LaunchResult(
-        outputs=outputs,
-        ledger=ctx.ledger,
-        num_blocks=num_blocks,
-        threads_per_block=threads_per_block,
-        shared_bytes=ctx.shared_space.bytes_allocated,
-        device=device,
-    )
+        try:
+            outputs = kernel(ctx, **kernel_args)
+        except StopKernel:
+            outputs = None
+        result = LaunchResult(
+            outputs=outputs,
+            ledger=ctx.ledger,
+            num_blocks=num_blocks,
+            threads_per_block=threads_per_block,
+            shared_bytes=ctx.shared_space.bytes_allocated,
+            device=device,
+        )
+        return result
+    finally:
+        # Delivered even when the kernel raises (result stays None),
+        # so subscribers never see an unbalanced begin.
+        _cb.emit(_cb.DOMAIN_LAUNCH, _cb.SITE_END, kernel=kernel_name,
+                 result=result)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .costmodel import PhaseTime, TimingReport
 from .counters import CounterLedger, PhaseCounters
 from .executor import LaunchResult
 
@@ -65,6 +66,40 @@ def launch_to_dict(result: LaunchResult) -> dict[str, Any]:
 def launch_to_json(result: LaunchResult, indent: int | None = None) -> str:
     return json.dumps(launch_to_dict(result), indent=indent,
                       sort_keys=True)
+
+
+def timing_report_to_dict(rep: TimingReport) -> dict[str, Any]:
+    """Modeled grid timing as plain data (for ``--json`` CLI modes and
+    the telemetry sinks)."""
+    return {
+        "phases": {name: {"global_ms": pt.global_ms,
+                          "shared_ms": pt.shared_ms,
+                          "compute_ms": pt.compute_ms,
+                          "total_ms": pt.total_ms}
+                   for name, pt in rep.phases.items()},
+        "per_step": [{"phase": p, "index": i, "ms": t}
+                     for p, i, t in rep.per_step],
+        "launch_overhead_ms": rep.launch_overhead_ms,
+        "grid_scale": rep.grid_scale,
+        "blocks_per_sm": rep.blocks_per_sm,
+        "waves": rep.waves,
+        "total_ms": rep.total_ms,
+    }
+
+
+def timing_report_from_dict(d: dict[str, Any]) -> TimingReport:
+    rep = TimingReport(
+        launch_overhead_ms=d.get("launch_overhead_ms", 0.0),
+        grid_scale=d.get("grid_scale", 1.0),
+        blocks_per_sm=d.get("blocks_per_sm", 0),
+        waves=d.get("waves", 0))
+    for name, pd in d.get("phases", {}).items():
+        rep.phases[name] = PhaseTime(global_ms=pd.get("global_ms", 0.0),
+                                     shared_ms=pd.get("shared_ms", 0.0),
+                                     compute_ms=pd.get("compute_ms", 0.0))
+    for rec in d.get("per_step", []):
+        rep.per_step.append((rec["phase"], rec["index"], rec["ms"]))
+    return rep
 
 
 def ledgers_equal(a: CounterLedger, b: CounterLedger,

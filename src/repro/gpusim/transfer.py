@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry import collector as _telemetry
+
 
 @dataclass(frozen=True)
 class PCIeModel:
@@ -33,7 +35,16 @@ class PCIeModel:
 
     def transfer_ms(self, nbytes: int) -> float:
         """One cudaMemcpy-style call, either direction."""
-        return (self.latency_s + nbytes / self.bandwidth_bytes_per_s) * 1e3
+        ms = (self.latency_s + nbytes / self.bandwidth_bytes_per_s) * 1e3
+        col = _telemetry.get_collector()
+        if col is not None:
+            col.metrics.counter("pcie.transfers",
+                                "modeled cudaMemcpy calls").inc()
+            col.metrics.counter("pcie.bytes",
+                                "bytes over the modeled link").inc(nbytes)
+            col.metrics.histogram("pcie.transfer_ms",
+                                  "per-call modeled time").observe(ms)
+        return ms
 
     def roundtrip_ms(self, bytes_to_device: int, bytes_to_host: int) -> float:
         """One transfer down plus one back."""

@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.gpusim import GTX280, DeviceSpec, LaunchResult, launch
 from repro.solvers.hybrid import default_intermediate_size
 from repro.solvers.systems import TridiagonalSystems
@@ -156,9 +157,19 @@ def run_kernel(name: str, systems: TridiagonalSystems,
         raise ValueError(
             f"unknown kernel {name!r}; available: {sorted(KERNEL_RUNNERS)}")
     runner, takes_m = KERNEL_RUNNERS[name]
-    if takes_m:
-        return runner(systems, intermediate_size=intermediate_size,
-                      device=device, step_limit=step_limit)
-    if intermediate_size is not None:
+    if not takes_m and intermediate_size is not None:
         raise ValueError(f"kernel {name!r} takes no intermediate size")
-    return runner(systems, device=device, step_limit=step_limit)
+    kwargs = {"device": device, "step_limit": step_limit}
+    if takes_m:
+        kwargs["intermediate_size"] = intermediate_size
+    if not telemetry.enabled():
+        # The disabled fast path: no span object, no collector, just
+        # the dispatch itself (covered by the no-op overhead test).
+        return runner(systems, **kwargs)
+    with telemetry.span("kernel.run", solver=name, n=systems.n,
+                        num_systems=systems.num_systems,
+                        device=device.name) as sp:
+        x, result = runner(systems, **kwargs)
+        sp.set_attr("threads_per_block", result.threads_per_block)
+        sp.set_attr("shared_bytes", result.shared_bytes)
+        return x, result

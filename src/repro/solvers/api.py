@@ -32,6 +32,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
+
 from . import cr as _cr
 from . import hybrid as _hybrid
 from . import pcr as _pcr
@@ -160,7 +162,17 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
                 f"got n={orig_n}")
         systems, orig_n = pad_to_power_of_two(systems)
 
-    x = SOLVERS[name](systems, intermediate_size=intermediate_size)
+    with telemetry.span("solve", method=name, n=systems.n,
+                        num_systems=systems.num_systems,
+                        padded=systems.n != orig_n):
+        if telemetry.enabled():
+            col = telemetry.get_collector()
+            col.metrics.counter("solve.calls", "solve() invocations").inc(
+                method=name)
+            col.metrics.counter("solve.systems",
+                                "systems solved").inc(systems.num_systems,
+                                                      method=name)
+        x = SOLVERS[name](systems, intermediate_size=intermediate_size)
     x = x[:, :orig_n]
     return x[0] if single else x
 

@@ -1,0 +1,55 @@
+"""Observability for the solve path: spans, metrics, profile export.
+
+The paper's contribution is a *measurement methodology* -- phase
+breakdowns, differential timing, resource attribution.  This package
+makes those measurements observable for whole workloads instead of
+single launches:
+
+* **spans/events** (:func:`span`, :func:`event`) -- nested wall-clock
+  intervals with free-form attributes, including modeled-time
+  attributes attached by the timing layer;
+* **CUPTI-style callbacks** (:mod:`repro.telemetry.callbacks`) -- the
+  simulator announces launch begin/end, phase boundaries and step
+  records; subscribers observe every launch without patching kernels;
+* **metrics** (:mod:`repro.telemetry.metrics`) -- counters, gauges and
+  histograms (launches, modeled ms by solver/phase, bank-conflict
+  degree distributions, occupancy) aggregated across a session;
+* **export sinks** (:mod:`repro.telemetry.export`) -- JSONL event log,
+  Chrome trace-event JSON (one modeled track per kernel phase;
+  loadable in Perfetto), and a text summary;
+* **profiling** (:mod:`repro.telemetry.profile`, surfaced as the
+  ``repro profile`` CLI) -- run a named workload and write all three.
+
+Everything hangs off a process-local collector that is *off by
+default*: with no active collector, ``span()`` returns a shared no-op
+singleton and the callback registry short-circuits on an empty
+subscriber list, so the solve path pays nothing.
+
+Typical use::
+
+    from repro import telemetry
+    from repro.telemetry.export import text_summary
+
+    with telemetry.collect() as col:
+        x, res = run_kernel("cr_pcr", systems)
+    print(text_summary(col))
+
+See ``docs/observability.md`` for the full walkthrough.
+"""
+
+from . import callbacks
+from .collector import (Collector, LaunchRecord, collect, current_attr,
+                        current_span, enabled, event, get_collector, span)
+from .export import (chrome_trace, phase_totals, text_summary, to_jsonl,
+                     write_chrome_trace, write_jsonl, write_summary)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NOOP_SPAN, EventRecord, LiveSpan, NoopSpan, SpanRecord
+
+__all__ = [
+    "callbacks", "Collector", "LaunchRecord", "collect", "current_attr",
+    "current_span", "enabled", "event", "get_collector", "span",
+    "chrome_trace", "phase_totals", "text_summary", "to_jsonl",
+    "write_chrome_trace", "write_jsonl", "write_summary",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",
+]

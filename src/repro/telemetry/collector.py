@@ -1,0 +1,270 @@
+"""The process-local telemetry collector and the module-level API.
+
+One :class:`Collector` gathers everything observable about a stretch of
+work: wall-clock spans and events (:mod:`repro.telemetry.spans`), a
+metrics registry (:mod:`repro.telemetry.metrics`), and -- via the
+CUPTI-style registry in :mod:`repro.telemetry.callbacks` -- a record of
+every simulated kernel launch, including the full
+:class:`~repro.gpusim.executor.LaunchResult` needed to re-cost the run
+at export time.
+
+Nothing is collected unless a collector is active::
+
+    from repro import telemetry
+
+    with telemetry.collect() as col:
+        x, res = run_kernel("cr_pcr", systems)
+    print(col.metrics.counter("sim.launches").value(kernel="cr_pcr_kernel"))
+
+With no active collector every instrumentation site reduces to one
+``None`` check (``span()`` returns the shared no-op singleton and the
+callback registry has no subscribers), which is what keeps the solve
+path overhead-free by default.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from . import callbacks as cb
+from .metrics import MetricsRegistry
+from .spans import (LiveSpan, NOOP_SPAN, EventRecord, NoopSpan,
+                    SpanRecord)
+
+
+@dataclass
+class LaunchRecord:
+    """One simulated kernel launch observed through the callbacks."""
+
+    seq: int
+    kernel: str
+    num_blocks: int
+    threads_per_block: int
+    device: str
+    #: The executor's LaunchResult (None if the kernel raised).
+    result: Any = None
+    #: Innermost wall-clock span open when the launch began.
+    span_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class Collector:
+    """Accumulates spans, events, metrics and launch records."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self.launches: list[LaunchRecord] = []
+        self.metrics = MetricsRegistry()
+        self._stack: list[SpanRecord] = []
+        self._sim_stack: list[SpanRecord] = []
+        self._next_id = 1
+        self._handle = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def install(self) -> None:
+        """Subscribe to the simulator callbacks (idempotent)."""
+        if self._handle is None:
+            self._handle = cb.subscribe(self._on_callback)
+
+    def uninstall(self) -> None:
+        if self._handle is not None:
+            cb.unsubscribe(self._handle)
+            self._handle = None
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    # -- spans / events ------------------------------------------------
+
+    def start_span(self, name: str, attrs: dict[str, Any] | None = None
+                   ) -> LiveSpan:
+        record = SpanRecord(span_id=self._next_id,
+                            parent_id=None, name=name,
+                            attrs=dict(attrs or {}))
+        self._next_id += 1
+        return LiveSpan(self, record)
+
+    def _enter_span(self, record: SpanRecord) -> None:
+        record.parent_id = (self._stack[-1].span_id if self._stack
+                            else None)
+        record.wall_start_s = self._now()
+        self._stack.append(record)
+        self.spans.append(record)
+
+    def _exit_span(self, record: SpanRecord) -> None:
+        record.wall_dur_s = self._now() - record.wall_start_s
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        elif record in self._stack:          # mismatched exit order
+            self._stack.remove(record)
+
+    def current_span(self) -> SpanRecord | None:
+        return self._stack[-1] if self._stack else None
+
+    def add_event(self, name: str, attrs: dict[str, Any] | None = None,
+                  span_id: int | None = None) -> EventRecord:
+        if span_id is None and self._stack:
+            span_id = self._stack[-1].span_id
+        ev = EventRecord(name=name, wall_s=self._now(),
+                         attrs=dict(attrs or {}), span_id=span_id)
+        self.events.append(ev)
+        return ev
+
+    # -- simulator callbacks -------------------------------------------
+
+    def _on_callback(self, info: cb.CallbackInfo) -> None:
+        if info.domain == cb.DOMAIN_LAUNCH:
+            self._on_launch(info)
+        elif info.domain == cb.DOMAIN_PHASE:
+            self._on_phase(info)
+        elif info.domain == cb.DOMAIN_STEP:
+            self._on_step(info)
+
+    def _on_launch(self, info: cb.CallbackInfo) -> None:
+        p = info.payload
+        if info.site == cb.SITE_BEGIN:
+            rec = LaunchRecord(
+                seq=len(self.launches), kernel=p["kernel"],
+                num_blocks=p["num_blocks"],
+                threads_per_block=p["threads_per_block"],
+                device=p["device"],
+                span_id=(self._stack[-1].span_id if self._stack else None))
+            self.launches.append(rec)
+            span = self.start_span(f"sim.launch:{rec.kernel}",
+                                   {"kernel": rec.kernel,
+                                    "num_blocks": rec.num_blocks,
+                                    "threads_per_block":
+                                        rec.threads_per_block})
+            span.__enter__()
+            self._sim_stack.append(span.record)
+            self.metrics.counter(
+                "sim.launches",
+                "simulated kernel launches").inc(kernel=rec.kernel)
+        else:  # SITE_END
+            result = p.get("result")
+            if self.launches:
+                rec = self.launches[-1]
+                rec.result = result
+                if result is not None:
+                    self.metrics.gauge(
+                        "sim.blocks_per_sm",
+                        "occupancy: resident blocks per SM").set(
+                            result.blocks_per_sm, kernel=rec.kernel)
+                    total = result.ledger.total()
+                    for name, amount in (
+                            ("sim.shared_words", total.shared_words),
+                            ("sim.global_words", total.global_words),
+                            ("sim.flops", total.flops),
+                            ("sim.syncs", total.syncs)):
+                        self.metrics.counter(
+                            name, "per-block ledger totals").inc(
+                                amount, kernel=rec.kernel)
+            if self._sim_stack:
+                record = self._sim_stack.pop()
+                record.wall_dur_s = self._now() - record.wall_start_s
+                if record in self._stack:
+                    self._stack.remove(record)
+
+    def _on_phase(self, info: cb.CallbackInfo) -> None:
+        name = info.payload.get("name", "?")
+        if info.site == cb.SITE_BEGIN:
+            span = self.start_span(f"sim.phase:{name}", {"phase": name})
+            span.__enter__()
+            self._sim_stack.append(span.record)
+        elif self._sim_stack:
+            record = self._sim_stack.pop()
+            record.wall_dur_s = self._now() - record.wall_start_s
+            if record in self._stack:
+                self._stack.remove(record)
+
+    def _on_step(self, info: cb.CallbackInfo) -> None:
+        p = info.payload
+        counters = p.get("counters")
+        phase = p.get("phase", "?")
+        self.metrics.counter("sim.steps", "algorithmic steps").inc(
+            phase=phase)
+        if counters is not None:
+            self.metrics.histogram(
+                "sim.conflict_degree",
+                "bank-conflict degree per step").observe(
+                    counters.conflict_degree, phase=phase)
+
+
+# ----------------------------------------------------------------------
+# Module-level state: the process-local default collector.
+# ----------------------------------------------------------------------
+
+_active: Collector | None = None
+
+
+def enabled() -> bool:
+    """True when a collector is active in this process."""
+    return _active is not None
+
+
+def get_collector() -> Collector | None:
+    return _active
+
+
+@contextmanager
+def collect(collector: Collector | None = None) -> Iterator[Collector]:
+    """Activate a collector for the enclosed block (re-entrant: an
+    inner ``collect()`` shadows, then restores, the outer one)."""
+    global _active
+    prev = _active
+    if prev is not None:
+        prev.uninstall()
+    col = collector or Collector()
+    _active = col
+    col.install()
+    try:
+        yield col
+    finally:
+        col.uninstall()
+        _active = prev
+        if prev is not None:
+            prev.install()
+
+
+def span(name: str, **attrs: Any) -> LiveSpan | NoopSpan:
+    """Open a named span on the active collector; a shared no-op when
+    telemetry is disabled."""
+    col = _active
+    if col is None:
+        return NOOP_SPAN
+    return col.start_span(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event on the active collector (no-op when
+    disabled)."""
+    col = _active
+    if col is not None:
+        col.add_event(name, attrs)
+
+
+def current_span() -> SpanRecord | None:
+    col = _active
+    return col.current_span() if col is not None else None
+
+
+def current_attr(key: str, default: Any = None) -> Any:
+    """Look up ``key`` on the innermost open span, walking outwards.
+
+    Lets deep layers (the cost model) label their metrics with context
+    set high up (the solver name from ``run_kernel``'s span).
+    """
+    col = _active
+    if col is None:
+        return default
+    for record in reversed(col._stack):
+        if key in record.attrs:
+            return record.attrs[key]
+    return default

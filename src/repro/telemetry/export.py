@@ -1,0 +1,301 @@
+"""Export sinks: JSONL event log, Chrome trace JSON, text summary.
+
+Three views of one :class:`~repro.telemetry.collector.Collector`:
+
+* :func:`to_jsonl` -- everything (spans, events, launches, metrics) as
+  one JSON object per line, the diff-friendly archival format;
+* :func:`chrome_trace` -- a Chrome trace-event document (loadable in
+  Perfetto / ``chrome://tracing``) in which the *modeled* GT200
+  timeline is laid out with one track per kernel phase, plus a host
+  wall-clock track from the span records;
+* :func:`text_summary` -- the human-readable session roll-up, whose
+  per-phase modeled times come from the same
+  :meth:`~repro.gpusim.costmodel.CostModel.report` call as
+  :mod:`repro.analysis.breakdown`, so the two always agree.
+
+The simulator is imported lazily so ``repro.telemetry`` never
+participates in ``repro.gpusim``'s import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .collector import Collector
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of attribute values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)      # numpy scalars
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def _reports(collector: Collector, cost_model=None):
+    """(LaunchRecord, TimingReport) pairs for completed launches."""
+    from repro.gpusim import gt200_cost_model
+
+    cm = cost_model or gt200_cost_model()
+    return [(rec, cm.report(rec.result)) for rec in collector.launches
+            if rec.result is not None]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def to_jsonl(collector: Collector) -> str:
+    """One JSON object per line: meta, spans, events, launches, metrics."""
+    from repro.gpusim.serialize import launch_to_dict
+
+    lines = [json.dumps({"type": "meta", "format": "repro.telemetry/v1",
+                         "spans": len(collector.spans),
+                         "events": len(collector.events),
+                         "launches": len(collector.launches)})]
+    for s in collector.spans:
+        lines.append(json.dumps({
+            "type": "span", "id": s.span_id, "parent": s.parent_id,
+            "name": s.name, "wall_start_s": s.wall_start_s,
+            "wall_dur_s": s.wall_dur_s, "attrs": _jsonable(s.attrs)}))
+    for e in collector.events:
+        lines.append(json.dumps({
+            "type": "event", "name": e.name, "span": e.span_id,
+            "wall_s": e.wall_s, "attrs": _jsonable(e.attrs)}))
+    for rec in collector.launches:
+        entry = {"type": "launch", "seq": rec.seq, "kernel": rec.kernel,
+                 "num_blocks": rec.num_blocks,
+                 "threads_per_block": rec.threads_per_block,
+                 "device": rec.device, "span": rec.span_id}
+        if rec.result is not None:
+            entry["trace"] = launch_to_dict(rec.result)
+        lines.append(json.dumps(entry))
+    lines.append(json.dumps({"type": "metrics",
+                             "snapshot": collector.metrics.snapshot()}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(collector: Collector, path: str) -> str:
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(collector))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (Perfetto)
+# ----------------------------------------------------------------------
+
+#: Gap inserted between launches on the modeled timeline, in us, so
+#: adjacent launches stay visually distinct in Perfetto.
+_LAUNCH_GAP_US = 2.0
+
+_MODELED_PID = 0
+_WALL_PID = 1
+
+
+def chrome_trace(collector: Collector, cost_model=None) -> dict:
+    """Chrome trace-event document with modeled timestamps.
+
+    Track layout: pid 0 is the modeled GPU timeline -- tid 0 carries
+    one slice per launch, and each kernel phase gets its own tid so
+    Perfetto shows one track per phase (per-step sub-slices nest inside
+    the phase slice).  pid 1 replays the host wall-clock spans.
+    """
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": _MODELED_PID,
+         "args": {"name": "modeled GPU timeline (GT200 cost model)"}},
+        {"ph": "M", "name": "thread_name", "pid": _MODELED_PID, "tid": 0,
+         "args": {"name": "launches"}},
+        {"ph": "M", "name": "process_name", "pid": _WALL_PID,
+         "args": {"name": "host wall clock"}},
+        {"ph": "M", "name": "thread_name", "pid": _WALL_PID, "tid": 0,
+         "args": {"name": "spans"}},
+    ]
+    phase_tids: dict[str, int] = {}
+
+    def tid_for(phase: str) -> int:
+        if phase not in phase_tids:
+            tid = len(phase_tids) + 1
+            phase_tids[phase] = tid
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": _MODELED_PID, "tid": tid,
+                           "args": {"name": f"phase:{phase}"}})
+        return phase_tids[phase]
+
+    cursor = 0.0
+    for rec, rep in _reports(collector, cost_model):
+        launch_start = cursor
+        cursor += rep.launch_overhead_ms * 1e3
+        for name, pt in rep.phases.items():
+            dur = pt.total_ms * 1e3
+            tid = tid_for(name)
+            events.append({
+                "ph": "X", "name": name, "cat": "phase",
+                "pid": _MODELED_PID, "tid": tid,
+                "ts": cursor, "dur": dur,
+                "args": {"launch": rec.kernel, "seq": rec.seq,
+                         "global_ms": pt.global_ms,
+                         "shared_ms": pt.shared_ms,
+                         "compute_ms": pt.compute_ms}})
+            step_ts = cursor
+            for i, step_ms in enumerate(rep.steps_ms(name)):
+                step_dur = step_ms * 1e3
+                events.append({
+                    "ph": "X", "name": f"{name}[{i}]", "cat": "step",
+                    "pid": _MODELED_PID, "tid": tid,
+                    "ts": step_ts, "dur": step_dur,
+                    "args": {"step": i}})
+                step_ts += step_dur
+            cursor += dur
+        events.append({
+            "ph": "X", "name": rec.kernel, "cat": "launch",
+            "pid": _MODELED_PID, "tid": 0,
+            "ts": launch_start, "dur": cursor - launch_start,
+            "args": {"seq": rec.seq, "num_blocks": rec.num_blocks,
+                     "threads_per_block": rec.threads_per_block,
+                     "device": rec.device,
+                     "modeled_total_ms": rep.total_ms,
+                     "blocks_per_sm": rep.blocks_per_sm,
+                     "waves": rep.waves}})
+        cursor += _LAUNCH_GAP_US
+    for s in collector.spans:
+        if s.wall_dur_s is None:
+            continue
+        events.append({
+            "ph": "X", "name": s.name, "cat": "span",
+            "pid": _WALL_PID, "tid": 0,
+            "ts": s.wall_start_s * 1e6, "dur": s.wall_dur_s * 1e6,
+            "args": _jsonable(s.attrs)})
+    for e in collector.events:
+        events.append({
+            "ph": "i", "s": "t", "name": e.name, "cat": "event",
+            "pid": _WALL_PID, "tid": 0, "ts": e.wall_s * 1e6,
+            "args": _jsonable(e.attrs)})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"format": "repro.telemetry/v1",
+                          "timeline": "modeled (GT200 cost model)"}}
+
+
+def write_chrome_trace(collector: Collector, path: str,
+                       cost_model=None) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(collector, cost_model), fh, indent=1)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Text summary
+# ----------------------------------------------------------------------
+
+def phase_totals(collector: Collector, cost_model=None
+                 ) -> dict[str, dict[str, float]]:
+    """Per-phase modeled milliseconds summed over all launches.
+
+    Exactly the per-phase numbers of
+    :meth:`~repro.gpusim.costmodel.CostModel.report`, and therefore in
+    agreement with :func:`repro.analysis.breakdown.resource_breakdown`.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for _rec, rep in _reports(collector, cost_model):
+        for name, pt in rep.phases.items():
+            agg = totals.setdefault(name, {"total_ms": 0.0, "global_ms": 0.0,
+                                           "shared_ms": 0.0,
+                                           "compute_ms": 0.0})
+            agg["total_ms"] += pt.total_ms
+            agg["global_ms"] += pt.global_ms
+            agg["shared_ms"] += pt.shared_ms
+            agg["compute_ms"] += pt.compute_ms
+    return totals
+
+
+def text_summary(collector: Collector, cost_model=None) -> str:
+    """Human-readable session roll-up."""
+    out: list[str] = []
+    reports = _reports(collector, cost_model)
+    out.append("telemetry summary")
+    out.append("=================")
+    out.append(f"spans: {len(collector.spans)}  "
+               f"events: {len(collector.events)}  "
+               f"launches: {len(collector.launches)}")
+    if reports:
+        out.append("")
+        out.append("launches (modeled):")
+        for rec, rep in reports:
+            out.append(f"  #{rec.seq} {rec.kernel}: "
+                       f"{rec.num_blocks} x {rec.threads_per_block} "
+                       f"threads on {rec.device}, "
+                       f"{rep.total_ms:.4f} ms modeled "
+                       f"({rep.blocks_per_sm} blocks/SM, "
+                       f"{rep.waves} wave(s))")
+        out.append("")
+        out.append("per-phase modeled time (all launches):")
+        for name, agg in phase_totals(collector, cost_model).items():
+            out.append(f"  {name}: {agg['total_ms']:.4f} ms "
+                       f"(global {agg['global_ms']:.4f}, "
+                       f"shared {agg['shared_ms']:.4f}, "
+                       f"compute {agg['compute_ms']:.4f})")
+        g = sum(rep.global_ms for _r, rep in reports)
+        s = sum(rep.shared_ms for _r, rep in reports)
+        c = sum(rep.compute_ms for _r, rep in reports)
+        out.append("")
+        out.append("resource split (as analysis/breakdown.py):")
+        out.append(f"  global {g:.4f} ms, shared {s:.4f} ms, "
+                   f"compute {c:.4f} ms (incl. launch overhead), "
+                   f"total {g + s + c:.4f} ms")
+    snap = collector.metrics.snapshot()
+    for kind in ("counters", "gauges"):
+        if snap[kind]:
+            out.append("")
+            out.append(f"{kind}:")
+            for name, series in snap[kind].items():
+                for labels, value in series.items():
+                    label = "" if labels == "_" else labels
+                    out.append(f"  {name}{label} = {value:g}")
+    if snap["histograms"]:
+        out.append("")
+        out.append("histograms:")
+        for name, series in snap["histograms"].items():
+            for labels, summ in series.items():
+                label = "" if labels == "_" else labels
+                if summ["count"] == 0:
+                    continue
+                out.append(
+                    f"  {name}{label}: count {summ['count']}, "
+                    f"mean {summ['mean']:.3f}, p50 {summ['p50']:.3f}, "
+                    f"p95 {summ['p95']:.3f}, max {summ['max']:.3f}")
+    if collector.spans:
+        out.append("")
+        out.append("wall-clock spans:")
+        children: dict[int | None, list] = {}
+        for sp in collector.spans:
+            children.setdefault(sp.parent_id, []).append(sp)
+
+        def walk(parent_id, depth):
+            for sp in children.get(parent_id, []):
+                dur = ("..." if sp.wall_dur_s is None
+                       else f"{sp.wall_dur_s * 1e3:.2f} ms")
+                modeled = sp.attrs.get("modeled_ms")
+                extra = (f"  [modeled {modeled:.4f} ms]"
+                         if isinstance(modeled, float) else "")
+                out.append(f"  {'  ' * depth}{sp.name}: {dur}{extra}")
+                walk(sp.span_id, depth + 1)
+
+        walk(None, 0)
+    return "\n".join(out) + "\n"
+
+
+def write_summary(collector: Collector, path: str,
+                  cost_model=None) -> str:
+    with open(path, "w") as fh:
+        fh.write(text_summary(collector, cost_model))
+    return path

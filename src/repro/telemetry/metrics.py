@@ -1,0 +1,151 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The shapes follow the Prometheus conventions (monotonic counters,
+point-in-time gauges, distribution histograms; a metric is a family of
+label-keyed series) scaled down to a process-local registry: a
+:class:`~repro.telemetry.collector.Collector` owns one registry and the
+instrumented layers -- executor callbacks, cost model, PCIe model --
+feed it.  ``snapshot()`` renders everything to plain dicts for the
+JSONL sink and the text summary.
+
+Counters are float-valued on purpose: "modeled milliseconds by
+solver/phase" is a counter in the aggregation sense (only ever added
+to) even though the increments are fractional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _labelstr(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically accumulating value per label set."""
+
+    name: str
+    help: str = ""
+    series: dict[LabelKey, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _labelkey(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self.series.get(_labelkey(labels), 0.0)
+
+
+@dataclass
+class Gauge:
+    """Last-written value per label set."""
+
+    name: str
+    help: str = ""
+    series: dict[LabelKey, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: Any) -> None:
+        self.series[_labelkey(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self.series.get(_labelkey(labels), 0.0)
+
+
+@dataclass
+class Histogram:
+    """Observed-value distribution per label set.
+
+    Raw observations are kept (session-scale cardinality is small --
+    at most a few thousand step records) so the summary can report
+    exact quantiles instead of bucket approximations.
+    """
+
+    name: str
+    help: str = ""
+    series: dict[LabelKey, list[float]] = field(default_factory=dict)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self.series.setdefault(_labelkey(labels), []).append(float(value))
+
+    def values(self, **labels: Any) -> list[float]:
+        return list(self.series.get(_labelkey(labels), []))
+
+    @staticmethod
+    def summarize(values: list[float]) -> dict[str, float]:
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+
+        def quantile(q: float) -> float:
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        return {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created, name-keyed metric families."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name=name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metric families as plain dicts (JSON-ready)."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out["counters"][name] = {
+                    _labelstr(k) or "_": v
+                    for k, v in sorted(metric.series.items())}
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = {
+                    _labelstr(k) or "_": v
+                    for k, v in sorted(metric.series.items())}
+            else:
+                out["histograms"][name] = {
+                    _labelstr(k) or "_": Histogram.summarize(v)
+                    for k, v in sorted(metric.series.items())}
+        return out

@@ -1,0 +1,77 @@
+"""``repro profile``: run a named solver workload under telemetry.
+
+Executes one batched solve on the simulated GT200 with the default
+collector active and writes the three export artifacts next to each
+other::
+
+    profiles/
+      profile_cr_pcr_512x512.trace.json    # Chrome trace (Perfetto)
+      profile_cr_pcr_512x512.events.jsonl  # span/event/launch/metric log
+      profile_cr_pcr_512x512.summary.txt   # human-readable roll-up
+
+The modeled per-phase times in the summary come from the same
+cost-model report as :mod:`repro.analysis.breakdown`, so profile
+output can be checked against the paper's phase figures directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from . import collector as telemetry
+from .export import write_chrome_trace, write_jsonl, write_summary
+
+
+@dataclass
+class ProfileArtifacts:
+    """Paths of the three written artifacts plus the live collector."""
+
+    trace_path: str
+    events_path: str
+    summary_path: str
+    collector: telemetry.Collector
+    summary_text: str
+
+
+def run_profile(solver: str = "cr_pcr", num_systems: int = 512,
+                n: int = 512, intermediate_size: int | None = None,
+                outdir: str = "profiles", quick: bool = False,
+                device=None, cost_model=None) -> ProfileArtifacts:
+    """Profile one batched solve and write all three artifacts.
+
+    ``quick`` shrinks the workload to a seconds-scale smoke run
+    (32 systems of 64 unknowns) regardless of the size arguments.
+    """
+    import warnings
+
+    from repro.analysis.timing import timed_solve
+    from repro.gpusim import GTX280
+    from repro.numerics.generators import diagonally_dominant_fluid
+
+    if quick:
+        num_systems, n = min(num_systems, 32), min(n, 64)
+    device = device or GTX280
+    systems = diagonally_dominant_fluid(num_systems, n, seed=0)
+    with telemetry.collect() as col:
+        with telemetry.span("profile", solver=solver, n=n,
+                            num_systems=num_systems,
+                            device=device.name) as sp:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                timing = timed_solve(solver, systems,
+                                     intermediate_size=intermediate_size,
+                                     device=device, cost_model=cost_model)
+            sp.set_attr("modeled_ms", timing.solver_ms)
+            sp.set_attr("transfer_ms", timing.transfer_ms)
+
+    os.makedirs(outdir, exist_ok=True)
+    prefix = os.path.join(outdir, f"profile_{solver}_{num_systems}x{n}")
+    trace = write_chrome_trace(col, f"{prefix}.trace.json", cost_model)
+    events = write_jsonl(col, f"{prefix}.events.jsonl")
+    summary = write_summary(col, f"{prefix}.summary.txt", cost_model)
+    with open(summary) as fh:
+        text = fh.read()
+    return ProfileArtifacts(trace_path=trace, events_path=events,
+                            summary_path=summary, collector=col,
+                            summary_text=text)

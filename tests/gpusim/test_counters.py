@@ -1,0 +1,55 @@
+"""CounterLedger semantics: phase sums and step-record ordering."""
+
+from repro.gpusim.counters import CounterLedger, PhaseCounters
+
+
+def ledger_with_steps(phase: str, flops_per_step: list[int]
+                      ) -> CounterLedger:
+    led = CounterLedger()
+    for i, flops in enumerate(flops_per_step):
+        pc = PhaseCounters(flops=flops)
+        led.phase(phase).merge(pc)
+        led.record_step(phase, i, pc)
+    return led
+
+
+class TestMerged:
+    def test_phase_sums_combine(self):
+        a = ledger_with_steps("fwd", [1, 2])
+        b = ledger_with_steps("fwd", [10])
+        out = a.merged(b)
+        assert out.phases["fwd"].flops == 13
+
+    def test_disjoint_phases_both_present(self):
+        a = ledger_with_steps("fwd", [1])
+        b = ledger_with_steps("bwd", [2])
+        out = a.merged(b)
+        assert set(out.phases) == {"fwd", "bwd"}
+
+    def test_step_records_self_before_other(self):
+        a = ledger_with_steps("fwd", [1, 2])
+        b = ledger_with_steps("bwd", [10, 20])
+        out = a.merged(b)
+        order = [(p, i, pc.flops) for p, i, pc in out.step_records]
+        assert order == [("fwd", 0, 1), ("fwd", 1, 2),
+                         ("bwd", 0, 10), ("bwd", 1, 20)]
+
+    def test_step_record_order_preserved_within_side(self):
+        a = ledger_with_steps("fwd", [5, 6, 7])
+        out = a.merged(CounterLedger())
+        assert [i for _p, i, _pc in out.step_records] == [0, 1, 2]
+
+    def test_merged_does_not_mutate_inputs(self):
+        a = ledger_with_steps("fwd", [1])
+        b = ledger_with_steps("fwd", [2])
+        out = a.merged(b)
+        out.phases["fwd"].flops += 100
+        assert a.phases["fwd"].flops == 1
+        assert b.phases["fwd"].flops == 2
+
+    def test_steps_in_phase_filters_merged_ledger(self):
+        a = ledger_with_steps("fwd", [1, 2])
+        b = ledger_with_steps("bwd", [3])
+        out = a.merged(b)
+        assert [pc.flops for pc in out.steps_in_phase("fwd")] == [1, 2]
+        assert [pc.flops for pc in out.steps_in_phase("bwd")] == [3]

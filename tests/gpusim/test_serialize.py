@@ -5,12 +5,13 @@ import json
 import numpy as np
 import pytest
 
-from repro.gpusim import launch
+from repro.gpusim import gt200_cost_model, launch
 from repro.gpusim.counters import PhaseCounters
 from repro.gpusim.serialize import (launch_to_dict, launch_to_json,
                                     ledger_from_dict, ledger_to_dict,
                                     ledgers_equal, phase_from_dict,
-                                    phase_to_dict)
+                                    phase_to_dict, timing_report_from_dict,
+                                    timing_report_to_dict)
 
 
 def sample_launch():
@@ -46,6 +47,44 @@ class TestRoundTrip:
     def test_unknown_field_rejected(self):
         with pytest.raises(ValueError, match="unknown counter"):
             phase_from_dict({"flops": 1, "bogus": 2})
+
+    def test_step_records_roundtrip(self):
+        res = sample_launch()
+        assert res.ledger.step_records, "sample kernel records one step"
+        back = ledger_from_dict(ledger_to_dict(res.ledger))
+        assert len(back.step_records) == len(res.ledger.step_records)
+        for (p0, i0, c0), (p1, i1, c1) in zip(res.ledger.step_records,
+                                              back.step_records):
+            assert (p0, i0) == (p1, i1)
+            assert c0.as_dict() == c1.as_dict()
+
+    def test_step_records_in_launch_dict(self):
+        d = launch_to_dict(sample_launch())
+        steps = d["ledger"]["steps"]
+        assert steps[0]["phase"] == "work"
+        assert steps[0]["index"] == 0
+        assert steps[0]["counters"]["shared_words"] > 0
+
+
+class TestTimingReportRoundTrip:
+    def test_report_roundtrip(self):
+        res = sample_launch()
+        rep = gt200_cost_model().report(res)
+        back = timing_report_from_dict(timing_report_to_dict(rep))
+        assert set(back.phases) == set(rep.phases)
+        for name, pt in rep.phases.items():
+            assert back.phases[name].total_ms == pytest.approx(pt.total_ms)
+        assert back.per_step == rep.per_step
+        assert back.launch_overhead_ms == rep.launch_overhead_ms
+        assert back.grid_scale == rep.grid_scale
+        assert back.blocks_per_sm == rep.blocks_per_sm
+        assert back.waves == rep.waves
+        assert back.total_ms == pytest.approx(rep.total_ms)
+
+    def test_report_dict_is_json_stable(self):
+        rep = gt200_cost_model().report(sample_launch())
+        d = timing_report_to_dict(rep)
+        assert json.loads(json.dumps(d)) == d
 
 
 class TestDiff:

@@ -1,0 +1,84 @@
+"""Metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_keep_separate_series(self):
+        c = Counter("ms")
+        c.inc(1.0, solver="cr")
+        c.inc(2.0, solver="pcr")
+        c.inc(1.5, solver="cr")
+        assert c.value(solver="cr") == 2.5
+        assert c.value(solver="pcr") == 2.0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x")
+        c.inc(1.0, a=1, b=2)
+        c.inc(1.0, b=2, a=1)
+        assert c.value(a=1, b=2) == 2.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("occupancy")
+        g.set(4)
+        g.set(8)
+        assert g.value() == 8
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("deg")
+        for v in [1, 2, 2, 4, 16]:
+            h.observe(v)
+        s = Histogram.summarize(h.values())
+        assert s["count"] == 5
+        assert s["sum"] == 25
+        assert s["min"] == 1 and s["max"] == 16
+        assert s["p50"] == 2
+
+    def test_labelled_values(self):
+        h = Histogram("deg")
+        h.observe(2, phase="fwd")
+        h.observe(8, phase="bwd")
+        assert h.values(phase="fwd") == [2]
+        assert h.values(phase="bwd") == [8]
+
+
+class TestRegistry:
+    def test_lazy_creation_and_reuse(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("launches")
+        c2 = reg.counter("launches")
+        assert c1 is c2
+        assert "launches" in reg
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("launches").inc(3, solver="cr")
+        reg.gauge("blocks").set(8)
+        reg.histogram("deg").observe(4)
+        snap = reg.snapshot()
+        assert snap["counters"]["launches"] == {"{solver=cr}": 3.0}
+        assert snap["gauges"]["blocks"] == {"_": 8}
+        assert snap["histograms"]["deg"]["_"]["count"] == 1

@@ -1,0 +1,74 @@
+"""End-to-end profile runs: artifacts on disk, CLI wiring, overhead."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli, telemetry
+from repro.kernels.api import run_kernel
+from repro.telemetry.profile import run_profile
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRunProfile:
+    def test_quick_profile_writes_three_artifacts(self, tmp_path):
+        art = run_profile(solver="cr_pcr", quick=True,
+                          outdir=str(tmp_path))
+        with open(art.trace_path) as fh:
+            doc = json.load(fh)
+        phase_slices = [e for e in doc["traceEvents"]
+                        if e["ph"] == "X" and e.get("cat") == "phase"]
+        ledger = art.collector.launches[0].result.ledger
+        assert {e["name"] for e in phase_slices} == set(ledger.phases)
+        with open(art.events_path) as fh:
+            for line in fh:
+                json.loads(line)
+        assert "telemetry summary" in art.summary_text
+        assert "cr_pcr" in art.summary_text
+
+    def test_profile_span_carries_modeled_time(self, tmp_path):
+        art = run_profile(solver="cr", quick=True, outdir=str(tmp_path))
+        root = next(s for s in art.collector.spans
+                    if s.name == "profile")
+        assert root.attrs["modeled_ms"] > 0
+        assert root.attrs["transfer_ms"] > 0
+
+    def test_collector_deactivated_after_profile(self, tmp_path):
+        run_profile(solver="cr", quick=True, outdir=str(tmp_path))
+        assert not telemetry.enabled()
+
+
+class TestCli:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        rc = cli.main(["profile", "--quick", "--outdir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        trace = next(tmp_path.glob("*.trace.json"))
+        json.loads(trace.read_text())
+
+
+class TestDisabledOverhead:
+    def test_run_kernel_disabled_path_never_touches_spans(
+            self, dominant_small, monkeypatch):
+        """With telemetry off, run_kernel must not build a span."""
+        assert not telemetry.enabled()
+
+        def boom(*a, **k):
+            raise AssertionError("span() called on the disabled path")
+
+        monkeypatch.setattr(telemetry, "span", boom)
+        x, res = run_kernel("cr", dominant_small)
+        assert np.all(np.isfinite(x))
+        assert res.num_blocks == dominant_small.num_systems
+
+    def test_run_kernel_enabled_path_uses_span(self, dominant_small):
+        with telemetry.collect() as col:
+            run_kernel("cr", dominant_small)
+        names = [s.name for s in col.spans]
+        assert "kernel.run" in names
+        kr = next(s for s in col.spans if s.name == "kernel.run")
+        assert kr.attrs["solver"] == "cr"
+        assert kr.attrs["threads_per_block"] == 16
