@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench figures report profile verify calibrate examples clean
+.PHONY: test test-fast bench figures report profile chaos verify calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -28,6 +28,11 @@ profile:         ## quick telemetry smoke: write + validate profile artifacts
 	  doc = json.load(open(path)); \
 	  assert doc['traceEvents'], path; \
 	  print(f'{path}: {len(doc[\"traceEvents\"])} trace events ok')"
+
+chaos:           ## fault-injection suite, run twice to prove the seeded
+                 ## plans are deterministic (identical pass/fail both runs)
+	$(PY) -m pytest tests/ -m chaos -q
+	$(PY) -m pytest tests/ -m chaos -q
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify

@@ -25,7 +25,8 @@ Quickstart::
     x = solve(a, b, c, d, method="cr_pcr")
 """
 
-from .solvers import TridiagonalSystems, residual, solve
+from .solvers import TridiagonalSystems, residual, robust_solve, solve
 
 __version__ = "1.0.0"
-__all__ = ["TridiagonalSystems", "residual", "solve", "__version__"]
+__all__ = ["TridiagonalSystems", "residual", "robust_solve", "solve",
+           "__version__"]

@@ -13,6 +13,9 @@ Commands
               (``--json`` for plain data)
 ``profile``   run a solver workload under telemetry and export a
               Chrome trace, a JSONL event log and a text summary
+``robust``    guarded solve on a synthetic batch, optionally under
+              seeded fault injection; prints the per-system routing
+              report (``--json`` for the machine-readable report)
 ``experiments`` list every reproduced table/figure/ablation and its bench
 """
 
@@ -158,6 +161,75 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_robust(args) -> int:
+    import numpy as np
+
+    from repro import telemetry
+    from repro.gpusim.faults import FaultPlan, inject
+    from repro.numerics.generators import (close_values,
+                                           diagonally_dominant_fluid)
+    from repro.resilience import SolveFailedError, robust_solve
+    from repro.telemetry.export import resilience_summary
+
+    warnings.simplefilter("ignore")
+    if args.matrix == "dominant":
+        s = diagonally_dominant_fluid(args.systems, args.size, seed=args.seed)
+    elif args.matrix == "close":
+        s = close_values(args.systems, args.size, seed=args.seed)
+    else:  # mixed: half healthy, half off-dominant
+        half = max(1, args.systems // 2)
+        s1 = diagonally_dominant_fluid(half, args.size, seed=args.seed)
+        s2 = close_values(max(1, args.systems - half), args.size,
+                          seed=args.seed + 1)
+        from repro.solvers.systems import TridiagonalSystems
+        s = TridiagonalSystems(
+            np.concatenate([s1.a, s2.a]), np.concatenate([s1.b, s2.b]),
+            np.concatenate([s1.c, s2.c]), np.concatenate([s1.d, s2.d]))
+
+    plan = None
+    if args.inject is not None:
+        plan = FaultPlan(seed=args.inject,
+                         launch_transient_rate=args.launch_transient,
+                         launch_fatal_rate=args.launch_fatal,
+                         global_bitflip_rate=args.global_bitflip,
+                         shared_bitflip_rate=args.shared_bitflip,
+                         transfer_corruption_rate=args.transfer_corrupt,
+                         ecc_detect_rate=args.ecc_detect)
+
+    def run():
+        try:
+            return robust_solve(s.a, s.b, s.c, s.d, engine=args.engine,
+                                residual_tol=args.tol, refine=args.refine,
+                                raise_on_failure=False), 0
+        except SolveFailedError as exc:   # pragma: no cover - defensive
+            return exc.report, 1
+
+    with telemetry.collect() as col:
+        if plan is not None:
+            with inject(plan):
+                report, rc = run()
+        else:
+            report, rc = run()
+    if not report.all_accepted:
+        rc = 1
+    if args.json:
+        import json
+        doc = report.to_dict()
+        if plan is not None:
+            doc["injected_faults"] = plan.counts()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return rc
+    print(report.summary())
+    lines = resilience_summary(col)
+    if lines:
+        print()
+        print("\n".join(lines))
+    if rc:
+        print(f"\n{len(report.failed_indices)} system(s) failed the "
+              f"whole chain")
+    return rc
+
+
 def cmd_experiments(_args) -> int:
     from repro.experiments import summary
     print(summary())
@@ -204,6 +276,37 @@ def main(argv=None) -> int:
                         help="directory for the three artifacts")
     p_prof.add_argument("--quick", action="store_true",
                         help="seconds-scale smoke workload (32x64)")
+    p_rob = sub.add_parser(
+        "robust",
+        help="guarded solve with fallback chain, optionally under "
+             "seeded fault injection")
+    p_rob.add_argument("--systems", type=int, default=32)
+    p_rob.add_argument("--size", type=int, default=128,
+                       help="system size n")
+    p_rob.add_argument("--matrix", default="mixed",
+                       choices=["dominant", "close", "mixed"],
+                       help="matrix class (close/mixed exercise the "
+                            "pivoting fallback)")
+    p_rob.add_argument("--seed", type=int, default=0,
+                       help="matrix generator seed")
+    p_rob.add_argument("--engine", default="sim",
+                       choices=["numpy", "sim"],
+                       help="sim runs the instrumented kernels (the "
+                            "fault-injectable path)")
+    p_rob.add_argument("--tol", type=float, default=1e-4,
+                       help="relative-residual acceptance gate")
+    p_rob.add_argument("--refine", action="store_true",
+                       help="mixed-precision retry before escalating")
+    p_rob.add_argument("--inject", type=int, default=None, metavar="SEED",
+                       help="activate a FaultPlan with this seed")
+    p_rob.add_argument("--launch-transient", type=float, default=0.2)
+    p_rob.add_argument("--launch-fatal", type=float, default=0.0)
+    p_rob.add_argument("--global-bitflip", type=float, default=0.2)
+    p_rob.add_argument("--shared-bitflip", type=float, default=0.02)
+    p_rob.add_argument("--transfer-corrupt", type=float, default=0.1)
+    p_rob.add_argument("--ecc-detect", type=float, default=0.5)
+    p_rob.add_argument("--json", action="store_true",
+                       help="machine-readable SolveReport")
     sub.add_parser("experiments",
                    help="list reproduced artifacts and their benches")
 
@@ -211,7 +314,7 @@ def main(argv=None) -> int:
     handler = {"info": cmd_info, "verify": cmd_verify,
                "analyze": cmd_analyze, "calibrate": cmd_calibrate,
                "report": cmd_report, "profile": cmd_profile,
-               "experiments": cmd_experiments}
+               "robust": cmd_robust, "experiments": cmd_experiments}
     return handler[args.command](args)
 
 

@@ -8,10 +8,15 @@ Public surface:
 - :class:`~repro.gpusim.costmodel.CostModel` /
   :func:`~repro.gpusim.gt200.gt200_cost_model` -- counters to time
 - :class:`~repro.gpusim.transfer.PCIeModel` -- CPU-GPU transfer model
+- :mod:`~repro.gpusim.faults` -- seeded fault injection (launch
+  failures, bit flips, transfer corruption) for chaos testing
 """
 
 from .context import BlockContext, KernelError, StopKernel
 from .costmodel import CostModel, CostModelParams, PhaseTime, TimingReport
+from .faults import (DataCorruptionError, FaultEvent, FaultPlan, GpuFault,
+                     KernelLaunchError, TransientLaunchError, active_plan,
+                     inject)
 from .counters import CounterLedger, PhaseCounters
 from .device import GTX280, G80_8800GTX, TESLA_C1060, DeviceSpec, occupancy_report
 from .executor import LaunchResult, launch
@@ -26,6 +31,8 @@ from .transfer import GLOBAL_ONLY_PENALTY, PCIeModel
 from .warp import is_contiguous_prefix, is_contiguous_range, warps_touched
 
 __all__ = [
+    "DataCorruptionError", "FaultEvent", "FaultPlan", "GpuFault",
+    "KernelLaunchError", "TransientLaunchError", "active_plan", "inject",
     "BlockContext", "KernelError", "StopKernel", "CostModel", "CostModelParams",
     "PhaseTime", "TimingReport", "CounterLedger", "PhaseCounters",
     "GTX280", "G80_8800GTX", "TESLA_C1060", "DeviceSpec",

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.telemetry import callbacks as _cb
 
+from . import faults as _faults
 from .counters import CounterLedger, PhaseCounters
 from .device import DeviceSpec
 from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
@@ -203,8 +204,13 @@ class BlockContext:
     def sync(self) -> None:
         """``__syncthreads()`` barrier (costed; functionally a no-op
         because the simulator executes whole vector instructions
-        atomically)."""
+        atomically).  Under an active fault plan, a barrier is also a
+        shared-memory upset opportunity (silent: GT200 shared memory
+        has no ECC)."""
         self._pc().syncs += 1
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.maybe_flip_shared(self.shared_space)
 
     # ------------------------------------------------------------------
     # Shared memory

@@ -14,10 +14,13 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.telemetry import callbacks as _cb
+from repro.telemetry import collector as _telemetry
 
+from . import faults as _faults
 from .context import BlockContext, StopKernel
 from .counters import CounterLedger
 from .device import DeviceSpec, GTX280
+from .faults import DataCorruptionError, KernelLaunchError
 
 
 @dataclass
@@ -59,18 +62,60 @@ class LaunchResult:
 def launch(kernel: Callable[..., Any], *, num_blocks: int,
            threads_per_block: int, device: DeviceSpec = GTX280,
            dtype=np.float32, check_contiguous_active: bool = True,
-           step_limit: int | None = None, **kernel_args) -> LaunchResult:
+           step_limit: int | None = None, max_launch_attempts: int = 3,
+           retry_backoff_s: float = 0.0, **kernel_args) -> LaunchResult:
     """Simulate ``kernel(ctx, **kernel_args)`` over a grid.
 
     The kernel receives a fresh :class:`BlockContext`; its return value
     is passed through as ``outputs``.  ``step_limit`` truncates
     execution after that many algorithmic steps (the paper's
     differential-timing probe; outputs are then partial).
+
+    Under an active :class:`~repro.gpusim.faults.FaultPlan` a launch
+    attempt may fail before any block runs: transient failures are
+    retried up to ``max_launch_attempts`` times with bounded
+    exponential backoff (``retry_backoff_s`` base; 0 skips the sleep),
+    then surface as :class:`~repro.gpusim.faults.KernelLaunchError`.
+    Fatal failures raise immediately; ECC-detected DRAM upsets at
+    kernel completion raise
+    :class:`~repro.gpusim.faults.DataCorruptionError`.
     """
+    plan = _faults.active_plan()
+    kernel_name = getattr(kernel, "__name__", str(kernel))
+    attempts = max(1, int(max_launch_attempts))
+    for attempt in range(attempts):
+        if plan is not None:
+            fate = plan.draw_launch_fault(kernel_name)
+            if fate == "fatal":
+                raise KernelLaunchError(
+                    f"launch of {kernel_name} failed (injected fatal fault)")
+            if fate == "transient":
+                col = _telemetry.get_collector()
+                if col is not None:
+                    col.metrics.counter(
+                        "sim.launch_retries",
+                        "transient launch failures retried").inc(
+                            kernel=kernel_name)
+                if attempt == attempts - 1:
+                    raise KernelLaunchError(
+                        f"launch of {kernel_name} still failing after "
+                        f"{attempts} attempts (injected transient faults)")
+                _faults.sleep_backoff(attempt, retry_backoff_s)
+                continue
+        return _launch_once(kernel, kernel_name, num_blocks,
+                            threads_per_block, device, dtype,
+                            check_contiguous_active, step_limit, plan,
+                            kernel_args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _launch_once(kernel, kernel_name, num_blocks, threads_per_block, device,
+                 dtype, check_contiguous_active, step_limit, plan,
+                 kernel_args) -> LaunchResult:
+    """One successful launch attempt (the pre-fault-injection body)."""
     ctx = BlockContext(device, num_blocks, threads_per_block, dtype=dtype,
                        check_contiguous_active=check_contiguous_active,
                        step_limit=step_limit)
-    kernel_name = getattr(kernel, "__name__", str(kernel))
     _cb.emit(_cb.DOMAIN_LAUNCH, _cb.SITE_BEGIN, kernel=kernel_name,
              num_blocks=num_blocks, threads_per_block=threads_per_block,
              device=device.name)
@@ -88,6 +133,14 @@ def launch(kernel: Callable[..., Any], *, num_blocks: int,
             shared_bytes=ctx.shared_space.bytes_allocated,
             device=device,
         )
+        if plan is not None:
+            detected = plan.corrupt_global_arrays(
+                _faults.find_global_arrays(kernel_args), kernel=kernel_name)
+            if detected:
+                ev = detected[0]
+                raise DataCorruptionError(
+                    f"ECC caught a DRAM upset after {kernel_name} "
+                    f"(word {ev.detail['index']}, bit {ev.detail['bit']})")
         return result
     finally:
         # Delivered even when the kernel raises (result stays None),

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpusim import BlockContext, GlobalArray
+from repro.gpusim import faults as _faults
 from repro.solvers.systems import TridiagonalSystems
 
 #: Phase names shared across kernels so analyses can line figures up.
@@ -37,13 +38,20 @@ class GlobalSystemArrays:
     @classmethod
     def from_systems(cls, systems: TridiagonalSystems) -> "GlobalSystemArrays":
         S, n = systems.shape
-        return cls(
+        gmem = cls(
             a=GlobalArray.from_array(systems.a.astype(np.float32)),
             b=GlobalArray.from_array(systems.b.astype(np.float32)),
             c=GlobalArray.from_array(systems.c.astype(np.float32)),
             d=GlobalArray.from_array(systems.d.astype(np.float32)),
             x=GlobalArray(S * n, dtype=np.float32),
             num_systems=S, n=n)
+        # Host-to-device staging is the PCIe leg an active fault plan
+        # may corrupt (detected upsets raise DataCorruptionError here).
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.corrupt_transfer([gmem.a, gmem.b, gmem.c, gmem.d],
+                                  direction="h2d")
+        return gmem
 
     @property
     def block_bases(self) -> np.ndarray:
@@ -51,8 +59,16 @@ class GlobalSystemArrays:
         return np.arange(self.num_systems, dtype=np.int64) * self.n
 
     def solution(self) -> np.ndarray:
-        """The solution array reshaped to ``(num_systems, n)``."""
-        return self.x.data.reshape(self.num_systems, self.n).copy()
+        """The solution array reshaped to ``(num_systems, n)``.
+
+        The device-to-host copy is the other PCIe leg an active fault
+        plan may corrupt.
+        """
+        x = self.x.data.reshape(self.num_systems, self.n).copy()
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.corrupt_transfer([x], direction="d2h")
+        return x
 
 
 def stage_inputs_to_shared(ctx: BlockContext, gmem: GlobalSystemArrays,

@@ -1,0 +1,38 @@
+"""Fault-tolerant solve pipeline and chaos-testing support.
+
+The production-facing answer to the paper's §5.4 findings: the fast
+GPU solvers are only conditionally trustworthy, so a serving system
+must detect breakdown, degrade gracefully per system, and stay
+testable under injected hardware faults.
+
+* :func:`robust_solve` -- the guarded entry point: input validation,
+  per-system stability routing, residual-gated acceptance, and a
+  configurable escalation chain (see
+  :mod:`repro.resilience.pipeline`).  Also reachable as
+  ``repro.solvers.api.robust_solve`` and the ``repro robust`` CLI.
+* :class:`SolveReport` / :class:`SystemReport` -- typed outcome
+  records (:mod:`repro.resilience.report`).
+* The error taxonomy (:mod:`repro.resilience.errors`), spanning input
+  validation, simulated-hardware faults and chain exhaustion.
+* Re-exported fault injection (:class:`~repro.gpusim.faults.FaultPlan`,
+  :func:`~repro.gpusim.faults.inject`) so chaos tests need one import.
+
+See ``docs/robustness.md`` for the walkthrough.
+"""
+
+from repro.gpusim.faults import FaultEvent, FaultPlan, active_plan, inject
+
+from .errors import (DataCorruptionError, GpuFault, InputValidationError,
+                     KernelLaunchError, ResilienceError, SolveFailedError,
+                     TransientLaunchError)
+from .pipeline import DEFAULT_CHAIN, robust_solve
+from .report import AttemptRecord, SolveReport, SystemReport
+
+__all__ = [
+    "robust_solve", "DEFAULT_CHAIN",
+    "SolveReport", "SystemReport", "AttemptRecord",
+    "FaultPlan", "FaultEvent", "inject", "active_plan",
+    "ResilienceError", "SolveFailedError", "InputValidationError",
+    "GpuFault", "KernelLaunchError", "TransientLaunchError",
+    "DataCorruptionError",
+]

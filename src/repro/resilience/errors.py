@@ -1,0 +1,50 @@
+"""The typed error taxonomy of the fault-tolerant solve pipeline.
+
+One import point for every failure class the pipeline can surface,
+wherever it is raised from:
+
+* :class:`InputValidationError` -- rejected input (NaN/Inf), from the
+  ``solve()`` boundary (:mod:`repro.solvers.validate`); a
+  :class:`ValueError`.
+* :class:`KernelLaunchError` / :class:`TransientLaunchError` --
+  launch failures from the simulated executor
+  (:mod:`repro.gpusim.faults`).
+* :class:`DataCorruptionError` -- ECC/CRC-*detected* memory or
+  transfer upsets (silent upsets raise nothing; the residual gate in
+  :func:`~repro.resilience.pipeline.robust_solve` exists for them).
+* :class:`SolveFailedError` -- the pipeline exhausted its fallback
+  chain and still cannot vouch for some systems.  Raising this (rather
+  than returning the best-effort numbers) is what "never silently
+  return garbage" means.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.faults import (DataCorruptionError, GpuFault,
+                                 KernelLaunchError, TransientLaunchError)
+from repro.solvers.validate import InputValidationError
+
+
+class ResilienceError(RuntimeError):
+    """Base class of pipeline-level failures."""
+
+
+class SolveFailedError(ResilienceError):
+    """Every fallback in the chain was tried and some systems still
+    fail the residual gate.
+
+    Carries the :class:`~repro.resilience.report.SolveReport` so
+    callers can inspect per-system routes and the best-effort solution
+    even on the failure path.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+__all__ = [
+    "ResilienceError", "SolveFailedError", "InputValidationError",
+    "GpuFault", "KernelLaunchError", "TransientLaunchError",
+    "DataCorruptionError",
+]

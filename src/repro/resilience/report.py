@@ -1,0 +1,159 @@
+"""Typed outcome records for the fault-tolerant solve pipeline.
+
+A :class:`SolveReport` is the contract of
+:func:`~repro.resilience.pipeline.robust_solve`: the solution plus,
+per system, *which* solver produced it, the residual it was accepted
+at, and every escalation hop taken to get there.  Nothing about the
+routing decision is hidden in logs -- a production caller can assert
+on the report, and the chaos suite does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SystemReport:
+    """Route and outcome for one system of the batch."""
+
+    index: int                 #: position in the input batch
+    route: list[str] = field(default_factory=list)  #: methods tried, in order
+    method: str | None = None  #: accepting method (None if all failed)
+    residual: float = np.inf   #: relative residual at acceptance (or best)
+    retries: int = 0           #: extra attempts (refine retry, re-solves
+                               #: after launch faults) beyond the first
+    accepted: bool = False
+    #: Why the *last* escalation away from a method happened:
+    #: ``ok`` | ``residual`` | ``nonfinite`` | ``launch_error`` |
+    #: ``corruption`` | ``unstable`` (pre-routed by the stability
+    #: predicates) | ``exhausted``.
+    reason: str = "ok"
+
+
+@dataclass
+class AttemptRecord:
+    """One batch-level solver attempt inside the pipeline."""
+
+    method: str
+    engine: str                #: "numpy" or "sim"
+    num_systems: int           #: systems routed through this attempt
+    accepted: int              #: systems the residual gate accepted
+    max_residual: float        #: worst relative residual in the attempt
+    error: str | None = None   #: typed error name when the attempt raised
+    refine_retries: int = 0    #: systems retried via refined_solve
+
+
+@dataclass
+class SolveReport:
+    """Everything :func:`robust_solve` knows about one guarded solve."""
+
+    x: np.ndarray                       #: (num_systems, n) solution
+    systems: list[SystemReport]
+    attempts: list[AttemptRecord]
+    chain: tuple[str, ...]
+    residual_tol: float
+    fault_events: int = 0               #: injected faults observed (if a
+                                        #: FaultPlan was active)
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def num_systems(self) -> int:
+        return len(self.systems)
+
+    @property
+    def all_accepted(self) -> bool:
+        return all(s.accepted for s in self.systems)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [s.index for s in self.systems if not s.accepted]
+
+    @property
+    def max_residual(self) -> float:
+        return max((s.residual for s in self.systems), default=0.0)
+
+    @property
+    def num_fallbacks(self) -> int:
+        """Escalation hops taken (route length beyond 1, summed)."""
+        return sum(max(0, len(s.route) - 1) for s in self.systems)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.systems)
+
+    def routes(self) -> dict[tuple[str, ...], int]:
+        """Distinct routes and how many systems took each."""
+        out: dict[tuple[str, ...], int] = {}
+        for s in self.systems:
+            key = tuple(s.route)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def methods_used(self) -> dict[str, int]:
+        """Accepting method -> number of systems it served."""
+        out: dict[str, int] = {}
+        for s in self.systems:
+            if s.method is not None:
+                out[s.method] = out.get(s.method, 0) + 1
+        return out
+
+    # -- rendering -----------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable roll-up (used by the ``repro robust`` CLI)."""
+        lines = ["robust solve report", "==================="]
+        ok = sum(s.accepted for s in self.systems)
+        lines.append(f"systems: {self.num_systems} ({ok} accepted, "
+                     f"{self.num_systems - ok} failed)")
+        lines.append(f"chain: {' -> '.join(self.chain)}   "
+                     f"residual tol: {self.residual_tol:g}")
+        lines.append(f"max residual: {self.max_residual:.3e}   "
+                     f"fallback hops: {self.num_fallbacks}   "
+                     f"retries: {self.total_retries}")
+        if self.fault_events:
+            lines.append(f"injected faults observed: {self.fault_events}")
+        lines.append("routes:")
+        for route, count in sorted(self.routes().items()):
+            lines.append(f"  {' -> '.join(route) or '(none)'}: "
+                         f"{count} system(s)")
+        lines.append("attempts:")
+        for at in self.attempts:
+            err = f", error={at.error}" if at.error else ""
+            ref = (f", refine_retries={at.refine_retries}"
+                   if at.refine_retries else "")
+            lines.append(
+                f"  {at.method} [{at.engine}]: {at.accepted}/"
+                f"{at.num_systems} accepted, max residual "
+                f"{at.max_residual:.3e}{err}{ref}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (solution excluded; it can be large)."""
+        return {
+            "num_systems": self.num_systems,
+            "all_accepted": self.all_accepted,
+            "max_residual": self.max_residual,
+            "num_fallbacks": self.num_fallbacks,
+            "total_retries": self.total_retries,
+            "fault_events": self.fault_events,
+            "chain": list(self.chain),
+            "residual_tol": self.residual_tol,
+            "routes": {" -> ".join(k): v for k, v in self.routes().items()},
+            "methods_used": self.methods_used(),
+            "attempts": [
+                {"method": a.method, "engine": a.engine,
+                 "num_systems": a.num_systems, "accepted": a.accepted,
+                 "max_residual": a.max_residual, "error": a.error,
+                 "refine_retries": a.refine_retries}
+                for a in self.attempts],
+            "systems": [
+                {"index": s.index, "route": list(s.route),
+                 "method": s.method, "residual": s.residual,
+                 "retries": s.retries, "accepted": s.accepted,
+                 "reason": s.reason}
+                for s in self.systems],
+        }

@@ -6,7 +6,7 @@ See :mod:`repro.solvers.api` for the one-call interface and
 """
 
 from .api import (PIVOTING_METHODS, POWER_OF_TWO_METHODS, SOLVERS,
-                  choose_method, residual, solve)
+                  choose_method, residual, robust_solve, solve)
 from .cr import cyclic_reduction
 from .factorize import (PCRPlan, ThomasFactorization, pcr_factorize,
                         thomas_factorize)
@@ -26,12 +26,14 @@ from .systems import TridiagonalSystems
 from .thomas import thomas_batched, thomas_single
 from .toeplitz import solve_toeplitz_systems, toeplitz_solve
 from .twoway import two_way_elimination
-from .validate import (is_power_of_two, next_power_of_two,
-                       pad_to_power_of_two, validate_nonsingular_hint)
+from .validate import (InputValidationError, is_power_of_two,
+                       next_power_of_two, pad_to_power_of_two,
+                       validate_finite, validate_nonsingular_hint)
 
 __all__ = [
     "PIVOTING_METHODS", "POWER_OF_TWO_METHODS", "SOLVERS", "choose_method",
-    "residual", "solve", "cyclic_reduction", "gep_batched", "gep_single",
+    "residual", "robust_solve", "solve", "cyclic_reduction",
+    "gep_batched", "gep_single",
     "lapack_gtsv", "cr_pcr", "cr_rd", "hybrid_solve",
     "parallel_cyclic_reduction", "recursive_doubling", "TridiagonalSystems",
     "BlockTridiagonalSystems", "block_cyclic_reduction", "block_pcr",
@@ -43,6 +45,7 @@ __all__ = [
     "PCRPlan", "ThomasFactorization", "pcr_factorize", "thomas_factorize",
     "thomas_batched", "thomas_single", "solve_toeplitz_systems",
     "toeplitz_solve", "two_way_elimination",
-    "is_power_of_two",
-    "next_power_of_two", "pad_to_power_of_two", "validate_nonsingular_hint",
+    "InputValidationError", "is_power_of_two",
+    "next_power_of_two", "pad_to_power_of_two", "validate_finite",
+    "validate_nonsingular_hint",
 ]

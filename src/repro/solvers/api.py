@@ -43,7 +43,7 @@ from .qr import givens_qr_batched
 from .systems import TridiagonalSystems
 from .thomas import thomas_batched
 from .twoway import two_way_elimination
-from .validate import is_power_of_two, pad_to_power_of_two
+from .validate import is_power_of_two, pad_to_power_of_two, validate_finite
 
 
 def _solve_cr(s: TridiagonalSystems, **kw) -> np.ndarray:
@@ -125,7 +125,7 @@ def choose_method(systems: TridiagonalSystems) -> str:
 
 
 def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
-          pad: bool = True) -> np.ndarray:
+          pad: bool = True, check_finite: bool = True) -> np.ndarray:
     """Solve tridiagonal systems ``A x = d``.
 
     Parameters
@@ -141,6 +141,10 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
     pad:
         Pad non-power-of-two sizes for the GPU-path methods.  With
         ``pad=False`` such sizes raise instead.
+    check_finite:
+        Reject NaN/Inf coefficients with a ``ValueError`` naming the
+        offending system (default).  ``False`` skips the scan and lets
+        non-finite values propagate as they did before.
 
     Returns
     -------
@@ -149,6 +153,8 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
     single = np.asarray(b).ndim == 1
     systems = TridiagonalSystems(np.atleast_2d(a), np.atleast_2d(b),
                                  np.atleast_2d(c), np.atleast_2d(d))
+    if check_finite:
+        validate_finite(systems, who="solve")
     name = choose_method(systems) if method == "auto" else method
     if name not in SOLVERS:
         raise ValueError(
@@ -175,6 +181,19 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
         x = SOLVERS[name](systems, intermediate_size=intermediate_size)
     x = x[:, :orig_n]
     return x[0] if single else x
+
+
+def robust_solve(a, b, c, d, **kwargs):
+    """Fault-tolerant solve: validate, guard, escalate, report.
+
+    Thin entry point for :func:`repro.resilience.robust_solve` (the
+    import is deferred so the plain :func:`solve` path never pays for
+    the resilience machinery).  Returns a
+    :class:`~repro.resilience.report.SolveReport` whose ``x`` is the
+    solution.
+    """
+    from repro.resilience import robust_solve as _robust_solve
+    return _robust_solve(a, b, c, d, **kwargs)
 
 
 def residual(a, b, c, d, x) -> np.ndarray:

@@ -35,6 +35,10 @@ class RefinementResult:
     iterations: int               # correction sweeps performed
     residual_history: np.ndarray  # max-norm residual after each sweep
     converged: bool
+    #: Why iteration ended: ``converged``, ``max_iterations``,
+    #: ``diverged`` (residual grew two sweeps running) or
+    #: ``nonfinite`` (the inner solver overflowed).
+    stop_reason: str = "max_iterations"
 
     @property
     def final_residual(self) -> float:
@@ -74,16 +78,34 @@ def refined_solve(systems: TridiagonalSystems, method: str = "cr_pcr", *,
     x = solver(s32, intermediate_size=intermediate_size).astype(np.float64)
     history = []
     converged = False
+    stop_reason = "max_iterations"
+    growth_streak = 0
+    best_x, best_rel = x, np.inf
     it = 0
     for it in range(1, max_iterations + 1):
         r = s64.d - s64.matvec(x)
         rel = float((np.linalg.norm(r, axis=1) / d_norm).max())
         history.append(rel)
         if not np.isfinite(rel):
+            stop_reason = "nonfinite"
             break
+        if rel < best_rel:
+            best_x, best_rel = x, rel
         if rel < rtol:
             converged = True
+            stop_reason = "converged"
             break
+        # Divergence guard: when the residual grows for two sweeps
+        # running, further corrections only amplify the error (the
+        # inner solver is unstable on this matrix class, §5.4) --
+        # stop early and hand back the best iterate seen.
+        if history[-1] > (history[-2] if len(history) > 1 else np.inf):
+            growth_streak += 1
+            if growth_streak >= 2:
+                stop_reason = "diverged"
+                break
+        else:
+            growth_streak = 0
         corr_sys = TridiagonalSystems(s32.a, s32.b, s32.c,
                                       r.astype(np.float32))
         e = solver(corr_sys, intermediate_size=intermediate_size)
@@ -91,8 +113,14 @@ def refined_solve(systems: TridiagonalSystems, method: str = "cr_pcr", *,
     else:
         # Loop exhausted; record the final residual.
         r = s64.d - s64.matvec(x)
-        history.append(float((np.linalg.norm(r, axis=1) / d_norm).max()))
-        converged = history[-1] < rtol
+        rel = float((np.linalg.norm(r, axis=1) / d_norm).max())
+        history.append(rel)
+        if np.isfinite(rel) and rel < best_rel:
+            best_x, best_rel = x, rel
+        converged = rel < rtol
+        stop_reason = "converged" if converged else "max_iterations"
+    if stop_reason in ("diverged", "nonfinite") and np.isfinite(best_rel):
+        x = best_x
     return RefinementResult(x=x, iterations=it,
                             residual_history=np.array(history),
-                            converged=converged)
+                            converged=converged, stop_reason=stop_reason)

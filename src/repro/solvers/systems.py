@@ -119,6 +119,12 @@ class TridiagonalSystems:
         return TridiagonalSystems(self.a.copy(), self.b.copy(),
                                   self.c.copy(), self.d.copy())
 
+    def take(self, indices) -> "TridiagonalSystems":
+        """Sub-batch of the given system indices (rows are copied)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return TridiagonalSystems(self.a[idx], self.b[idx],
+                                  self.c[idx], self.d[idx])
+
     def astype(self, dtype) -> "TridiagonalSystems":
         return TridiagonalSystems(*(x.astype(dtype) for x in
                                     (self.a, self.b, self.c, self.d)))

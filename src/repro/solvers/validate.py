@@ -16,6 +16,38 @@ import numpy as np
 from .systems import TridiagonalSystems
 
 
+class InputValidationError(ValueError):
+    """Rejected solver input (non-finite entries, bad shapes).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; :mod:`repro.resilience` re-exports it as
+    part of the typed error taxonomy.
+    """
+
+
+def validate_finite(systems: TridiagonalSystems, *, who: str = "solve"
+                    ) -> None:
+    """Reject NaN/Inf coefficients with a message naming the culprit.
+
+    Before this check, a single NaN in one system silently poisons
+    that system's solution (and, for the scan-based solvers, can
+    poison neighbours too).  The error names the first offending
+    system index and array so batch producers can find the bad record.
+    """
+    for name, arr in (("a", systems.a), ("b", systems.b),
+                      ("c", systems.c), ("d", systems.d)):
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad_systems = np.flatnonzero(~finite.all(axis=1))
+            first = int(bad_systems[0])
+            count = int((~finite).sum())
+            raise InputValidationError(
+                f"{who}: non-finite values in {name!r} ({count} entries "
+                f"across {bad_systems.size} system(s), first at system "
+                f"index {first}); pass check_finite=False to skip this "
+                f"check")
+
+
 def is_power_of_two(n: int) -> bool:
     return n >= 1 and (n & (n - 1)) == 0
 

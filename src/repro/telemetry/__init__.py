@@ -40,16 +40,21 @@ See ``docs/observability.md`` for the full walkthrough.
 from . import callbacks
 from .collector import (Collector, LaunchRecord, collect, current_attr,
                         current_span, enabled, event, get_collector, span)
-from .export import (chrome_trace, phase_totals, text_summary, to_jsonl,
-                     write_chrome_trace, write_jsonl, write_summary)
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .export import (chrome_trace, phase_totals, resilience_summary,
+                     text_summary, to_jsonl, write_chrome_trace,
+                     write_jsonl, write_summary)
+from .metrics import (FALLBACK_TOTAL, RESIDUAL_MAX, Counter, Gauge,
+                      Histogram, MetricsRegistry, record_fallback,
+                      record_residual_max)
 from .spans import NOOP_SPAN, EventRecord, LiveSpan, NoopSpan, SpanRecord
 
 __all__ = [
     "callbacks", "Collector", "LaunchRecord", "collect", "current_attr",
     "current_span", "enabled", "event", "get_collector", "span",
-    "chrome_trace", "phase_totals", "text_summary", "to_jsonl",
-    "write_chrome_trace", "write_jsonl", "write_summary",
+    "chrome_trace", "phase_totals", "resilience_summary", "text_summary",
+    "to_jsonl", "write_chrome_trace", "write_jsonl", "write_summary",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "FALLBACK_TOTAL", "RESIDUAL_MAX", "record_fallback",
+    "record_residual_max",
     "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",
 ]

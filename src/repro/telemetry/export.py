@@ -218,6 +218,44 @@ def phase_totals(collector: Collector, cost_model=None
     return totals
 
 
+def resilience_summary(collector: Collector) -> list[str]:
+    """Readable lines for the resilience metrics, empty when none.
+
+    Renders ``fallback_total{from,to,reason}`` as escalation routes,
+    ``residual_max`` per method, and the injected-fault counters --
+    the degradation view of a chaos or production run.
+    """
+    from .metrics import FALLBACK_TOTAL, RESIDUAL_MAX, Counter, Histogram
+
+    out: list[str] = []
+    fb = collector.metrics._metrics.get(FALLBACK_TOTAL)
+    if isinstance(fb, Counter) and fb.series:
+        out.append("fallbacks (from -> to, by reason):")
+        for key, value in sorted(fb.series.items()):
+            labels = dict(key)
+            out.append(f"  {labels.get('from', '?')} -> "
+                       f"{labels.get('to', '?')} "
+                       f"[{labels.get('reason', '?')}]: {value:g}")
+    rm = collector.metrics._metrics.get(RESIDUAL_MAX)
+    if isinstance(rm, Histogram) and rm.series:
+        out.append("residual_max per attempt:")
+        for key, values in sorted(rm.series.items()):
+            summ = Histogram.summarize(values)
+            labels = dict(key)
+            out.append(f"  {labels.get('method', '?')}: "
+                       f"count {summ['count']}, p50 {summ['p50']:.3e}, "
+                       f"max {summ['max']:.3e}")
+    faults = collector.metrics._metrics.get("faults.injected")
+    if isinstance(faults, Counter) and faults.series:
+        total = sum(faults.series.values())
+        kinds = ", ".join(f"{dict(k).get('kind', '?')}={v:g}"
+                          for k, v in sorted(faults.series.items()))
+        out.append(f"injected faults: {total:g} ({kinds})")
+    if out:
+        out.insert(0, "resilience:")
+    return out
+
+
 def text_summary(collector: Collector, cost_model=None) -> str:
     """Human-readable session roll-up."""
     out: list[str] = []
@@ -252,6 +290,10 @@ def text_summary(collector: Collector, cost_model=None) -> str:
         out.append(f"  global {g:.4f} ms, shared {s:.4f} ms, "
                    f"compute {c:.4f} ms (incl. launch overhead), "
                    f"total {g + s + c:.4f} ms")
+    res = resilience_summary(collector)
+    if res:
+        out.append("")
+        out.extend(res)
     snap = collector.metrics.snapshot()
     for kind in ("counters", "gauges"):
         if snap[kind]:

@@ -20,6 +20,39 @@ from typing import Any
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Canonical resilience metric names (emitted by
+#: :mod:`repro.resilience.pipeline`, rendered as their own section of
+#: the text summary).
+FALLBACK_TOTAL = "fallback_total"
+RESIDUAL_MAX = "residual_max"
+
+
+def record_fallback(frm: str, to: str, reason: str, count: int = 1) -> None:
+    """Count one solver escalation hop on the active collector.
+
+    ``fallback_total{from,to,reason}`` -- no-op when telemetry is
+    disabled (the lazy import keeps this module cycle-free with
+    :mod:`repro.telemetry.collector`).
+    """
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            FALLBACK_TOTAL, "solver fallback escalations").inc(
+                count, **{"from": frm, "to": to, "reason": reason})
+
+
+def record_residual_max(value: float, method: str) -> None:
+    """Observe a per-attempt worst relative residual
+    (``residual_max{method}``); no-op when telemetry is disabled."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            RESIDUAL_MAX,
+            "max relative residual per solve attempt").observe(
+                value, method=method)
+
 
 def _labelkey(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))

@@ -66,6 +66,52 @@ class TestRdOverflowBoundary:
         assert ok[1:].all()
 
 
+class TestPathological:
+    """The inputs the predicates exist to catch (§5.4 failure modes)."""
+
+    def test_zero_diagonal_not_cr_stable(self, dominant_small):
+        s = dominant_small.copy()
+        s.b[0, 3] = 0.0        # off-diagonals stay nonzero: not dominant
+        ok = cr_stable_without_pivoting(s)
+        assert not ok[0]
+        assert ok[1:].all()
+
+    def test_exactly_singular_system_not_recommended_fast(self,
+                                                          dominant_small):
+        s = dominant_small.copy()
+        s.b[0, 3] = 0.0
+        assert recommend_solver(s) == "gep"
+        assert not classify(s)["diagonally_dominant"]
+
+    def test_all_zero_row_passes_weak_dominance(self):
+        """A fully zero row satisfies *non-strict* dominance (0 >= 0):
+        the predicate alone does not rule it out, which is why the
+        resilience pipeline additionally requires nonzero diagonals."""
+        s = diagonally_dominant_fluid(1, 16, seed=6, dtype=np.float64)
+        s.a[0, 4] = s.b[0, 4] = s.c[0, 4] = 0.0
+        assert cr_stable_without_pivoting(s).all()
+        assert np.any(s.b == 0)     # the pipeline's extra check fires
+
+    def test_rd_overflow_boundary_straddles_64(self):
+        """Float32 RD: safe at n=32, fully at risk by n=128, and the
+        boundary itself lands inside an n=64 dominant batch -- the
+        paper's "larger than 64 ... might overflow" line."""
+        at32 = rd_overflow_risk(diagonally_dominant_fluid(8, 32, seed=1))
+        at64 = rd_overflow_risk(diagonally_dominant_fluid(8, 64, seed=1))
+        at128 = rd_overflow_risk(diagonally_dominant_fluid(8, 128, seed=1))
+        assert not at32.any()
+        assert at64.any() and not at64.all()
+        assert at128.all()
+
+    def test_zero_super_diagonal_infinite_growth_estimate(self):
+        s = diagonally_dominant_fluid(2, 16, seed=7, dtype=np.float64)
+        s.c[0, 5] = 0.0
+        g = rd_growth_log2(s)
+        assert np.isinf(g[0])
+        assert np.isfinite(g[1])
+        assert rd_overflow_risk(s)[0]
+
+
 class TestRecommendation:
     def test_non_dominant_gets_gep(self, close_batch):
         assert recommend_solver(close_batch) == "gep"

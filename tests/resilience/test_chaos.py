@@ -1,0 +1,149 @@
+"""Chaos suite: the guarded pipeline under seeded device faults.
+
+The acceptance contract (docs/robustness.md): under injected launch
+failures, DRAM/shared bit flips and transfer corruption, every system
+either meets the residual tolerance or fails with a typed error --
+never a silently wrong answer.  Fixed seeds make every run exactly
+reproducible; ``make chaos`` runs this module twice to prove it.
+"""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_banded
+
+from repro.gpusim import FaultPlan, KernelLaunchError, inject
+from repro.numerics.generators import close_values, diagonally_dominant_fluid
+from repro.resilience import SolveFailedError, robust_solve
+
+pytestmark = pytest.mark.chaos
+
+TOL = 1e-4
+
+
+def chaos_plan(seed: int) -> FaultPlan:
+    """The standard chaos mix: retryable launches, DRAM and shared
+    upsets, corrupted transfers, half of them ECC/CRC-detected."""
+    return FaultPlan(seed=seed, launch_transient_rate=0.2,
+                     global_bitflip_rate=0.3, shared_bitflip_rate=0.02,
+                     transfer_corruption_rate=0.1, ecc_detect_rate=0.5)
+
+
+def independent_residuals(systems, x) -> np.ndarray:
+    """Relative residuals recomputed outside the pipeline (float64)."""
+    dn = np.linalg.norm(systems.d.astype(np.float64), axis=1)
+    return systems.residual(np.atleast_2d(x).astype(np.float64)) / dn
+
+
+def scipy_reference(systems) -> np.ndarray:
+    out = np.zeros(systems.shape)
+    for i in range(systems.num_systems):
+        ab = np.zeros((3, systems.n))
+        ab[0, 1:] = systems.c[i, :-1].astype(np.float64)
+        ab[1] = systems.b[i].astype(np.float64)
+        ab[2, :-1] = systems.a[i, 1:].astype(np.float64)
+        out[i] = solve_banded((1, 1), ab, systems.d[i].astype(np.float64))
+    return out
+
+
+class TestNoSilentCorruption:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 42])
+    def test_accepted_systems_verify_independently(self, dominant_batch,
+                                                   seed):
+        """Every accepted answer survives an out-of-band residual
+        check; every miss is flagged -- zero silent corruption."""
+        s = dominant_batch
+        with inject(chaos_plan(seed)) as plan:
+            report = robust_solve(s.a, s.b, s.c, s.d, engine="sim",
+                                  raise_on_failure=False)
+        rel = independent_residuals(s, report.x)
+        for sr in report.systems:
+            if sr.accepted:
+                assert rel[sr.index] <= TOL, (seed, sr.index)
+            else:
+                assert sr.reason == "exhausted"
+        # The plan actually did something (the suite is not vacuous).
+        assert plan.fault_count > 0
+        assert report.fault_events == plan.fault_count
+
+    def test_detected_faults_cost_retries_not_correctness(self,
+                                                          dominant_batch):
+        """Seed 3 injects enough faults to drive the batch down to the
+        thomas hop; the answers still verify."""
+        s = dominant_batch
+        with inject(chaos_plan(3)):
+            report = robust_solve(s.a, s.b, s.c, s.d, engine="sim")
+        assert report.all_accepted
+        assert report.num_fallbacks > 0
+        assert independent_residuals(s, report.x).max() <= TOL
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_and_faults(self, dominant_batch):
+        """The whole chaos run -- faults, routes, residuals -- is a
+        pure function of (workload, plan seed)."""
+        s = dominant_batch
+
+        def run():
+            with inject(chaos_plan(42)) as plan:
+                report = robust_solve(s.a, s.b, s.c, s.d, engine="sim",
+                                      raise_on_failure=False)
+            return report, plan
+
+        report_a, plan_a = run()
+        report_b, plan_b = run()
+        assert plan_a.counts() == plan_b.counts()
+        assert [(e.kind, e.detail) for e in plan_a.events] == \
+               [(e.kind, e.detail) for e in plan_b.events]
+        assert report_a.to_dict() == report_b.to_dict()
+        np.testing.assert_array_equal(report_a.x, report_b.x)
+
+    def test_different_seeds_differ(self, dominant_batch):
+        s = dominant_batch
+        counts = []
+        for seed in (2, 3):
+            with inject(chaos_plan(seed)) as plan:
+                robust_solve(s.a, s.b, s.c, s.d, engine="sim",
+                             raise_on_failure=False)
+            counts.append(plan.counts())
+        assert counts[0] != counts[1]
+
+
+class TestTypedFailures:
+    def test_unrecoverable_faults_surface_as_typed_error(self,
+                                                         dominant_small):
+        """A chain with no healthy method left ends in SolveFailedError
+        carrying the report -- never a quiet wrong answer."""
+        s = dominant_small
+        plan = FaultPlan(seed=0, launch_fatal_rate=1.0)
+        with inject(plan):
+            with pytest.raises(SolveFailedError) as exc_info:
+                robust_solve(s.a, s.b, s.c, s.d, engine="sim",
+                             chain=("cr",), method_retries=0)
+        report = exc_info.value.report
+        assert len(report.failed_indices) == s.num_systems
+        assert report.attempts[0].error == "KernelLaunchError"
+
+    def test_transient_storm_exhausts_launch_retries(self,
+                                                     dominant_small):
+        s = dominant_small
+        plan = FaultPlan(seed=0, launch_transient_rate=1.0)
+        with inject(plan):
+            with pytest.raises(KernelLaunchError):
+                from repro.kernels.api import run_kernel
+                run_kernel("cr", s)
+
+
+class TestOffDominantUnderChaos:
+    def test_close_values_route_to_pivoting_with_scipy_accuracy(self):
+        """Off the paper's dominant class the batch pre-routes to gep
+        (a numpy-path method the injected device faults cannot touch)
+        and matches the scipy reference."""
+        s = close_values(8, 64, seed=13)
+        with inject(chaos_plan(42)):
+            report = robust_solve(s.a, s.b, s.c, s.d, engine="sim")
+        assert report.routes() == {("gep",): s.num_systems}
+        ref = scipy_reference(s)
+        err = np.abs(report.x - ref) / np.maximum(np.abs(ref), 1e-30)
+        assert err.max() < 5e-4
+        for sr in report.systems:
+            assert sr.reason == "ok"

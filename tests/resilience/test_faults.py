@@ -1,0 +1,246 @@
+"""Seeded fault injection: taxonomy, determinism, executor hooks."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.gpusim import (DataCorruptionError, FaultPlan, GlobalArray,
+                          KernelLaunchError, active_plan, inject, launch)
+from repro.gpusim.faults import flip_bit, retry_backoff_s
+from repro.kernels.api import run_kernel
+from repro.solvers.api import solve
+
+
+def noop_kernel(ctx):
+    return None
+
+
+def array_kernel(ctx, g):
+    return None
+
+
+class TestFlipBit:
+    def test_float32_sign_bit(self):
+        data = np.array([1.0, 2.0], dtype=np.float32)
+        old, new = flip_bit(data, 1, 31)
+        assert (old, new) == (2.0, -2.0)
+        assert data[1] == -2.0
+        assert data[0] == 1.0
+
+    def test_double_flip_restores(self):
+        data = np.array([3.25], dtype=np.float64)
+        flip_bit(data, 0, 17)
+        assert data[0] != 3.25
+        flip_bit(data, 0, 17)
+        assert data[0] == 3.25
+
+    def test_bit_wraps_modulo_width(self):
+        data = np.array([1.0], dtype=np.float32)
+        flip_bit(data, 0, 32 + 31)      # same as bit 31
+        assert data[0] == -1.0
+
+
+class TestFaultPlan:
+    def test_zero_rates_inject_nothing(self):
+        plan = FaultPlan(seed=0)
+        assert plan.draw_launch_fault("k") is None
+        arr = np.ones(8, dtype=np.float32)
+        assert plan.corrupt_global_arrays([arr]) == []
+        plan.corrupt_transfer([arr], direction="h2d")
+        assert plan.events == []
+        assert np.all(arr == 1)
+
+    def test_fatal_rate_one_always_fatal(self):
+        plan = FaultPlan(seed=1, launch_fatal_rate=1.0)
+        assert plan.draw_launch_fault("k") == "fatal"
+        assert plan.counts() == {"launch_fatal": 1}
+
+    def test_transient_rate_one(self):
+        plan = FaultPlan(seed=1, launch_transient_rate=1.0)
+        assert plan.draw_launch_fault("k") == "transient"
+
+    def test_max_faults_budget(self):
+        plan = FaultPlan(seed=2, launch_transient_rate=1.0, max_faults=3)
+        fates = [plan.draw_launch_fault("k") for _ in range(10)]
+        assert fates[:3] == ["transient"] * 3
+        assert fates[3:] == [None] * 7
+        assert plan.fault_count == 3
+
+    def test_same_seed_same_fault_sequence(self):
+        """The determinism anchor: identical plans on identical
+        workloads inject identical faults."""
+        def run(seed):
+            plan = FaultPlan(seed=seed, launch_transient_rate=0.3,
+                             global_bitflip_rate=0.5, ecc_detect_rate=0.5,
+                             transfer_corruption_rate=0.3)
+            arr = np.arange(32, dtype=np.float32) + 1
+            for _ in range(5):
+                plan.draw_launch_fault("k")
+                plan.corrupt_global_arrays([arr], kernel="k")
+                try:
+                    plan.corrupt_transfer([arr], direction="d2h")
+                except DataCorruptionError:
+                    pass
+            return [(ev.kind, ev.detail) for ev in plan.events], arr
+
+        events_a, arr_a = run(9)
+        events_b, arr_b = run(9)
+        assert events_a == events_b
+        np.testing.assert_array_equal(arr_a, arr_b)
+        events_c, _ = run(10)
+        assert events_a != events_c
+
+    def test_detected_transfer_corruption_raises(self):
+        plan = FaultPlan(seed=3, transfer_corruption_rate=1.0,
+                         ecc_detect_rate=1.0)
+        arr = np.ones(16, dtype=np.float32)
+        with pytest.raises(DataCorruptionError, match="CRC"):
+            plan.corrupt_transfer([arr], direction="h2d")
+
+    def test_silent_transfer_corruption_flips_without_raising(self):
+        plan = FaultPlan(seed=3, transfer_corruption_rate=1.0,
+                         ecc_detect_rate=0.0)
+        arr = np.ones(16, dtype=np.float32)
+        plan.corrupt_transfer([arr], direction="h2d")
+        assert plan.counts() == {"transfer_corrupt": 1}
+        assert (arr != 1).sum() == 1      # exactly one word corrupted
+
+    def test_global_corruption_detected_subset(self):
+        plan = FaultPlan(seed=4, global_bitflip_rate=1.0,
+                         ecc_detect_rate=1.0)
+        g = GlobalArray.from_array(np.ones(8, dtype=np.float32))
+        detected = plan.corrupt_global_arrays([g], kernel="k")
+        assert len(detected) == 1
+        assert detected[0].kind == "bitflip_global"
+
+    def test_fault_events_counted_in_telemetry(self):
+        plan = FaultPlan(seed=5, launch_fatal_rate=1.0)
+        with telemetry.collect() as col:
+            plan.draw_launch_fault("k")
+        counter = col.metrics.counter("faults.injected", "")
+        assert counter.value(kind="launch_fatal") == 1
+        assert any(e.name == "fault.injected" for e in col.events)
+
+
+class TestInjectLifecycle:
+    def test_inject_scopes_and_restores(self):
+        assert active_plan() is None
+        outer = FaultPlan(seed=0)
+        inner = FaultPlan(seed=1)
+        with inject(outer):
+            assert active_plan() is outer
+            with inject(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with inject(FaultPlan(seed=0)):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_backoff_schedule_bounded(self):
+        assert retry_backoff_s(0, 0.0) == 0.0
+        assert retry_backoff_s(0, 0.01) == 0.01
+        assert retry_backoff_s(1, 0.01) == 0.02
+        assert retry_backoff_s(10, 0.01) == 0.1      # capped
+
+
+class TestExecutorHooks:
+    def test_fatal_launch_raises_immediately(self):
+        plan = FaultPlan(seed=0, launch_fatal_rate=1.0)
+        with inject(plan):
+            with pytest.raises(KernelLaunchError, match="fatal"):
+                launch(noop_kernel, num_blocks=1, threads_per_block=32)
+        assert plan.counts() == {"launch_fatal": 1}
+
+    def test_transient_exhausts_retries(self):
+        plan = FaultPlan(seed=0, launch_transient_rate=1.0)
+        with inject(plan):
+            with pytest.raises(KernelLaunchError, match="after 3 attempts"):
+                launch(noop_kernel, num_blocks=1, threads_per_block=32)
+        assert plan.counts() == {"launch_transient": 3}
+
+    def test_transient_then_success(self):
+        """A bounded burst of transients is retried away invisibly."""
+        plan = FaultPlan(seed=0, launch_transient_rate=1.0, max_faults=2)
+        with inject(plan), telemetry.collect() as col:
+            result = launch(noop_kernel, num_blocks=1, threads_per_block=32)
+        assert result.num_blocks == 1
+        retries = col.metrics.counter("sim.launch_retries", "")
+        assert retries.value(kernel="noop_kernel") == 2
+
+    def test_detected_global_corruption_raises(self):
+        plan = FaultPlan(seed=1, global_bitflip_rate=1.0,
+                         ecc_detect_rate=1.0)
+        g = GlobalArray.from_array(np.ones(64, dtype=np.float32))
+        with inject(plan):
+            with pytest.raises(DataCorruptionError, match="ECC"):
+                launch(array_kernel, num_blocks=1, threads_per_block=32,
+                       g=g)
+
+    def test_silent_global_corruption_passes_through(self):
+        plan = FaultPlan(seed=1, global_bitflip_rate=1.0,
+                         ecc_detect_rate=0.0)
+        g = GlobalArray.from_array(np.ones(64, dtype=np.float32))
+        with inject(plan):
+            launch(array_kernel, num_blocks=1, threads_per_block=32, g=g)
+        assert plan.counts() == {"bitflip_global": 1}
+        assert (g.data != 1).sum() == 1
+
+    def test_run_kernel_under_faults_stays_deterministic(self,
+                                                         dominant_small):
+        def run():
+            plan = FaultPlan(seed=21, global_bitflip_rate=0.3,
+                             shared_bitflip_rate=0.01)
+            with inject(plan):
+                x, _res = run_kernel("cr", dominant_small.copy())
+            return x, [ev.kind for ev in plan.events]
+
+        x_a, ev_a = run()
+        x_b, ev_b = run()
+        assert ev_a == ev_b and len(ev_a) > 0
+        np.testing.assert_array_equal(x_a, x_b)
+
+
+class TestDisabledOverhead:
+    """Mirrors the telemetry no-op guarantee: with no active plan the
+    solve path must never consult FaultPlan machinery at all."""
+
+    def test_plain_solve_never_touches_fault_hooks(self, dominant_small,
+                                                   monkeypatch):
+        from repro.gpusim import faults
+
+        def boom(*a, **k):
+            raise AssertionError("fault hook consulted with no plan")
+
+        for name in ("draw_launch_fault", "corrupt_global_arrays",
+                     "maybe_flip_shared", "corrupt_transfer"):
+            monkeypatch.setattr(FaultPlan, name, boom)
+        assert faults.active_plan() is None
+        s = dominant_small
+        x = solve(s.a, s.b, s.c, s.d, method="cr_pcr")
+        assert np.isfinite(x).all()
+        x2, _res = run_kernel("cr", s)      # sim path: same guarantee
+        assert np.isfinite(x2).all()
+
+    def test_plain_solve_does_not_import_resilience(self):
+        """The guarded pipeline is opt-in: a plain solve() must not
+        even pay its import."""
+        import os
+        import repro
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        code = ("import sys; from repro.solvers.api import solve; "
+                "import numpy as np; n = 32; "
+                "x = solve(np.ones(n, np.float32), "
+                "np.full(n, 4, np.float32), np.ones(n, np.float32), "
+                "np.ones(n, np.float32)); "
+                "assert 'repro.resilience' not in sys.modules, "
+                "'resilience imported on the plain path'")
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)

@@ -50,6 +50,45 @@ class TestFailureModes:
             s = diagonally_dominant_fluid(4, 256, seed=4)
             res = refined_solve(s, method="rd", max_iterations=3)
         assert not res.converged
+        assert res.stop_reason == "nonfinite"
+
+    def test_divergence_stops_early_and_keeps_best_iterate(self,
+                                                           monkeypatch):
+        """An inner solver that amplifies the error must trip the
+        two-consecutive-growth guard, not run out the iteration
+        budget compounding garbage."""
+        from repro.solvers.api import SOLVERS
+        from repro.solvers.thomas import thomas_batched
+
+        def amplifying_solver(systems, intermediate_size=None):
+            # 10x the true correction: each sweep multiplies the
+            # residual by -9, so it grows but stays finite.
+            return 10.0 * thomas_batched(systems)
+
+        monkeypatch.setitem(SOLVERS, "amplify", amplifying_solver)
+        s = diagonally_dominant_fluid(2, 32, seed=8)
+        res = refined_solve(s, method="amplify", max_iterations=10)
+        assert res.stop_reason == "diverged"
+        assert not res.converged
+        assert res.iterations < 10          # stopped early
+        h = res.residual_history
+        assert h[-1] > h[0]                 # it really was diverging
+        # The returned x is the best iterate seen, not the last one.
+        rel = (s.astype(np.float64).residual(res.x)
+               / np.linalg.norm(s.d.astype(np.float64), axis=1)).max()
+        assert rel <= min(h) * 1.0001
+
+    def test_converged_stop_reason(self):
+        s = diagonally_dominant_fluid(2, 64, seed=9)
+        res = refined_solve(s, method="cr")
+        assert res.converged
+        assert res.stop_reason == "converged"
+
+    def test_max_iterations_stop_reason(self):
+        s = diagonally_dominant_fluid(2, 64, seed=6)
+        res = refined_solve(s, method="cr", max_iterations=1, rtol=1e-30)
+        assert res.stop_reason == "max_iterations"
+        assert not res.converged
 
     def test_unknown_method(self):
         s = diagonally_dominant_fluid(1, 16, seed=5)

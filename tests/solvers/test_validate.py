@@ -5,9 +5,9 @@ import pytest
 
 from repro.numerics.generators import diagonally_dominant_fluid
 from repro.solvers.thomas import thomas_batched
-from repro.solvers.validate import (is_power_of_two, next_power_of_two,
-                                    pad_to_power_of_two,
-                                    require_power_of_two,
+from repro.solvers.validate import (InputValidationError, is_power_of_two,
+                                    next_power_of_two, pad_to_power_of_two,
+                                    require_power_of_two, validate_finite,
                                     validate_nonsingular_hint)
 
 
@@ -56,6 +56,43 @@ class TestPadding:
         padded, n = pad_to_power_of_two(s)
         assert padded is s
         assert n == 16
+
+
+class TestValidateFinite:
+    def test_clean_batch_passes(self, dominant_small):
+        validate_finite(dominant_small)     # no raise
+
+    def test_nan_names_array_and_system(self, dominant_small):
+        s = dominant_small.copy()
+        s.d[3, 7] = np.nan
+        with pytest.raises(InputValidationError,
+                           match=r"'d'.*system index 3"):
+            validate_finite(s)
+
+    def test_inf_caught_too(self, dominant_small):
+        s = dominant_small.copy()
+        s.a[1, 0] = np.inf
+        with pytest.raises(InputValidationError, match="'a'"):
+            validate_finite(s)
+
+    def test_counts_all_bad_entries(self, dominant_small):
+        s = dominant_small.copy()
+        s.b[2, 4] = np.nan
+        s.b[5, 9] = np.inf
+        with pytest.raises(InputValidationError,
+                           match=r"2 entries across 2 system"):
+            validate_finite(s)
+
+    def test_message_names_caller_and_escape_hatch(self, dominant_small):
+        s = dominant_small.copy()
+        s.c[0, 0] = np.nan
+        with pytest.raises(InputValidationError,
+                           match=r"my_api:.*check_finite=False"):
+            validate_finite(s, who="my_api")
+
+    def test_is_a_value_error(self):
+        # Existing `except ValueError` call sites must keep working.
+        assert issubclass(InputValidationError, ValueError)
 
 
 class TestHints:

@@ -82,3 +82,40 @@ class TestRegistry:
         assert snap["counters"]["launches"] == {"{solver=cr}": 3.0}
         assert snap["gauges"]["blocks"] == {"_": 8}
         assert snap["histograms"]["deg"]["_"]["count"] == 1
+
+
+class TestResilienceHelpers:
+    """fallback_total / residual_max recording (docs/robustness.md)."""
+
+    def test_noop_without_collector(self):
+        from repro import telemetry
+        from repro.telemetry.metrics import (record_fallback,
+                                             record_residual_max)
+        assert not telemetry.enabled()
+        record_fallback("cr_pcr", "pcr", "residual")    # must not raise
+        record_residual_max(1e-7, "cr_pcr")
+
+    def test_recorded_under_collector(self):
+        from repro import telemetry
+        from repro.telemetry.metrics import (FALLBACK_TOTAL, RESIDUAL_MAX,
+                                             record_fallback,
+                                             record_residual_max)
+        with telemetry.collect() as col:
+            record_fallback("cr_pcr", "pcr", "corruption", count=3)
+            record_residual_max(0.25, "pcr")
+        c = col.metrics.counter(FALLBACK_TOTAL, "")
+        assert c.value(**{"from": "cr_pcr", "to": "pcr",
+                          "reason": "corruption"}) == 3
+        h = col.metrics.histogram(RESIDUAL_MAX, "")
+        assert h.values(method="pcr") == [0.25]
+
+    def test_rendered_in_text_summary(self):
+        from repro import telemetry
+        from repro.telemetry.metrics import (record_fallback,
+                                             record_residual_max)
+        with telemetry.collect() as col:
+            record_fallback("cr_pcr", "gep", "unstable")
+            record_residual_max(1e-6, "gep")
+        text = telemetry.text_summary(col)
+        assert "cr_pcr -> gep [unstable]: 1" in text
+        assert "gep:" in text
