@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench figures report profile chaos verify calibrate examples clean
+.PHONY: test test-fast bench figures report profile chaos serve-chaos verify calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -33,6 +33,11 @@ chaos:           ## fault-injection suite, run twice to prove the seeded
                  ## plans are deterministic (identical pass/fail both runs)
 	$(PY) -m pytest tests/ -m chaos -q
 	$(PY) -m pytest tests/ -m chaos -q
+
+serve-chaos:     ## serving-layer chaos suite (breakers, deadlines,
+                 ## kill/resume), run twice for the determinism proof
+	$(PY) -m pytest tests/ -m serve -q
+	$(PY) -m pytest tests/ -m serve -q
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify

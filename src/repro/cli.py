@@ -15,7 +15,11 @@ Commands
               Chrome trace, a JSONL event log and a text summary
 ``robust``    guarded solve on a synthetic batch, optionally under
               seeded fault injection; prints the per-system routing
-              report (``--json`` for the machine-readable report)
+              report (``--json`` for the machine-readable report);
+              exits nonzero when any system exhausts the chain
+``serve``     batch-solve scheduler demo over a simulated device
+              pool: deadlines, backpressure, circuit breakers,
+              checkpoint/resume (``--json`` for job reports + metrics)
 ``experiments`` list every reproduced table/figure/ablation and its bench
 """
 
@@ -212,11 +216,16 @@ def cmd_robust(args) -> int:
             report, rc = run()
     if not report.all_accepted:
         rc = 1
+    snap = col.metrics.snapshot()
     if args.json:
         import json
         doc = report.to_dict()
         if plan is not None:
             doc["injected_faults"] = plan.counts()
+        doc["metrics"] = {
+            "fallback_total": snap["counters"].get("fallback_total", {}),
+            "residual_max": snap["histograms"].get("residual_max", {}),
+        }
         print(json.dumps(doc, indent=2, sort_keys=True))
         return rc
     print(report.summary())
@@ -226,7 +235,79 @@ def cmd_robust(args) -> int:
         print("\n".join(lines))
     if rc:
         print(f"\n{len(report.failed_indices)} system(s) failed the "
-              f"whole chain")
+              f"whole chain (exit 1)")
+    return rc
+
+
+def cmd_serve(args) -> int:
+    from repro import telemetry
+    from repro.gpusim.pool import make_pool
+    from repro.numerics.generators import diagonally_dominant_fluid
+    from repro.serve import AdmissionError, BatchScheduler, SolveJob
+    from repro.telemetry.export import serve_summary
+
+    warnings.simplefilter("ignore")
+    hot_rates = {"launch_fatal_rate": args.hot_fatal,
+                 "launch_transient_rate": args.hot_transient,
+                 "global_bitflip_rate": args.hot_bitflip,
+                 "ecc_detect_rate": args.hot_ecc_detect}
+    pool = make_pool(args.devices, seed=args.seed, hot=args.hot,
+                     hot_rates=hot_rates)
+    sched = BatchScheduler(
+        pool, queue_capacity=args.queue_capacity,
+        failure_threshold=args.failure_threshold,
+        cooldown_ms=args.cooldown_ms,
+        max_chunk_retries=args.chunk_retries,
+        chunk_timeout_ms=args.chunk_timeout_ms,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every, seed=args.seed)
+
+    rejected: list[str] = []
+    reports = []
+    with telemetry.collect() as col:
+        for i in range(args.jobs):
+            s = diagonally_dominant_fluid(args.systems, args.size,
+                                          seed=args.seed + i)
+            job = SolveJob(f"job{i}", s, method=args.solver,
+                           chunk_size=args.chunk_size,
+                           deadline_ms=args.deadline_ms)
+            try:
+                sched.submit(job)
+            except AdmissionError as exc:
+                rejected.append(f"{job.job_id}: [{exc.reason}] {exc}")
+        while (job := sched.queue.pop()) is not None:
+            reports.append(sched.run_job(job, resume=args.resume,
+                                         stop_after=args.stop_after))
+
+    rc = 0 if reports and all(r.ok for r in reports) else 1
+    if args.stop_after is not None:
+        # A demo kill is an intentional partial run, not a failure.
+        rc = 0 if all(r.outcome in ("ok", "stopped") for r in reports) else 1
+    if args.json:
+        import json
+        snap = col.metrics.snapshot()
+        doc = {"jobs": [r.to_dict() for r in reports],
+               "rejected": rejected,
+               "breakers": {n: b.state_dict()
+                            for n, b in sched.breakers.items()},
+               "metrics": {k: v for k, v in snap["counters"].items()
+                           if k.startswith("serve.")}}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return rc
+    for r in reports:
+        print(r.summary())
+    for line in rejected:
+        print(f"rejected {line}")
+    lines = serve_summary(col)
+    if lines:
+        print()
+        print("\n".join(lines))
+    if args.checkpoint:
+        print(f"\ncheckpoints in {args.checkpoint}/ "
+              f"(resume with: repro serve --resume ...)")
+    if rc:
+        bad = [r.job_id for r in reports if not r.ok]
+        print(f"\n{len(bad)} job(s) unhealthy: {bad} (exit 1)")
     return rc
 
 
@@ -307,6 +388,56 @@ def main(argv=None) -> int:
     p_rob.add_argument("--ecc-detect", type=float, default=0.5)
     p_rob.add_argument("--json", action="store_true",
                        help="machine-readable SolveReport")
+    p_srv = sub.add_parser(
+        "serve",
+        help="batch-solve scheduler demo over a simulated device pool "
+             "(deadlines, circuit breakers, checkpoint/resume)")
+    p_srv.add_argument("--jobs", type=int, default=1,
+                       help="synthetic jobs to submit")
+    p_srv.add_argument("--systems", type=int, default=32,
+                       help="systems per job")
+    p_srv.add_argument("--size", type=int, default=64,
+                       help="system size n (power of two)")
+    p_srv.add_argument("--solver", default="cr_pcr",
+                       choices=["cr", "pcr", "rd", "cr_pcr", "cr_rd"])
+    p_srv.add_argument("--chunk-size", type=int, default=4,
+                       dest="chunk_size", help="systems per chunk")
+    p_srv.add_argument("--devices", type=int, default=3,
+                       help="simulated GPUs in the pool")
+    p_srv.add_argument("--hot", type=int, default=None, metavar="INDEX",
+                       help="pool index of a faulty device")
+    p_srv.add_argument("--hot-fatal", type=float, default=1.0)
+    p_srv.add_argument("--hot-transient", type=float, default=0.0)
+    p_srv.add_argument("--hot-bitflip", type=float, default=0.0)
+    p_srv.add_argument("--hot-ecc-detect", type=float, default=1.0)
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="workload + device entropy root")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       dest="deadline_ms",
+                       help="per-job modeled deadline budget")
+    p_srv.add_argument("--chunk-timeout-ms", type=float, default=None,
+                       dest="chunk_timeout_ms")
+    p_srv.add_argument("--queue-capacity", type=int, default=8,
+                       dest="queue_capacity")
+    p_srv.add_argument("--failure-threshold", type=int, default=3,
+                       dest="failure_threshold",
+                       help="consecutive failures that trip a breaker")
+    p_srv.add_argument("--cooldown-ms", type=float, default=5.0,
+                       dest="cooldown_ms")
+    p_srv.add_argument("--chunk-retries", type=int, default=3,
+                       dest="chunk_retries")
+    p_srv.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="write per-job JSONL checkpoints here")
+    p_srv.add_argument("--checkpoint-every", type=int, default=4,
+                       dest="checkpoint_every")
+    p_srv.add_argument("--resume", action="store_true",
+                       help="resume jobs from existing checkpoints")
+    p_srv.add_argument("--stop-after", type=int, default=None,
+                       dest="stop_after", metavar="N",
+                       help="kill each job after N chunks (demo; pair "
+                            "with --checkpoint then --resume)")
+    p_srv.add_argument("--json", action="store_true",
+                       help="machine-readable job reports + metrics")
     sub.add_parser("experiments",
                    help="list reproduced artifacts and their benches")
 
@@ -314,7 +445,8 @@ def main(argv=None) -> int:
     handler = {"info": cmd_info, "verify": cmd_verify,
                "analyze": cmd_analyze, "calibrate": cmd_calibrate,
                "report": cmd_report, "profile": cmd_profile,
-               "robust": cmd_robust, "experiments": cmd_experiments}
+               "robust": cmd_robust, "serve": cmd_serve,
+               "experiments": cmd_experiments}
     return handler[args.command](args)
 
 

@@ -21,6 +21,8 @@ from .counters import CounterLedger, PhaseCounters
 from .device import GTX280, G80_8800GTX, TESLA_C1060, DeviceSpec, occupancy_report
 from .executor import LaunchResult, launch
 from .gt200 import GT200_PARAMS, gt200_cost_model
+from .pool import (FAULT_RATE_FIELDS, DevicePool, PooledDevice,
+                   derive_seed, make_pool)
 from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
                      bank_conflict_cycles, coalesced_transactions,
                      max_conflict_degree)
@@ -44,4 +46,6 @@ __all__ = [
     "timing_report_from_dict", "timing_report_to_dict",
     "is_contiguous_prefix", "is_contiguous_range",
     "warps_touched",
+    "FAULT_RATE_FIELDS", "DevicePool", "PooledDevice", "derive_seed",
+    "make_pool",
 ]

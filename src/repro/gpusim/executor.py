@@ -100,7 +100,8 @@ def launch(kernel: Callable[..., Any], *, num_blocks: int,
                     raise KernelLaunchError(
                         f"launch of {kernel_name} still failing after "
                         f"{attempts} attempts (injected transient faults)")
-                _faults.sleep_backoff(attempt, retry_backoff_s)
+                _faults.sleep_backoff(attempt, retry_backoff_s,
+                                      rng=plan.rng)
                 continue
         return _launch_once(kernel, kernel_name, num_blocks,
                             threads_per_block, device, dtype,

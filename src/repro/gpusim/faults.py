@@ -161,6 +161,12 @@ class FaultPlan:
     # -- bookkeeping ---------------------------------------------------
 
     @property
+    def rng(self) -> np.random.Generator:
+        """The plan's seeded generator (shared with the fault draws, so
+        jittered backoff stays part of the same reproducible stream)."""
+        return self._rng
+
+    @property
     def fault_count(self) -> int:
         return len(self.events)
 
@@ -326,17 +332,39 @@ def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
         _active = prev
 
 
-def retry_backoff_s(attempt: int, base_s: float) -> float:
+#: Per-wait ceiling of the backoff schedule, so chaos suites stay fast
+#: even with aggressive plans.
+BACKOFF_CAP_S = 0.1
+
+
+def retry_backoff_s(attempt: int, base_s: float,
+                    rng: np.random.Generator | None = None,
+                    cap_s: float = BACKOFF_CAP_S) -> float:
     """Bounded exponential backoff schedule for transient launch
-    failures: ``base * 2**attempt``, capped at 100ms per wait so chaos
-    suites stay fast even with aggressive plans."""
-    return min(base_s * (2.0 ** attempt), 0.1)
+    failures: ``base * 2**attempt``, capped at ``cap_s`` per wait.
+
+    With ``rng`` given, applies *full jitter*: the wait is drawn
+    uniformly from ``[0, min(base * 2**attempt, cap_s)]``, so
+    concurrent retries (many chunks hitting the same flaky device)
+    decorrelate instead of hammering it in lockstep.  Pass a *seeded*
+    generator (e.g. ``plan.rng``) and the schedule stays exactly
+    reproducible.  ``base_s == 0`` returns ``0.0`` without consuming a
+    draw -- the strict no-wait fast path the simulator defaults to.
+    """
+    if base_s <= 0:
+        return 0.0
+    cap = min(base_s * (2.0 ** attempt), cap_s)
+    if rng is None:
+        return cap
+    return float(rng.uniform(0.0, cap))
 
 
-def sleep_backoff(attempt: int, base_s: float) -> float:
+def sleep_backoff(attempt: int, base_s: float,
+                  rng: np.random.Generator | None = None) -> float:
     """Sleep out the backoff (skipped entirely at ``base_s == 0``,
-    the simulator default); returns the modeled wait."""
-    wait = retry_backoff_s(attempt, base_s)
+    the simulator default); returns the actual wait.  ``rng`` enables
+    the seeded full-jitter draw of :func:`retry_backoff_s`."""
+    wait = retry_backoff_s(attempt, base_s, rng)
     if wait > 0:
         time.sleep(wait)
     return wait

@@ -1,0 +1,154 @@
+"""A pool of simulated devices with per-device fault behaviour.
+
+The serving layer (:mod:`repro.serve`) dispatches batch chunks across
+several simulated GPUs.  Each :class:`PooledDevice` pairs a
+:class:`~repro.gpusim.device.DeviceSpec` with a *fault profile* -- the
+:class:`~repro.gpusim.faults.FaultPlan` rates that describe how healthy
+that card is -- and derives a **fresh seeded plan per chunk attempt**.
+
+Deriving the plan from ``(device seed, job key, chunk id, attempt)``
+instead of keeping one long-lived RNG stream is what makes
+checkpoint/resume bitwise-reproducible: the faults a chunk sees are a
+pure function of its coordinates, never of how many chunks ran before
+it in this process.  A resumed run that skips already-checkpointed
+chunks therefore replays the *exact* fault sequence of an
+uninterrupted run for every chunk it recomputes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .device import GTX280, DeviceSpec
+from .faults import FaultPlan
+
+#: FaultPlan rate fields a pool device's profile may set.
+FAULT_RATE_FIELDS = ("launch_transient_rate", "launch_fatal_rate",
+                     "global_bitflip_rate", "shared_bitflip_rate",
+                     "transfer_corruption_rate", "ecc_detect_rate")
+
+
+def derive_seed(*parts: int | str) -> int:
+    """Mix ints and strings into one deterministic 64-bit-ish seed.
+
+    Strings go through CRC-32 so job ids participate; the mix is a
+    :class:`numpy.random.SeedSequence` spawn, which is stable across
+    platforms and numpy versions by contract.
+    """
+    entropy = [zlib.crc32(p.encode()) if isinstance(p, str) else int(p)
+               for p in parts]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+@dataclass
+class PooledDevice:
+    """One simulated GPU in a serving pool.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; used as the telemetry label and the circuit
+        breaker key.
+    spec:
+        Architectural parameters the chunks are simulated with.
+    seed:
+        Per-device entropy root for derived fault plans.
+    fault_rates:
+        :class:`~repro.gpusim.faults.FaultPlan` rate kwargs (a subset
+        of :data:`FAULT_RATE_FIELDS`).  Empty means a healthy device:
+        :meth:`plan_for` returns ``None`` and chunks run injection-free.
+    """
+
+    name: str
+    spec: DeviceSpec = GTX280
+    seed: int = 0
+    fault_rates: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.fault_rates) - set(FAULT_RATE_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"device {self.name!r}: unknown fault rates {sorted(unknown)}; "
+                f"available: {FAULT_RATE_FIELDS}")
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any injection rate is nonzero."""
+        return any(self.fault_rates.get(f, 0.0) for f in FAULT_RATE_FIELDS
+                   if f != "ecc_detect_rate")
+
+    def plan_for(self, job_key: str, chunk_id: int,
+                 attempt: int = 0) -> FaultPlan | None:
+        """A fresh seeded plan for one chunk attempt (``None`` when
+        healthy).
+
+        Same ``(device, job, chunk, attempt)`` -> same plan -> same
+        injected faults, regardless of execution order or process
+        restarts.
+        """
+        if not self.faulty:
+            return None
+        return FaultPlan(
+            seed=derive_seed(self.seed, self.name, job_key, chunk_id,
+                             attempt),
+            **self.fault_rates)
+
+
+class DevicePool:
+    """An ordered collection of :class:`PooledDevice`.
+
+    Order is meaningful: the scheduler breaks modeled-time ties by pool
+    position, which keeps chunk placement deterministic.
+    """
+
+    def __init__(self, devices: list[PooledDevice]):
+        if not devices:
+            raise ValueError("a device pool needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names in pool: {names}")
+        self.devices = list(devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[PooledDevice]:
+        return iter(self.devices)
+
+    def __getitem__(self, i: int) -> PooledDevice:
+        return self.devices[i]
+
+    @property
+    def names(self) -> list[str]:
+        return [d.name for d in self.devices]
+
+    def by_name(self, name: str) -> PooledDevice:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise KeyError(f"no device named {name!r} in pool {self.names}")
+
+
+def make_pool(num_devices: int, *, seed: int = 0,
+              hot: int | None = None,
+              hot_rates: dict[str, float] | None = None,
+              spec: DeviceSpec = GTX280) -> DevicePool:
+    """Convenience pool: ``num_devices`` healthy GPUs, optionally one
+    "hot" device with an aggressive fault profile (the standard chaos
+    topology of the serve suite and the ``repro serve`` CLI).
+    """
+    if hot is not None and not 0 <= hot < num_devices:
+        raise ValueError(f"hot device index {hot} outside pool of "
+                         f"{num_devices}")
+    rates = hot_rates if hot_rates is not None else {
+        "launch_fatal_rate": 1.0}
+    devices = []
+    for i in range(num_devices):
+        devices.append(PooledDevice(
+            name=f"gpu{i}", spec=spec, seed=derive_seed(seed, i),
+            fault_rates=dict(rates) if i == hot else {}))
+    return DevicePool(devices)

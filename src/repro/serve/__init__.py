@@ -1,0 +1,58 @@
+"""Resilient batch-solve serving over a simulated multi-device pool.
+
+The production layer above :func:`repro.robust_solve`: where PR-2's
+pipeline keeps one *solve* honest, this package keeps a *workload*
+healthy when a device degrades mid-run, the queue backs up, or the
+process dies halfway through a long job.
+
+* :class:`~repro.serve.job.SolveJob` / :class:`~repro.serve.job.JobReport`
+  -- the admission unit and its typed outcome;
+* :class:`~repro.serve.queue.BoundedJobQueue` -- backpressure with
+  typed rejection instead of unbounded growth;
+* :class:`~repro.serve.breaker.CircuitBreaker` -- per-device
+  closed/open/half-open health gating driven by the PR-2 fault
+  taxonomy;
+* :mod:`~repro.serve.checkpoint` -- JSONL checkpoints; kill a run,
+  resume it bitwise;
+* :class:`~repro.serve.scheduler.BatchScheduler` -- chunk sharding,
+  deadline budgets, seeded-jitter retries, rerouting, and graceful
+  degradation to the CPU chain.
+
+Quickstart::
+
+    from repro.gpusim import make_pool
+    from repro.serve import BatchScheduler, SolveJob
+
+    pool = make_pool(3, seed=0, hot=1)      # gpu1 fails every launch
+    sched = BatchScheduler(pool, checkpoint_dir="ckpt")
+    sched.submit(SolveJob("demo", systems, deadline_ms=50.0))
+    [report] = sched.run()
+    assert report.ok and not report.failed_chunks
+
+Deterministic by construction: per-chunk fault plans are derived from
+``(device, job, chunk, attempt)``, so identical seeded runs -- and
+killed-then-resumed runs -- produce bitwise-identical solutions.
+See ``docs/robustness.md`` ("Serving layer").
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, \
+    CircuitBreaker
+from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
+from .errors import (AdmissionError, CheckpointMismatchError,
+                     DeadlineExceededError, DeadlineUnmeetableError,
+                     QueueFullError, ServeError)
+from .job import (DEFAULT_CPU_CHAIN, ChunkAttempt, ChunkRecord, JobReport,
+                  SolveJob, digest_array)
+from .queue import BoundedJobQueue
+from .scheduler import BatchScheduler
+
+__all__ = [
+    "BatchScheduler", "BoundedJobQueue", "CircuitBreaker",
+    "BreakerTransition", "CLOSED", "OPEN", "HALF_OPEN",
+    "CheckpointWriter", "ResumeState", "load_checkpoint",
+    "SolveJob", "JobReport", "ChunkRecord", "ChunkAttempt",
+    "DEFAULT_CPU_CHAIN", "digest_array",
+    "ServeError", "AdmissionError", "QueueFullError",
+    "DeadlineUnmeetableError", "DeadlineExceededError",
+    "CheckpointMismatchError",
+]

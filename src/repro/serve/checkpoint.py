@@ -1,0 +1,177 @@
+"""JSONL job checkpoints: kill a long run, resume without recompute.
+
+Format (one JSON object per line, append-only):
+
+* ``{"type": "header", ...}`` -- job identity: id, chunking, solver
+  spec and an input digest.  Resume refuses a file whose digest does
+  not match the job being resumed
+  (:class:`~repro.serve.errors.CheckpointMismatchError`).
+* ``{"type": "chunk", ...}`` -- one completed chunk: status, serving
+  device, modeled times, the solution rows (hex-encoded raw bytes, so
+  restoration is bitwise) and their digest.
+* ``{"type": "state", "after_chunk": k, ...}`` -- scheduler state at a
+  checkpoint barrier: per-device modeled clocks, the CPU-chain clock,
+  and every circuit breaker's dynamic state.
+
+Chunk lines are buffered and written *together with* the state line
+every ``checkpoint_every`` chunks, so the file is always a prefix of
+consistent blocks.  On resume, anything after the last complete
+``state`` line is ignored (it describes chunks whose scheduling
+context was lost with the kill), and a torn final line -- the normal
+signature of a killed process -- is dropped silently.  Because chunk
+fault plans are derived per ``(device, job, chunk, attempt)`` (see
+:mod:`repro.gpusim.pool`), the recomputed suffix is bitwise identical
+to what the uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO
+
+import numpy as np
+
+from .errors import CheckpointMismatchError
+from .job import ChunkAttempt, ChunkRecord, SolveJob
+
+FORMAT_VERSION = 1
+
+
+def _chunk_line(record: ChunkRecord, x: np.ndarray) -> dict:
+    doc = record.to_dict()
+    doc["type"] = "chunk"
+    doc["dtype"] = str(x.dtype)
+    doc["shape"] = list(x.shape)
+    doc["x_hex"] = np.ascontiguousarray(x).tobytes().hex()
+    return doc
+
+
+def _chunk_from_line(doc: dict) -> tuple[ChunkRecord, np.ndarray]:
+    x = np.frombuffer(bytes.fromhex(doc["x_hex"]),
+                      dtype=np.dtype(doc["dtype"]))
+    x = x.reshape(doc["shape"]).copy()
+    record = ChunkRecord(
+        chunk_id=int(doc["chunk_id"]), status=doc["status"],
+        device=doc["device"],
+        attempts=[ChunkAttempt(device=a["device"], outcome=a["outcome"],
+                               modeled_ms=a["modeled_ms"],
+                               backoff_ms=a["backoff_ms"])
+                  for a in doc.get("attempts", [])],
+        start_ms=float(doc["start_ms"]), end_ms=float(doc["end_ms"]),
+        modeled_ms=float(doc["modeled_ms"]), digest=doc["digest"])
+    return record, x
+
+
+class CheckpointWriter:
+    """Append-only JSONL writer for one job's checkpoints."""
+
+    def __init__(self, path: str, job: SolveJob, *, resume: bool = False):
+        self.path = path
+        self._buffer: list[dict] = []
+        mode = "a" if (resume and os.path.exists(path)) else "w"
+        self._fh: IO[str] = open(path, mode)
+        if mode == "w":
+            self._write_line({
+                "type": "header", "version": FORMAT_VERSION,
+                "job_id": job.job_id, "input_digest": job.input_digest(),
+                "num_chunks": job.num_chunks, "chunk_size": job.chunk_size,
+                "num_systems": job.systems.num_systems, "n": job.systems.n,
+                "method": job.method,
+            })
+            self._fh.flush()
+
+    def _write_line(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+
+    def add_chunk(self, record: ChunkRecord, x: np.ndarray) -> None:
+        """Buffer one completed chunk (persisted at the next barrier)."""
+        self._buffer.append(_chunk_line(record, x))
+
+    def barrier(self, after_chunk: int, *, now_ms: float,
+                device_clocks: dict[str, float], cpu_clock_ms: float,
+                breakers: dict[str, dict]) -> None:
+        """Flush buffered chunks plus one consistent state line."""
+        for doc in self._buffer:
+            self._write_line(doc)
+        self._buffer.clear()
+        self._write_line({
+            "type": "state", "after_chunk": after_chunk, "now_ms": now_ms,
+            "device_clocks": device_clocks, "cpu_clock_ms": cpu_clock_ms,
+            "breakers": breakers,
+        })
+        self._fh.flush()
+
+    def close(self) -> None:
+        # Buffered-but-unflushed chunks are dropped on purpose: without
+        # a state line they could not be resumed consistently anyway.
+        self._fh.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class ResumeState:
+    """What a checkpoint restores: results + scheduler state."""
+
+    after_chunk: int = -1     #: last chunk covered by a state line
+    now_ms: float = 0.0
+    device_clocks: dict[str, float] = field(default_factory=dict)
+    cpu_clock_ms: float = 0.0
+    breakers: dict[str, dict] = field(default_factory=dict)
+    #: chunk_id -> (record, solution rows), bitwise as written
+    chunks: dict[int, tuple[ChunkRecord, np.ndarray]] = \
+        field(default_factory=dict)
+
+
+def load_checkpoint(path: str, job: SolveJob) -> ResumeState:
+    """Parse a checkpoint for ``job``; raises
+    :class:`~repro.serve.errors.CheckpointMismatchError` on a file that
+    describes different inputs or chunking.  Tolerates a torn final
+    line and ignores chunk lines past the last state barrier."""
+    docs: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError:
+                break     # torn tail from a kill; everything after is gone
+    if not docs or docs[0].get("type") != "header":
+        raise CheckpointMismatchError(
+            f"{path}: not a serve checkpoint (missing header)")
+    header = docs[0]
+    if header.get("version") != FORMAT_VERSION:
+        raise CheckpointMismatchError(
+            f"{path}: unsupported checkpoint version "
+            f"{header.get('version')!r}")
+    if header.get("input_digest") != job.input_digest():
+        raise CheckpointMismatchError(
+            f"{path}: checkpoint was written for different job inputs or "
+            f"spec (job {header.get('job_id')!r})")
+
+    state = ResumeState()
+    last_state_pos = max((i for i, d in enumerate(docs)
+                          if d.get("type") == "state"), default=None)
+    if last_state_pos is None:
+        return state
+    st = docs[last_state_pos]
+    state.after_chunk = int(st["after_chunk"])
+    state.now_ms = float(st["now_ms"])
+    state.device_clocks = {k: float(v)
+                           for k, v in st["device_clocks"].items()}
+    state.cpu_clock_ms = float(st["cpu_clock_ms"])
+    state.breakers = dict(st["breakers"])
+    for doc in docs[1:last_state_pos]:
+        if doc.get("type") != "chunk":
+            continue
+        record, x = _chunk_from_line(doc)
+        state.chunks[record.chunk_id] = (record, x)
+    return state

@@ -1,0 +1,249 @@
+"""Job and report types of the batch-solve serving layer.
+
+A :class:`SolveJob` is the unit of admission: a batch of tridiagonal
+systems, the GPU method to run them with, a chunking spec, and the
+robustness budget (deadline, residual tolerance, CPU degradation
+chain).  The scheduler shards it into chunks of ``chunk_size`` systems
+and reports back a :class:`JobReport` with one :class:`ChunkRecord`
+per chunk -- which device served it, how many attempts it took, what
+it cost in modeled milliseconds, and the digest its checkpoint entry
+carries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.api import KERNEL_RUNNERS
+from repro.solvers.systems import TridiagonalSystems
+from repro.solvers.validate import require_power_of_two
+
+#: Default CPU degradation ladder: the sequential baseline first, the
+#: §5.4 pivoting anchor as the last word.
+DEFAULT_CPU_CHAIN: tuple[str, ...] = ("thomas", "gep")
+
+
+def digest_array(x: np.ndarray) -> str:
+    """SHA-256 of an array's raw bytes -- the bitwise-identity anchor
+    for checkpoint/resume equivalence tests."""
+    x = np.ascontiguousarray(x)
+    h = hashlib.sha256()
+    h.update(str(x.dtype).encode())
+    h.update(str(x.shape).encode())
+    h.update(x.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class SolveJob:
+    """One admitted batch-solve request.
+
+    Parameters
+    ----------
+    job_id:
+        Stable identifier; keys the checkpoint file and all metrics.
+    systems:
+        The batch to solve (``n`` must be a power of two for the GPU
+        method; off-sized work belongs to :func:`repro.robust_solve`).
+    method:
+        GPU kernel to run chunks with (any
+        :data:`repro.kernels.api.KERNEL_RUNNERS` entry).
+    intermediate_size:
+        Hybrid switch point, as :func:`repro.kernels.api.run_kernel`.
+    chunk_size:
+        Systems per dispatched chunk.  Small chunks reroute faster
+        around a tripped device; large chunks amortise launch overhead.
+    deadline_ms:
+        Modeled-time budget for the whole job (``None`` = no deadline).
+        Modeled time is the deterministic clock chaos tests assert on.
+    wall_deadline_s:
+        Optional wall-clock budget checked against ``time.monotonic``
+        (a safety net for real runs; off by default to keep seeded
+        runs bit-reproducible).
+    residual_tol:
+        Per-system float64 relative-residual acceptance gate applied
+        to every GPU chunk result (same semantics as ``robust_solve``).
+    cpu_chain:
+        Escalation ladder used when a chunk degrades to the CPU.
+    """
+
+    job_id: str
+    systems: TridiagonalSystems
+    method: str = "cr_pcr"
+    intermediate_size: int | None = None
+    chunk_size: int = 8
+    deadline_ms: float | None = None
+    wall_deadline_s: float | None = None
+    residual_tol: float = 1e-4
+    cpu_chain: tuple[str, ...] = DEFAULT_CPU_CHAIN
+
+    def __post_init__(self) -> None:
+        if self.method not in KERNEL_RUNNERS:
+            raise ValueError(
+                f"job {self.job_id!r}: unknown GPU method "
+                f"{self.method!r}; available: {sorted(KERNEL_RUNNERS)}")
+        require_power_of_two(self.systems.n, f"job {self.job_id!r}")
+        if self.chunk_size < 1:
+            raise ValueError(f"job {self.job_id!r}: chunk_size must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"job {self.job_id!r}: deadline must be > 0")
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.systems.num_systems // self.chunk_size)
+
+    def chunk_indices(self, chunk_id: int) -> np.ndarray:
+        """System indices of one chunk (contiguous shard)."""
+        if not 0 <= chunk_id < self.num_chunks:
+            raise IndexError(f"chunk {chunk_id} outside "
+                             f"[0, {self.num_chunks})")
+        lo = chunk_id * self.chunk_size
+        hi = min(lo + self.chunk_size, self.systems.num_systems)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def chunk_systems(self, chunk_id: int) -> TridiagonalSystems:
+        return self.systems.take(self.chunk_indices(chunk_id))
+
+    def input_digest(self) -> str:
+        """Digest of the job's inputs + spec; guards checkpoint resume
+        against feeding a file from a different job."""
+        h = hashlib.sha256()
+        for arr in (self.systems.a, self.systems.b, self.systems.c,
+                    self.systems.d):
+            h.update(digest_array(arr).encode())
+        h.update(f"{self.method}|{self.intermediate_size}|"
+                 f"{self.chunk_size}|{self.residual_tol}|"
+                 f"{'>'.join(self.cpu_chain)}".encode())
+        return h.hexdigest()
+
+
+@dataclass
+class ChunkAttempt:
+    """One dispatch attempt of a chunk on one device."""
+
+    device: str
+    outcome: str     #: ok | launch_error | corruption | timeout | residual
+    modeled_ms: float = 0.0
+    backoff_ms: float = 0.0   #: jittered modeled backoff before retry
+
+
+@dataclass
+class ChunkRecord:
+    """Outcome of one chunk of a job."""
+
+    chunk_id: int
+    #: ``ok`` (GPU path), ``degraded`` (CPU chain), ``restored``
+    #: (loaded from a checkpoint), ``failed`` (even the CPU chain could
+    #: not vouch for every system).
+    status: str
+    device: str              #: serving device name, or "cpu"
+    attempts: list[ChunkAttempt] = field(default_factory=list)
+    start_ms: float = 0.0    #: modeled dispatch time
+    end_ms: float = 0.0      #: modeled completion time
+    modeled_ms: float = 0.0  #: modeled cost of the accepted attempt
+    digest: str = ""         #: digest of the chunk's solution rows
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "chunk_id": self.chunk_id, "status": self.status,
+            "device": self.device,
+            "attempts": [{"device": a.device, "outcome": a.outcome,
+                          "modeled_ms": a.modeled_ms,
+                          "backoff_ms": a.backoff_ms}
+                         for a in self.attempts],
+            "start_ms": self.start_ms, "end_ms": self.end_ms,
+            "modeled_ms": self.modeled_ms, "digest": self.digest,
+        }
+
+
+@dataclass
+class JobReport:
+    """Everything the scheduler knows about one job's run."""
+
+    job_id: str
+    x: np.ndarray                      #: (num_systems, n) solution
+    chunks: list[ChunkRecord]
+    deadline_ms: float | None
+    makespan_ms: float = 0.0           #: modeled end-to-end duration
+    completed: bool = True             #: False when killed/stopped early
+    deadline_met: bool = True
+    #: ``ok`` | ``deadline`` | ``stopped`` | ``failed``
+    outcome: str = "ok"
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def degraded_chunks(self) -> list[int]:
+        return [c.chunk_id for c in self.chunks if c.status == "degraded"]
+
+    @property
+    def failed_chunks(self) -> list[int]:
+        return [c.chunk_id for c in self.chunks if c.status == "failed"]
+
+    @property
+    def restored_chunks(self) -> list[int]:
+        return [c.chunk_id for c in self.chunks if c.status == "restored"]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(c.retries for c in self.chunks)
+
+    @property
+    def ok(self) -> bool:
+        return (self.completed and self.deadline_met
+                and not self.failed_chunks)
+
+    def devices_used(self) -> dict[str, int]:
+        """Serving device -> chunks it completed."""
+        out: dict[str, int] = {}
+        for c in self.chunks:
+            out[c.device] = out.get(c.device, 0) + 1
+        return out
+
+    def solution_digest(self) -> str:
+        return digest_array(self.x)
+
+    def summary(self) -> str:
+        """Human-readable roll-up (used by the ``repro serve`` CLI)."""
+        lines = [f"job {self.job_id}: {self.outcome}"]
+        lines.append(
+            f"  chunks: {self.num_chunks} "
+            f"({len(self.degraded_chunks)} degraded, "
+            f"{len(self.restored_chunks)} restored, "
+            f"{len(self.failed_chunks)} failed)   "
+            f"retries: {self.total_retries}")
+        budget = (f" / deadline {self.deadline_ms:g} ms "
+                  f"[{'met' if self.deadline_met else 'MISSED'}]"
+                  if self.deadline_ms is not None else "")
+        lines.append(f"  modeled makespan: {self.makespan_ms:.3f} ms{budget}")
+        lines.append("  devices: " + ", ".join(
+            f"{d}={n}" for d, n in sorted(self.devices_used().items())))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (solution replaced by its digest)."""
+        return {
+            "job_id": self.job_id,
+            "outcome": self.outcome,
+            "completed": self.completed,
+            "deadline_ms": self.deadline_ms,
+            "deadline_met": self.deadline_met,
+            "makespan_ms": self.makespan_ms,
+            "num_chunks": self.num_chunks,
+            "degraded_chunks": self.degraded_chunks,
+            "restored_chunks": self.restored_chunks,
+            "failed_chunks": self.failed_chunks,
+            "total_retries": self.total_retries,
+            "devices_used": self.devices_used(),
+            "solution_digest": self.solution_digest(),
+            "chunks": [c.to_dict() for c in self.chunks],
+        }

@@ -1,0 +1,96 @@
+"""Bounded admission queue: backpressure instead of unbounded growth.
+
+A production solve service that accepts every job eventually falls
+over from the jobs it cannot finish; the honest alternative is to
+bound the queue and reject at the door with a *typed* error the caller
+can route on.  :class:`BoundedJobQueue` does exactly two admission
+checks:
+
+* **capacity** -- at most ``capacity`` jobs waiting
+  (:class:`~repro.serve.errors.QueueFullError`);
+* **deadline feasibility** -- when the submitter provides a cost
+  estimator, a job whose estimated modeled cost on an idle healthy
+  pool already exceeds its deadline is refused up front
+  (:class:`~repro.serve.errors.DeadlineUnmeetableError`) rather than
+  admitted, run, and failed an epoch later.
+
+Every depth change updates the ``serve.queue_depth`` gauge and every
+rejection counts on ``serve.queue_rejected{reason}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.telemetry.metrics import (record_queue_depth,
+                                     record_queue_rejection)
+
+from .errors import DeadlineUnmeetableError, QueueFullError
+from .job import SolveJob
+
+#: Headroom factor for the feasibility check: an estimate within 1/x
+#: of the deadline is still admitted (estimates are approximate and
+#: the pool may parallelise better than the estimator assumes).
+FEASIBILITY_SLACK = 1.25
+
+
+class BoundedJobQueue:
+    """FIFO job queue with typed admission control.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum jobs waiting (must be >= 1).
+    estimator:
+        Optional ``job -> modeled_ms`` callable for the feasibility
+        check; ``None`` disables it (capacity-only admission).
+    """
+
+    def __init__(self, capacity: int = 8,
+                 estimator: Callable[[SolveJob], float] | None = None):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.estimator = estimator
+        self._jobs: deque[SolveJob] = deque()
+        self.admitted = 0
+        self.rejected: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def depth(self) -> int:
+        return len(self._jobs)
+
+    def _reject(self, reason: str, exc: Exception) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        record_queue_rejection(reason)
+        raise exc
+
+    def submit(self, job: SolveJob) -> None:
+        """Admit ``job`` or raise a typed
+        :class:`~repro.serve.errors.AdmissionError`."""
+        if len(self._jobs) >= self.capacity:
+            self._reject("capacity", QueueFullError(
+                f"queue at capacity ({self.capacity}); job "
+                f"{job.job_id!r} rejected"))
+        if self.estimator is not None and job.deadline_ms is not None:
+            estimate = float(self.estimator(job))
+            if estimate > job.deadline_ms * FEASIBILITY_SLACK:
+                self._reject("deadline_unmeetable", DeadlineUnmeetableError(
+                    f"job {job.job_id!r}: estimated {estimate:.3f} ms "
+                    f"modeled cost exceeds the {job.deadline_ms:g} ms "
+                    f"deadline even on an idle pool"))
+        self._jobs.append(job)
+        self.admitted += 1
+        record_queue_depth(self.depth)
+
+    def pop(self) -> SolveJob | None:
+        """Next job in FIFO order, or ``None`` when drained."""
+        if not self._jobs:
+            return None
+        job = self._jobs.popleft()
+        record_queue_depth(self.depth)
+        return job

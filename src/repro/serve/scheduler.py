@@ -1,0 +1,440 @@
+"""The resilient batch-solve scheduler.
+
+:class:`BatchScheduler` takes admitted :class:`~repro.serve.job.SolveJob`
+batches, shards them into chunks, and dispatches the chunks across a
+:class:`~repro.gpusim.pool.DevicePool` under a full robustness
+contract:
+
+* **placement** -- each chunk goes to the least-loaded device (by the
+  deterministic modeled clock) whose circuit breaker admits traffic;
+  ties break by pool order, so placement is a pure function of the
+  schedule so far;
+* **retries + rerouting** -- a typed device fault
+  (:class:`~repro.gpusim.faults.KernelLaunchError`,
+  :class:`~repro.gpusim.faults.DataCorruptionError`) or a modeled
+  per-chunk timeout costs the device a breaker failure and moves the
+  chunk to the next healthy device after a seeded full-jitter backoff;
+* **circuit breaking** -- repeated failures open the device's breaker
+  (:mod:`repro.serve.breaker`); an open device receives nothing until
+  its modeled cooldown elapses, then probes trickle through;
+* **graceful degradation** -- a chunk that fails its residual gate, or
+  finds every breaker open, falls back to the CPU chain via
+  :func:`repro.resilience.robust_solve` (``thomas`` -> ``gep`` by
+  default): slower, never wrong;
+* **deadlines** -- per-job modeled-time budgets (plus an optional
+  wall-clock guard); a blown budget stops the job with
+  ``outcome="deadline"`` and a ``serve.deadline_misses`` count instead
+  of silently running forever;
+* **checkpoint/resume** -- completed chunks and scheduler state are
+  written as JSONL blocks (:mod:`repro.serve.checkpoint`); a killed
+  run resumed with ``resume=True`` restores results bitwise and
+  recomputes only the unpersisted suffix.
+
+Everything modeled is deterministic under seeded per-device fault
+profiles: two identical runs produce identical reports, digests and
+metric counters, which is what the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.gpusim import faults as _faults
+from repro.gpusim.gt200 import gt200_cost_model
+from repro.gpusim.pool import DevicePool, PooledDevice, derive_seed
+from repro.kernels.api import run_kernel
+from repro.resilience.pipeline import _relative_residuals, robust_solve
+from repro.telemetry.metrics import (record_chunk_done, record_chunk_retry,
+                                     record_deadline_miss,
+                                     record_degraded_solve)
+
+from .breaker import OPEN, CircuitBreaker
+from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
+from .job import ChunkAttempt, ChunkRecord, JobReport, SolveJob, digest_array
+from .queue import BoundedJobQueue
+
+#: Modeled cost of a launch attempt that dies before any block runs
+#: (the driver round-trip that returned the error).
+LAUNCH_FAIL_PENALTY_MS = 0.01
+
+#: Modeled CPU-chain cost per unknown (sequential Thomas-style sweep).
+CPU_NS_PER_UNKNOWN = 500.0
+
+
+class BatchScheduler:
+    """Dispatch chunked solve jobs across a simulated device pool.
+
+    Parameters
+    ----------
+    pool:
+        The devices to schedule over.
+    queue:
+        Admission queue; built from ``queue_capacity`` (with this
+        scheduler's modeled-cost estimator) when not given.
+    failure_threshold, cooldown_ms, half_open_successes:
+        Circuit-breaker configuration, shared by every device.
+    max_chunk_retries:
+        Device attempts per chunk beyond the first before the chunk
+        degrades to the CPU chain.
+    chunk_timeout_ms:
+        Modeled per-chunk watchdog; a GPU attempt whose modeled cost
+        exceeds it counts as a device failure (``None`` disables).
+    backoff_base_ms, backoff_cap_ms:
+        Seeded full-jitter retry backoff (modeled milliseconds),
+        derived per ``(job, chunk, attempt)`` so retries decorrelate
+        but resume stays deterministic.
+    checkpoint_dir:
+        Directory for per-job JSONL checkpoints (``None`` disables
+        checkpointing); the file is ``<dir>/<job_id>.jsonl``.
+    checkpoint_every:
+        Chunks per checkpoint barrier.
+    seed:
+        Entropy root for the scheduler's own draws (backoff jitter).
+    """
+
+    def __init__(self, pool: DevicePool, *,
+                 queue: BoundedJobQueue | None = None,
+                 queue_capacity: int = 8,
+                 failure_threshold: int = 3,
+                 cooldown_ms: float = 5.0,
+                 half_open_successes: int = 2,
+                 max_chunk_retries: int = 3,
+                 chunk_timeout_ms: float | None = None,
+                 backoff_base_ms: float = 0.05,
+                 backoff_cap_ms: float = 2.0,
+                 checkpoint_dir: str | None = None,
+                 checkpoint_every: int = 4,
+                 seed: int = 0,
+                 cost_model=None):
+        self.pool = pool
+        self.queue = queue or BoundedJobQueue(
+            queue_capacity, estimator=self.estimate_job_ms)
+        self.max_chunk_retries = max(0, int(max_chunk_retries))
+        self.chunk_timeout_ms = chunk_timeout_ms
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_cap_ms = backoff_cap_ms
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.seed = seed
+        self._cost_model = cost_model or gt200_cost_model()
+        self.breakers: dict[str, CircuitBreaker] = {
+            d.name: CircuitBreaker(
+                name=d.name, failure_threshold=failure_threshold,
+                cooldown_ms=cooldown_ms,
+                half_open_successes=half_open_successes)
+            for d in pool}
+        self._clock: dict[str, float] = {d.name: 0.0 for d in pool}
+        self._cpu_clock = 0.0
+        self._now_ms = 0.0
+        self._estimate_cache: dict[tuple, float] = {}
+
+    # -- admission ------------------------------------------------------
+
+    def estimate_job_ms(self, job: SolveJob) -> float:
+        """Modeled lower bound for ``job`` on an idle healthy pool.
+
+        One chunk is simulated (fault-free) and costed; the job bound
+        is perfect parallelism over the pool.  Used by the queue's
+        deadline-feasibility admission check.
+        """
+        key = (job.method, job.systems.n, min(job.chunk_size,
+                                              job.systems.num_systems),
+               job.intermediate_size)
+        if key not in self._estimate_cache:
+            from repro.analysis.timing import modeled_grid_timing
+            t = modeled_grid_timing(job.method, job.systems.n, key[2],
+                                    intermediate_size=job.intermediate_size)
+            self._estimate_cache[key] = t.solver_ms
+        return self._estimate_cache[key] * job.num_chunks / len(self.pool)
+
+    def submit(self, job: SolveJob) -> None:
+        """Admit ``job`` (raises a typed
+        :class:`~repro.serve.errors.AdmissionError` under backpressure)."""
+        self.queue.submit(job)
+
+    def run(self, *, resume: bool = False) -> list[JobReport]:
+        """Drain the queue in FIFO order; one report per job."""
+        reports = []
+        while (job := self.queue.pop()) is not None:
+            reports.append(self.run_job(job, resume=resume))
+        return reports
+
+    # -- scheduling internals ------------------------------------------
+
+    def _checkpoint_path(self, job: SolveJob) -> str | None:
+        if self.checkpoint_dir is None:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        return os.path.join(self.checkpoint_dir, f"{job.job_id}.jsonl")
+
+    def _restore(self, state: ResumeState) -> None:
+        for name, ms in state.device_clocks.items():
+            if name in self._clock:
+                self._clock[name] = ms
+        self._cpu_clock = state.cpu_clock_ms
+        self._now_ms = max(self._now_ms, state.now_ms)
+        for name, bstate in state.breakers.items():
+            if name in self.breakers:
+                self.breakers[name].load_state_dict(bstate)
+
+    def _pick_device(self, frontier_ms: float,
+                     exclude: set[str]) -> PooledDevice | None:
+        """Least-loaded admissible device; ``None`` when every breaker
+        is open.  ``exclude`` holds devices that already failed this
+        chunk -- preferred away from, but allowed again when they are
+        all that is left."""
+        def candidates(skip_excluded: bool) -> list[tuple[float, int]]:
+            out = []
+            for i, dev in enumerate(self.pool):
+                if skip_excluded and dev.name in exclude:
+                    continue
+                b = self.breakers[dev.name]
+                start = max(self._clock[dev.name], frontier_ms)
+                if b.state == OPEN and \
+                        start - b.opened_at_ms < b.cooldown_ms:
+                    continue
+                out.append((start, i))
+            return out
+
+        picks = candidates(True) or candidates(False)
+        if not picks:
+            return None
+        start, i = min(picks)
+        device = self.pool[i]
+        # Formalise the admission (an open-but-cooled breaker moves to
+        # half-open here).
+        if not self.breakers[device.name].allow(start):
+            return None   # pragma: no cover - guarded by the scan above
+        return device
+
+    def _backoff_ms(self, job: SolveJob, chunk_id: int,
+                    attempt: int) -> float:
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "backoff", job.job_id, chunk_id, attempt))
+        return _faults.retry_backoff_s(attempt, self.backoff_base_ms,
+                                       rng=rng, cap_s=self.backoff_cap_ms)
+
+    def _degrade(self, job: SolveJob, chunk_id: int, reason: str,
+                 attempts: list[ChunkAttempt], frontier_ms: float
+                 ) -> tuple[ChunkRecord, np.ndarray]:
+        """Run one chunk down the CPU chain (never raises: a chunk the
+        chain cannot vouch for is reported ``failed``, not thrown)."""
+        sub = job.chunk_systems(chunk_id)
+        report = robust_solve(sub.a, sub.b, sub.c, sub.d,
+                              chain=job.cpu_chain, engine="numpy",
+                              residual_tol=job.residual_tol,
+                              check_finite=False, raise_on_failure=False)
+        cost = sub.num_systems * sub.n * CPU_NS_PER_UNKNOWN * 1e-6
+        start = max(self._cpu_clock, frontier_ms)
+        end = start + cost
+        self._cpu_clock = end
+        self._now_ms = max(self._now_ms, end)
+        status = "degraded" if report.all_accepted else "failed"
+        record_degraded_solve(reason)
+        record_chunk_done("cpu", status)
+        telemetry.event("serve.chunk_degraded", job=job.job_id,
+                        chunk=chunk_id, reason=reason, status=status)
+        x = np.asarray(np.atleast_2d(report.x), dtype=np.float64)
+        record = ChunkRecord(chunk_id=chunk_id, status=status, device="cpu",
+                             attempts=attempts, start_ms=start, end_ms=end,
+                             modeled_ms=cost, digest=digest_array(x))
+        return record, x
+
+    def _run_chunk(self, job: SolveJob, chunk_id: int, frontier_ms: float
+                   ) -> tuple[ChunkRecord, np.ndarray]:
+        """One chunk through the full contract: place, retry, reroute,
+        gate, degrade."""
+        sub = job.chunk_systems(chunk_id)
+        attempts: list[ChunkAttempt] = []
+        failed_on: set[str] = set()
+        degrade_reason = "no_healthy_device"
+        for attempt in range(1 + self.max_chunk_retries):
+            device = self._pick_device(frontier_ms, failed_on)
+            if device is None:
+                degrade_reason = "no_healthy_device"
+                break
+            breaker = self.breakers[device.name]
+            start = max(self._clock[device.name], frontier_ms)
+            plan = device.plan_for(job.job_id, chunk_id, attempt)
+            try:
+                if plan is not None:
+                    with _faults.inject(plan):
+                        x, launch = run_kernel(
+                            job.method, sub,
+                            intermediate_size=job.intermediate_size,
+                            device=device.spec)
+                else:
+                    x, launch = run_kernel(
+                        job.method, sub,
+                        intermediate_size=job.intermediate_size,
+                        device=device.spec)
+            except (_faults.DataCorruptionError,
+                    _faults.KernelLaunchError) as exc:
+                kind = ("corruption"
+                        if isinstance(exc, _faults.DataCorruptionError)
+                        else "launch_error")
+                backoff = self._backoff_ms(job, chunk_id, attempt)
+                end = start + LAUNCH_FAIL_PENALTY_MS
+                self._clock[device.name] = end + backoff
+                self._now_ms = max(self._now_ms, end)
+                breaker.record_failure(end, kind)
+                record_chunk_retry(device.name, kind)
+                attempts.append(ChunkAttempt(
+                    device=device.name, outcome=kind,
+                    modeled_ms=LAUNCH_FAIL_PENALTY_MS, backoff_ms=backoff))
+                failed_on.add(device.name)
+                continue
+
+            cost = self._cost_model.report(launch).total_ms
+            if (self.chunk_timeout_ms is not None
+                    and cost > self.chunk_timeout_ms):
+                # The watchdog kills the launch at the timeout mark.
+                end = start + self.chunk_timeout_ms
+                self._clock[device.name] = end
+                self._now_ms = max(self._now_ms, end)
+                breaker.record_failure(end, "timeout")
+                record_chunk_retry(device.name, "timeout")
+                attempts.append(ChunkAttempt(
+                    device=device.name, outcome="timeout",
+                    modeled_ms=self.chunk_timeout_ms))
+                failed_on.add(device.name)
+                continue
+
+            rel = _relative_residuals(sub, x)
+            if bool(np.all(rel <= job.residual_tol)):
+                end = start + cost
+                self._clock[device.name] = end
+                self._now_ms = max(self._now_ms, end)
+                breaker.record_success(end)
+                record_chunk_done(device.name, "ok")
+                attempts.append(ChunkAttempt(
+                    device=device.name, outcome="ok", modeled_ms=cost))
+                x64 = np.asarray(x, dtype=np.float64)
+                record = ChunkRecord(
+                    chunk_id=chunk_id, status="ok", device=device.name,
+                    attempts=attempts, start_ms=start, end_ms=end,
+                    modeled_ms=cost, digest=digest_array(x64))
+                return record, x64
+            # A residual miss means corruption slipped past every
+            # detector: charge the modeled time, hand the chunk to the
+            # CPU chain (which re-gates per system) instead of burning
+            # retries on a device that may well be healthy.
+            end = start + cost
+            self._clock[device.name] = end
+            self._now_ms = max(self._now_ms, end)
+            attempts.append(ChunkAttempt(
+                device=device.name, outcome="residual", modeled_ms=cost))
+            degrade_reason = "residual"
+            break
+        else:
+            degrade_reason = "retries_exhausted"
+        return self._degrade(job, chunk_id, degrade_reason, attempts,
+                             frontier_ms)
+
+    # -- the job loop ---------------------------------------------------
+
+    def run_job(self, job: SolveJob, *, resume: bool = False,
+                stop_after: int | None = None) -> JobReport:
+        """Run one job to completion (or deadline/stop).
+
+        ``resume=True`` restores any existing checkpoint for the job
+        first; ``stop_after=N`` aborts after N computed chunks (the
+        chaos suite's seam for simulating a killed run -- buffered,
+        unbarriered checkpoint lines are lost exactly as a real kill
+        would lose them).
+        """
+        restored: dict[int, tuple[ChunkRecord, np.ndarray]] = {}
+        path = self._checkpoint_path(job)
+        resuming = False
+        if resume and path is not None and os.path.exists(path):
+            state = load_checkpoint(path, job)
+            self._restore(state)
+            restored = state.chunks
+            resuming = True
+
+        writer = (CheckpointWriter(path, job, resume=resuming)
+                  if path is not None else None)
+        x_out = np.zeros(job.systems.shape, dtype=np.float64)
+        chunks: list[ChunkRecord] = []
+        job_start = self._now_ms
+        wall_start = time.monotonic()
+        outcome = "ok"
+        completed = True
+        since_barrier = 0
+        computed = 0
+
+        def barrier(after_chunk: int) -> None:
+            if writer is not None:
+                writer.barrier(
+                    after_chunk, now_ms=self._now_ms,
+                    device_clocks=dict(self._clock),
+                    cpu_clock_ms=self._cpu_clock,
+                    breakers={n: b.state_dict()
+                              for n, b in self.breakers.items()})
+
+        with telemetry.span("serve.job", job=job.job_id,
+                            num_systems=job.systems.num_systems,
+                            n=job.systems.n, chunks=job.num_chunks):
+            for chunk_id in range(job.num_chunks):
+                if chunk_id in restored:
+                    record, x = restored[chunk_id]
+                    record.status = "restored"
+                    x_out[job.chunk_indices(chunk_id)] = x
+                    chunks.append(record)
+                    record_chunk_done(record.device, "restored")
+                    continue
+                record, x = self._run_chunk(job, chunk_id, job_start)
+                x_out[job.chunk_indices(chunk_id)] = x
+                chunks.append(record)
+                computed += 1
+                since_barrier += 1
+                if writer is not None:
+                    writer.add_chunk(record, x)
+                if since_barrier >= self.checkpoint_every:
+                    barrier(chunk_id)
+                    since_barrier = 0
+                elapsed = self._now_ms - job_start
+                if (job.deadline_ms is not None
+                        and elapsed > job.deadline_ms):
+                    outcome, completed = "deadline", False
+                    record_deadline_miss(job.job_id)
+                    telemetry.event("serve.deadline_miss", job=job.job_id,
+                                    elapsed_ms=elapsed,
+                                    deadline_ms=job.deadline_ms)
+                    break
+                if (job.wall_deadline_s is not None
+                        and time.monotonic() - wall_start
+                        > job.wall_deadline_s):
+                    outcome, completed = "deadline", False
+                    record_deadline_miss(job.job_id)
+                    break
+                if stop_after is not None and computed >= stop_after:
+                    outcome, completed = "stopped", False
+                    break
+            else:
+                # Clean completion: persist the final (possibly
+                # partial-interval) block.
+                if since_barrier and job.num_chunks:
+                    barrier(job.num_chunks - 1)
+        if writer is not None:
+            writer.close()
+
+        if completed and any(c.status == "failed" for c in chunks):
+            outcome = "failed"
+        report = JobReport(
+            job_id=job.job_id, x=x_out, chunks=chunks,
+            deadline_ms=job.deadline_ms,
+            makespan_ms=self._now_ms - job_start,
+            completed=completed,
+            deadline_met=(outcome != "deadline"),
+            outcome=outcome)
+        telemetry.event("serve.job_done", job=job.job_id,
+                        outcome=outcome,
+                        makespan_ms=report.makespan_ms,
+                        degraded=len(report.degraded_chunks),
+                        retries=report.total_retries)
+        return report

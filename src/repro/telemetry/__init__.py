@@ -41,20 +41,32 @@ from . import callbacks
 from .collector import (Collector, LaunchRecord, collect, current_attr,
                         current_span, enabled, event, get_collector, span)
 from .export import (chrome_trace, phase_totals, resilience_summary,
-                     text_summary, to_jsonl, write_chrome_trace,
-                     write_jsonl, write_summary)
-from .metrics import (FALLBACK_TOTAL, RESIDUAL_MAX, Counter, Gauge,
-                      Histogram, MetricsRegistry, record_fallback,
+                     serve_summary, text_summary, to_jsonl,
+                     write_chrome_trace, write_jsonl, write_summary)
+from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
+                      DEADLINE_MISSES, DEGRADED_TOTAL, FALLBACK_TOTAL,
+                      QUEUE_DEPTH, QUEUE_REJECTED, RESIDUAL_MAX, Counter,
+                      Gauge, Histogram, MetricsRegistry,
+                      record_breaker_transition, record_chunk_done,
+                      record_chunk_retry, record_deadline_miss,
+                      record_degraded_solve, record_fallback,
+                      record_queue_depth, record_queue_rejection,
                       record_residual_max)
 from .spans import NOOP_SPAN, EventRecord, LiveSpan, NoopSpan, SpanRecord
 
 __all__ = [
     "callbacks", "Collector", "LaunchRecord", "collect", "current_attr",
     "current_span", "enabled", "event", "get_collector", "span",
-    "chrome_trace", "phase_totals", "resilience_summary", "text_summary",
+    "chrome_trace", "phase_totals", "resilience_summary", "serve_summary",
+    "text_summary",
     "to_jsonl", "write_chrome_trace", "write_jsonl", "write_summary",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "FALLBACK_TOTAL", "RESIDUAL_MAX", "record_fallback",
     "record_residual_max",
+    "BREAKER_TRANSITIONS", "CHUNKS_TOTAL", "CHUNK_RETRIES",
+    "DEADLINE_MISSES", "DEGRADED_TOTAL", "QUEUE_DEPTH", "QUEUE_REJECTED",
+    "record_breaker_transition", "record_chunk_done", "record_chunk_retry",
+    "record_deadline_miss", "record_degraded_solve", "record_queue_depth",
+    "record_queue_rejection",
     "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",
 ]

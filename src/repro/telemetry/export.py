@@ -256,6 +256,48 @@ def resilience_summary(collector: Collector) -> list[str]:
     return out
 
 
+def serve_summary(collector: Collector) -> list[str]:
+    """Readable lines for the serving-layer metrics, empty when none.
+
+    Renders breaker transitions, chunk retries, degraded solves,
+    deadline misses and admission rejections -- the health view of a
+    :class:`repro.serve.BatchScheduler` run.
+    """
+    from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
+                          DEADLINE_MISSES, DEGRADED_TOTAL, QUEUE_REJECTED,
+                          Counter)
+
+    out: list[str] = []
+    chunks = collector.metrics._metrics.get(CHUNKS_TOTAL)
+    if isinstance(chunks, Counter) and chunks.series:
+        parts = ", ".join(
+            f"{dict(k).get('device', '?')}/{dict(k).get('status', '?')}={v:g}"
+            for k, v in sorted(chunks.series.items()))
+        out.append(f"chunks (device/status): {parts}")
+    br = collector.metrics._metrics.get(BREAKER_TRANSITIONS)
+    if isinstance(br, Counter) and br.series:
+        out.append("breaker transitions:")
+        for key, value in sorted(br.series.items()):
+            labels = dict(key)
+            out.append(f"  {labels.get('device', '?')}: "
+                       f"{labels.get('from', '?')} -> "
+                       f"{labels.get('to', '?')}: {value:g}")
+    for name, label, head in (
+            (CHUNK_RETRIES, "kind", "chunk retries"),
+            (DEGRADED_TOTAL, "reason", "degraded to CPU chain"),
+            (DEADLINE_MISSES, "job", "deadline misses"),
+            (QUEUE_REJECTED, "reason", "admission rejections")):
+        metric = collector.metrics._metrics.get(name)
+        if isinstance(metric, Counter) and metric.series:
+            total = sum(metric.series.values())
+            parts = ", ".join(f"{dict(k).get(label, '?')}={v:g}"
+                              for k, v in sorted(metric.series.items()))
+            out.append(f"{head}: {total:g} ({parts})")
+    if out:
+        out.insert(0, "serving:")
+    return out
+
+
 def text_summary(collector: Collector, cost_model=None) -> str:
     """Human-readable session roll-up."""
     out: list[str] = []
@@ -294,6 +336,10 @@ def text_summary(collector: Collector, cost_model=None) -> str:
     if res:
         out.append("")
         out.extend(res)
+    srv = serve_summary(collector)
+    if srv:
+        out.append("")
+        out.extend(srv)
     snap = collector.metrics.snapshot()
     for kind in ("counters", "gauges"):
         if snap[kind]:

@@ -26,6 +26,17 @@ LabelKey = tuple[tuple[str, str], ...]
 FALLBACK_TOTAL = "fallback_total"
 RESIDUAL_MAX = "residual_max"
 
+#: Canonical serving-layer metric names (emitted by
+#: :mod:`repro.serve.scheduler` and friends; rendered by
+#: :func:`repro.telemetry.export.serve_summary`).
+QUEUE_DEPTH = "serve.queue_depth"
+QUEUE_REJECTED = "serve.queue_rejected"
+BREAKER_TRANSITIONS = "serve.breaker_transitions"
+CHUNK_RETRIES = "serve.chunk_retries"
+DEADLINE_MISSES = "serve.deadline_misses"
+DEGRADED_TOTAL = "serve.degraded_total"
+CHUNKS_TOTAL = "serve.chunks_total"
+
 
 def record_fallback(frm: str, to: str, reason: str, count: int = 1) -> None:
     """Count one solver escalation hop on the active collector.
@@ -52,6 +63,79 @@ def record_residual_max(value: float, method: str) -> None:
             RESIDUAL_MAX,
             "max relative residual per solve attempt").observe(
                 value, method=method)
+
+
+def record_queue_depth(depth: int) -> None:
+    """Gauge the bounded admission queue's current depth
+    (``serve.queue_depth``); no-op when telemetry is disabled."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.gauge(
+            QUEUE_DEPTH, "jobs waiting in the serve queue").set(depth)
+
+
+def record_queue_rejection(reason: str) -> None:
+    """Count one typed admission rejection
+    (``serve.queue_rejected{reason}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            QUEUE_REJECTED, "jobs rejected at admission").inc(reason=reason)
+
+
+def record_breaker_transition(device: str, frm: str, to: str) -> None:
+    """Count one circuit-breaker state change
+    (``serve.breaker_transitions{device,from,to}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            BREAKER_TRANSITIONS, "circuit breaker state transitions").inc(
+                **{"device": device, "from": frm, "to": to})
+
+
+def record_chunk_retry(device: str, kind: str) -> None:
+    """Count one chunk retry after a device failure
+    (``serve.chunk_retries{device,kind}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            CHUNK_RETRIES, "chunk retries after device failures").inc(
+                device=device, kind=kind)
+
+
+def record_deadline_miss(job_id: str) -> None:
+    """Count one missed job deadline (``serve.deadline_misses{job}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            DEADLINE_MISSES, "jobs that missed their deadline").inc(
+                job=job_id)
+
+
+def record_degraded_solve(reason: str) -> None:
+    """Count one chunk degraded to the CPU chain
+    (``serve.degraded_total{reason}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            DEGRADED_TOTAL, "chunks degraded to the CPU chain").inc(
+                reason=reason)
+
+
+def record_chunk_done(device: str, status: str) -> None:
+    """Count one completed chunk (``serve.chunks_total{device,status}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            CHUNKS_TOTAL, "chunks completed by device and status").inc(
+                device=device, status=status)
 
 
 def _labelkey(labels: dict[str, Any]) -> LabelKey:

@@ -62,3 +62,85 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "Figure 18" in out
         assert "bench_table1_complexity.py" in out
+
+
+class TestRobustCommand:
+    def test_healthy_run_exits_zero(self, capsys):
+        assert main(["robust", "--systems", "4", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+    def test_exhausted_chain_exits_nonzero(self, capsys):
+        """An impossible tolerance defeats every chain member: the
+        command must say so and exit 1 (the satellite contract)."""
+        rc = main(["robust", "--systems", "4", "--size", "32",
+                   "--tol", "0"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "(exit 1)" in out
+        assert "fallback_total" in out or "failed the whole chain" in out
+
+    def test_json_carries_resilience_metrics(self, capsys):
+        import json
+        assert main(["robust", "--systems", "4", "--size", "32",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "metrics" in doc
+        assert set(doc["metrics"]) == {"fallback_total", "residual_max"}
+        assert doc["metrics"]["residual_max"]   # histogram observed
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--jobs", "2", "--systems", "8", "--size", "32",
+            "--chunk-size", "4", "--devices", "2", "--seed", "3"]
+
+    def test_healthy_pool_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "job job0: ok" in out
+        assert "job job1: ok" in out
+        assert "modeled makespan" in out
+
+    def test_hot_device_run_reroutes(self, capsys):
+        assert main(self.ARGS + ["--hot", "1",
+                                 "--failure-threshold", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving:" in out            # telemetry summary section
+        assert "breaker transitions" in out
+
+    def test_json_reports_and_metrics(self, capsys):
+        import json
+        assert main(self.ARGS + ["--hot", "1", "--failure-threshold",
+                                 "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [j["job_id"] for j in doc["jobs"]] == ["job0", "job1"]
+        assert all(j["outcome"] == "ok" for j in doc["jobs"])
+        assert "gpu0" in doc["breakers"]
+        assert any(k.startswith("serve.") for k in doc["metrics"])
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        import json
+
+        def base(ckpt):
+            return ["serve", "--jobs", "1", "--systems", "8", "--size",
+                    "32", "--chunk-size", "2", "--devices", "2",
+                    "--seed", "3", "--checkpoint", str(ckpt),
+                    "--checkpoint-every", "2", "--json"]
+
+        def digest():
+            doc = json.loads(capsys.readouterr().out)
+            return doc["jobs"][0]["solution_digest"]
+
+        assert main(base(tmp_path / "a")) == 0
+        full = digest()
+        assert main(base(tmp_path / "b") + ["--stop-after", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["jobs"][0]["outcome"] == "stopped"
+        assert main(base(tmp_path / "b") + ["--resume"]) == 0
+        assert digest() == full             # bitwise-identical solution
+
+    def test_unmeetable_deadline_rejected(self, capsys):
+        rc = main(self.ARGS + ["--deadline-ms", "1e-9"])
+        out = capsys.readouterr().out
+        assert rc == 1                      # nothing ran
+        assert "deadline_unmeetable" in out

@@ -9,7 +9,8 @@ import pytest
 from repro import telemetry
 from repro.gpusim import (DataCorruptionError, FaultPlan, GlobalArray,
                           KernelLaunchError, active_plan, inject, launch)
-from repro.gpusim.faults import flip_bit, retry_backoff_s
+from repro.gpusim.faults import (BACKOFF_CAP_S, flip_bit, retry_backoff_s,
+                                 sleep_backoff)
 from repro.kernels.api import run_kernel
 from repro.solvers.api import solve
 
@@ -148,6 +149,55 @@ class TestInjectLifecycle:
         assert retry_backoff_s(0, 0.01) == 0.01
         assert retry_backoff_s(1, 0.01) == 0.02
         assert retry_backoff_s(10, 0.01) == 0.1      # capped
+
+
+class TestJitteredBackoff:
+    def test_full_jitter_stays_under_the_envelope(self):
+        rng = np.random.default_rng(0)
+        for attempt in range(12):
+            envelope = min(0.01 * 2.0 ** attempt, BACKOFF_CAP_S)
+            for _ in range(20):
+                wait = retry_backoff_s(attempt, 0.01, rng=rng)
+                assert 0.0 <= wait <= envelope
+
+    def test_seeded_rng_reproduces_the_schedule(self):
+        a = [retry_backoff_s(i, 0.01, rng=np.random.default_rng(42))
+             for i in range(8)]
+        b = [retry_backoff_s(i, 0.01, rng=np.random.default_rng(42))
+             for i in range(8)]
+        assert a == b
+
+    def test_jitter_decorrelates_concurrent_retries(self):
+        waits = {retry_backoff_s(3, 0.01, rng=np.random.default_rng(s))
+                 for s in range(16)}
+        assert len(waits) == 16   # sixteen "workers", sixteen waits
+
+    def test_custom_cap(self):
+        assert retry_backoff_s(20, 1.0, cap_s=0.5) == 0.5
+        rng = np.random.default_rng(1)
+        assert retry_backoff_s(20, 1.0, rng=rng, cap_s=0.5) <= 0.5
+
+    def test_zero_base_skips_the_draw(self):
+        """The strict no-wait fast path must not consume entropy, so a
+        shared plan RNG stays bit-identical whether or not retries
+        happened with backoff disabled."""
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state["state"]["state"]
+        assert retry_backoff_s(5, 0.0, rng=rng) == 0.0
+        assert sleep_backoff(5, 0.0, rng=rng) == 0.0
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_sleep_backoff_returns_the_wait(self, monkeypatch):
+        import time as _time
+        slept = []
+        monkeypatch.setattr(_time, "sleep", slept.append)
+        wait = sleep_backoff(0, 0.001, rng=np.random.default_rng(3))
+        assert slept == [wait]
+        assert 0.0 < wait <= 0.001
+
+    def test_plan_exposes_its_rng(self):
+        plan = FaultPlan(seed=5)
+        assert retry_backoff_s(0, 0.01, rng=plan.rng) <= 0.01
 
 
 class TestExecutorHooks:

@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.pool import make_pool
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.serve import BatchScheduler, SolveJob
+
+
+@pytest.fixture
+def batch():
+    """24 dominant systems of 64 unknowns -- 6 chunks at chunk_size=4."""
+    return diagonally_dominant_fluid(24, 64, seed=11)
+
+
+@pytest.fixture
+def healthy_pool():
+    return make_pool(3, seed=5)
+
+
+@pytest.fixture
+def hot_pool():
+    """gpu1 fails every launch fatally; gpu0/gpu2 healthy."""
+    return make_pool(3, seed=5, hot=1,
+                     hot_rates={"launch_fatal_rate": 1.0})
+
+
+def make_job(systems, **kw) -> SolveJob:
+    kw.setdefault("chunk_size", 4)
+    return SolveJob(kw.pop("job_id", "job"), systems, **kw)
+
+
+def make_sched(pool, **kw) -> BatchScheduler:
+    kw.setdefault("checkpoint_every", 2)
+    return BatchScheduler(pool, **kw)

@@ -1,0 +1,111 @@
+"""Circuit-breaker state machine: the full closed -> open -> half-open
+-> closed walk, plus the failure paths off it."""
+
+import pytest
+
+from repro import telemetry
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(**kw) -> CircuitBreaker:
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown_ms", 10.0)
+    kw.setdefault("half_open_successes", 2)
+    return CircuitBreaker(name="gpu0", **kw)
+
+
+class TestClosedToOpen:
+    def test_trips_after_threshold_consecutive_failures(self):
+        b = make_breaker()
+        for t in (1.0, 2.0):
+            b.record_failure(t)
+            assert b.state == CLOSED
+        b.record_failure(3.0)
+        assert b.state == OPEN
+        assert b.opened_at_ms == 3.0
+        assert [(tr.frm, tr.to, tr.reason) for tr in b.transitions] == \
+            [(CLOSED, OPEN, "trip")]
+
+    def test_success_resets_the_consecutive_count(self):
+        b = make_breaker()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success(3.0)
+        b.record_failure(4.0)
+        b.record_failure(5.0)
+        assert b.state == CLOSED   # never 3 *consecutive*
+        b.record_failure(6.0)
+        assert b.state == OPEN
+
+
+class TestOpenToHalfOpenToClosed:
+    def trip(self, b):
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert b.state == OPEN
+
+    def test_open_blocks_until_cooldown(self):
+        b = make_breaker()
+        self.trip(b)
+        assert not b.allow(5.0)          # 2ms into a 10ms cooldown
+        assert b.state == OPEN
+
+    def test_full_recovery_walk(self):
+        """closed -> open -> half-open -> closed, transition by
+        transition (the satellite's required coverage)."""
+        b = make_breaker()
+        self.trip(b)                      # closed -> open at 3.0
+        assert b.allow(13.0)              # cooldown elapsed -> half-open
+        assert b.state == HALF_OPEN
+        b.record_success(14.0)
+        assert b.state == HALF_OPEN       # needs 2 probe successes
+        b.record_success(15.0)
+        assert b.state == CLOSED
+        assert b.consecutive_failures == 0
+        assert [(tr.frm, tr.to, tr.reason) for tr in b.transitions] == [
+            (CLOSED, OPEN, "trip"),
+            (OPEN, HALF_OPEN, "cooldown"),
+            (HALF_OPEN, CLOSED, "probe_ok"),
+        ]
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        b = make_breaker()
+        self.trip(b)
+        assert b.allow(13.0)
+        b.record_failure(14.0, "launch_error")
+        assert b.state == OPEN
+        assert b.opened_at_ms == 14.0
+        assert not b.allow(20.0)          # new cooldown, not the old one
+        assert b.allow(24.5)
+        assert b.state == HALF_OPEN
+
+    def test_transitions_counted_in_telemetry(self):
+        with telemetry.collect() as col:
+            b = make_breaker()
+            self.trip(b)
+            assert b.allow(13.0)
+        counter = col.metrics.counter("serve.breaker_transitions")
+        assert counter.value(device="gpu0", **{"from": CLOSED,
+                                               "to": OPEN}) == 1
+        assert counter.value(device="gpu0", **{"from": OPEN,
+                                               "to": HALF_OPEN}) == 1
+
+
+class TestSerialisation:
+    def test_state_dict_round_trip(self):
+        b = make_breaker()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        b.allow(13.0)
+        snap = b.state_dict()
+        fresh = make_breaker()
+        fresh.load_state_dict(snap)
+        assert fresh.state == HALF_OPEN
+        assert fresh.opened_at_ms == 3.0
+        assert fresh.state_dict() == snap
+
+    def test_state_dict_is_json_ready(self):
+        import json
+        b = make_breaker()
+        b.record_failure(1.0)
+        assert json.loads(json.dumps(b.state_dict())) == b.state_dict()

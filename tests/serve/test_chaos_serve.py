@@ -1,0 +1,165 @@
+"""Serving-layer chaos acceptance suite.
+
+The three contracts ISSUE.md pins down, each under seeded fault
+injection:
+
+1. a breaker tripped mid-job still lets the job complete within its
+   deadline (rerouting to healthy devices, CPU degradation as the
+   last resort);
+2. a run killed mid-job and resumed from its checkpoint produces a
+   solution bitwise identical to the uninterrupted run;
+3. two identical seeded runs produce identical reports and metric
+   counters.
+
+Everything here is modeled time over derived seeds, so this suite is
+run twice in CI (and by ``make serve-chaos``) as a determinism proof.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.gpusim.pool import make_pool
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.resilience.pipeline import _relative_residuals
+from repro.serve import CLOSED, HALF_OPEN, OPEN
+
+from .conftest import make_job, make_sched
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos]
+
+
+def hot_pool():
+    return make_pool(3, seed=5, hot=1,
+                     hot_rates={"launch_fatal_rate": 1.0})
+
+
+def batch():
+    return diagonally_dominant_fluid(24, 64, seed=11)
+
+
+class TestBreakerTripMidJob:
+    """Acceptance 1: trip a breaker mid-job, still meet the deadline."""
+
+    def run_once(self):
+        sched = make_sched(hot_pool(), failure_threshold=2,
+                           cooldown_ms=1e9)
+        report = sched.run_job(make_job(batch(), deadline_ms=500.0))
+        return sched, report
+
+    def test_breaker_trips_and_job_completes_in_deadline(self):
+        sched, report = self.run_once()
+        assert sched.breakers["gpu1"].state == OPEN       # tripped...
+        assert report.completed and report.deadline_met   # ...job fine
+        assert report.outcome == "ok"
+        assert report.makespan_ms <= 500.0
+
+    def test_rerouted_chunks_land_on_healthy_devices(self):
+        _, report = self.run_once()
+        used = report.devices_used()
+        assert used.get("gpu1", 0) == 0
+        assert sum(used.values()) == report.num_chunks == 6
+        assert report.total_retries >= 2   # gpu1's failed attempts
+        rel = _relative_residuals(batch(), report.x)
+        assert bool(np.all(rel <= 1e-4))
+
+    def test_half_open_recovery_after_cooldown(self):
+        """With a finite cooldown the tripped device is probed again
+        and, now healthy (failures were injected per-attempt), the
+        breaker closes: the full closed->open->half_open->closed cycle
+        under scheduler control."""
+        pool = make_pool(3, seed=5, hot=1,
+                         hot_rates={"launch_fatal_rate": 1.0})
+        sched = make_sched(pool, failure_threshold=2, cooldown_ms=0.02)
+        sched.run_job(make_job(batch(), job_id="warm"))
+        b = sched.breakers["gpu1"]
+        assert b.state == OPEN
+        # Heal the device, then keep feeding jobs through the same
+        # scheduler: once the modeled clock clears the cooldown, a
+        # probe flows and the breaker closes.
+        pool.by_name("gpu1").fault_rates = {}
+        report = None
+        for i in range(5):
+            report = sched.run_job(make_job(batch(), job_id=f"after{i}"))
+            assert report.ok
+            if b.state == CLOSED:
+                break
+        assert b.state == CLOSED
+        trans = [(t.to, t.reason) for t in b.transitions]
+        assert trans[0] == (OPEN, "trip")
+        assert (HALF_OPEN, "cooldown") in trans
+        assert trans[-1] == (CLOSED, "probe_ok")
+        assert report.devices_used().get("gpu1", 0) > 0
+
+
+class TestKillResumeBitwise:
+    """Acceptance 2: kill + resume == uninterrupted, bitwise."""
+
+    def test_resumed_run_is_bitwise_identical(self, tmp_path):
+        job_kw = dict(job_id="kr", deadline_ms=500.0)
+
+        straight = make_sched(hot_pool(), failure_threshold=2,
+                              checkpoint_dir=str(tmp_path / "a"))
+        full = straight.run_job(make_job(batch(), **job_kw))
+        assert full.ok
+
+        killed = make_sched(hot_pool(), failure_threshold=2,
+                            checkpoint_dir=str(tmp_path / "b"))
+        partial = killed.run_job(make_job(batch(), **job_kw),
+                                 stop_after=3)
+        assert partial.outcome == "stopped"
+        assert not partial.completed
+
+        resumed_sched = make_sched(hot_pool(), failure_threshold=2,
+                                   checkpoint_dir=str(tmp_path / "b"))
+        resumed = resumed_sched.run_job(make_job(batch(), **job_kw),
+                                        resume=True)
+        assert resumed.ok
+        # checkpoint_every=2 and stop_after=3: chunks 0-1 hit a
+        # barrier, chunk 2's buffered line died with the "process".
+        assert resumed.restored_chunks == [0, 1]
+        assert np.array_equal(resumed.x, full.x)
+        assert resumed.solution_digest() == full.solution_digest()
+        # Scheduling context was restored too, not just results: the
+        # recomputed suffix used the same devices as the straight run.
+        assert {c.chunk_id: c.device for c in full.chunks} == \
+            {c.chunk_id: c.device for c in resumed.chunks}
+
+    def test_resume_without_checkpoint_recomputes_everything(
+            self, tmp_path):
+        sched = make_sched(hot_pool(), failure_threshold=2,
+                           checkpoint_dir=str(tmp_path))
+        report = sched.run_job(make_job(batch(), job_id="cold"),
+                               resume=True)
+        assert report.ok and report.restored_chunks == []
+
+
+class TestSeededDeterminism:
+    """Acceptance 3: identical seeds -> identical reports + counters."""
+
+    def run_once(self):
+        with telemetry.collect() as col:
+            sched = make_sched(hot_pool(), failure_threshold=2)
+            sched.submit(make_job(batch(), job_id="det",
+                                  deadline_ms=500.0))
+            reports = sched.run()
+        return reports, col.metrics.snapshot()
+
+    def test_reports_and_counters_identical(self):
+        reports_a, snap_a = self.run_once()
+        reports_b, snap_b = self.run_once()
+        assert [r.to_dict() for r in reports_a] == \
+            [r.to_dict() for r in reports_b]
+        assert snap_a["counters"] == snap_b["counters"]
+        assert snap_a["gauges"] == snap_b["gauges"]
+
+    def test_fault_plans_are_coordinate_pure(self):
+        """Same (device, job, chunk, attempt) -> same plan, regardless
+        of call order."""
+        d1 = hot_pool().by_name("gpu1")
+        d2 = hot_pool().by_name("gpu1")
+        p_fwd = [d1.plan_for("det", c, 0).seed for c in range(6)]
+        p_rev = [d2.plan_for("det", c, 0).seed
+                 for c in reversed(range(6))]
+        assert p_fwd == list(reversed(p_rev))
+        assert len(set(p_fwd)) == 6          # and they decorrelate

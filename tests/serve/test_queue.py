@@ -1,0 +1,81 @@
+"""Bounded admission queue: backpressure and typed rejections."""
+
+import pytest
+
+from repro import telemetry
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.serve import (AdmissionError, BoundedJobQueue,
+                         DeadlineUnmeetableError, QueueFullError, SolveJob)
+
+from .conftest import make_job
+
+
+@pytest.fixture
+def small_batch():
+    return diagonally_dominant_fluid(4, 32, seed=3)
+
+
+def test_fifo_order(small_batch):
+    q = BoundedJobQueue(capacity=4)
+    for name in ("a", "b", "c"):
+        q.submit(make_job(small_batch, job_id=name))
+    assert [q.pop().job_id for _ in range(3)] == ["a", "b", "c"]
+    assert q.pop() is None
+
+
+def test_capacity_rejection_is_typed(small_batch):
+    q = BoundedJobQueue(capacity=2)
+    q.submit(make_job(small_batch, job_id="a"))
+    q.submit(make_job(small_batch, job_id="b"))
+    with pytest.raises(QueueFullError) as exc:
+        q.submit(make_job(small_batch, job_id="c"))
+    assert exc.value.reason == "capacity"
+    assert isinstance(exc.value, AdmissionError)
+    assert q.depth == 2
+    assert q.rejected == {"capacity": 1}
+
+
+def test_pop_frees_capacity(small_batch):
+    q = BoundedJobQueue(capacity=1)
+    q.submit(make_job(small_batch, job_id="a"))
+    assert q.pop().job_id == "a"
+    q.submit(make_job(small_batch, job_id="b"))   # no raise
+    assert q.depth == 1
+
+
+def test_unmeetable_deadline_rejected_up_front(small_batch):
+    q = BoundedJobQueue(capacity=4, estimator=lambda job: 100.0)
+    with pytest.raises(DeadlineUnmeetableError) as exc:
+        q.submit(make_job(small_batch, job_id="a", deadline_ms=1.0))
+    assert exc.value.reason == "deadline_unmeetable"
+    assert q.depth == 0
+
+
+def test_feasible_deadline_admitted(small_batch):
+    q = BoundedJobQueue(capacity=4, estimator=lambda job: 100.0)
+    q.submit(make_job(small_batch, job_id="a", deadline_ms=200.0))
+    assert q.depth == 1
+
+
+def test_no_estimator_means_capacity_only(small_batch):
+    q = BoundedJobQueue(capacity=4)
+    q.submit(make_job(small_batch, job_id="a", deadline_ms=1e-9))
+    assert q.depth == 1
+
+
+def test_depth_gauge_and_rejection_counter(small_batch):
+    with telemetry.collect() as col:
+        q = BoundedJobQueue(capacity=1)
+        q.submit(make_job(small_batch, job_id="a"))
+        with pytest.raises(QueueFullError):
+            q.submit(make_job(small_batch, job_id="b"))
+        q.pop()
+    metrics = col.metrics
+    assert metrics.gauge("serve.queue_depth").value() == 0
+    assert metrics.counter("serve.queue_rejected").value(
+        reason="capacity") == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedJobQueue(capacity=0)
