@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench figures report profile chaos serve-chaos verify calibrate examples clean
+.PHONY: test test-fast bench figures report profile chaos serve-chaos verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -41,6 +41,13 @@ serve-chaos:     ## serving-layer chaos suite (breakers, deadlines,
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify
+
+verify-full:     ## headline + differential oracle grid + invariant checker
+	$(PY) -m repro verify --all
+
+fuzz:            ## seeded differential fuzzing (SEED/ITERS overridable)
+	$(PY) -m repro fuzz --seed $(or $(SEED),0) --iters $(or $(ITERS),200) \
+	  --corpus fuzz-corpus
 
 calibrate:       ## re-fit the GT200 cost model against the paper's numbers
 	$(PY) -m repro.gpusim.calibrate

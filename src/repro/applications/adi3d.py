@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.solvers.api import solve
+from repro.solvers.systems import TridiagonalSystems
 
 
 def _laplacian_1d(u: np.ndarray, axis: int) -> np.ndarray:
@@ -46,12 +47,15 @@ def _laplacian_1d(u: np.ndarray, axis: int) -> np.ndarray:
     return lap
 
 
-def _implicit_sweep(rhs: np.ndarray, r: float, axis: int,
-                    method: str) -> np.ndarray:
-    """Solve ``(I - r L_axis) out = rhs`` with Dirichlet boundary
-    planes pinned to the rhs values."""
+def build_sweep_systems(rhs: np.ndarray, r: float, axis: int
+                        ) -> TridiagonalSystems:
+    """The tridiagonal batch of one directional sweep,
+    ``(I - r L_axis) out = rhs``, with Dirichlet boundary planes
+    pinned to the rhs values.  Exposed so the verification harness can
+    judge the sweep solves against the oracle (one system per grid
+    line, ``prod(shape) / shape[axis]`` systems of ``shape[axis]``
+    unknowns)."""
     moved = np.moveaxis(rhs, axis, -1)
-    lead_shape = moved.shape[:-1]
     n = moved.shape[-1]
     flat = moved.reshape(-1, n)
     S = flat.shape[0]
@@ -63,8 +67,18 @@ def _implicit_sweep(rhs: np.ndarray, r: float, axis: int,
         a[:, col] = 0
         c[:, col] = 0
         b[:, col] = 1
-    x = np.asarray(solve(a, b, c, d, method=method))
-    return np.moveaxis(x.reshape(*lead_shape, n), -1, axis)
+    return TridiagonalSystems(a, b, c, d)
+
+
+def _implicit_sweep(rhs: np.ndarray, r: float, axis: int,
+                    method: str) -> np.ndarray:
+    """Solve ``(I - r L_axis) out = rhs`` (see
+    :func:`build_sweep_systems`)."""
+    moved = np.moveaxis(rhs, axis, -1)
+    lead_shape = moved.shape[:-1]
+    s = build_sweep_systems(rhs, r, axis)
+    x = np.asarray(solve(s.a, s.b, s.c, s.d, method=method))
+    return np.moveaxis(x.reshape(*lead_shape, moved.shape[-1]), -1, axis)
 
 
 @dataclass

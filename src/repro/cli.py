@@ -3,8 +3,14 @@
 Commands
 --------
 ``info``      package, device and solver inventory
-``verify``    quick headline-reproduction check (ranking, switch
-              points, overflow behaviour) -- exits nonzero on failure
+``verify``    headline-reproduction checks (ranking, switch points,
+              overflow behaviour); ``--differential`` / ``--invariants``
+              / ``--all`` add the oracle grid and the analytic-counter
+              diff (``--json`` for the machine-readable report) --
+              exits nonzero on failure
+``fuzz``      seeded differential fuzzing: random solver/layout/class
+              cells against the float64 oracle, corpus replay, and
+              automatic shrinking of failures to minimal repro files
 ``analyze``   run a solver kernel on a synthetic batch and print the
               trace + optimization advisor output (``--json`` for the
               machine-readable trace)
@@ -49,7 +55,7 @@ def cmd_info(_args) -> int:
     return 0
 
 
-def cmd_verify(_args) -> int:
+def _headline_checks(echo: bool = True) -> list[tuple[str, bool]]:
     """Fast headline checks; mirrors tests/integration in spirit."""
     import numpy as np
 
@@ -58,15 +64,15 @@ def cmd_verify(_args) -> int:
     from repro.numerics.generators import diagonally_dominant_fluid
     from repro.solvers.api import SOLVERS
 
-    warnings.simplefilter("ignore")
-    failures = []
+    checks: list[tuple[str, bool]] = []
 
     def check(label, ok):
-        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
-        if not ok:
-            failures.append(label)
+        if echo:
+            print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        checks.append((label, bool(ok)))
 
-    print("headline reproduction checks (512x512):")
+    if echo:
+        print("headline reproduction checks (512x512):")
     t = {}
     for name, m in [("cr", None), ("pcr", None), ("rd", None),
                     ("cr_pcr", 256), ("cr_rd", 128)]:
@@ -94,12 +100,132 @@ def cmd_verify(_args) -> int:
           and batch.residual(x_cr).max() < 1e-3)
     check("RD overflows on dominant systems (the paper's Fig 18)",
           not bool(np.isfinite(x_rd).all()))
+    return checks
 
-    if failures:
-        print(f"\n{len(failures)} check(s) failed")
-        return 1
-    print("\nall headline checks passed")
-    return 0
+
+def cmd_verify(args) -> int:
+    """Headline checks, differential harness and invariant checker.
+
+    With no selection flags this is the historical fast headline run
+    (what CI and the Makefile call); ``--differential``,
+    ``--invariants`` and ``--all`` add the oracle grid and the
+    analytic-counter diff from :mod:`repro.verify`.
+    """
+    import json
+
+    warnings.simplefilter("ignore")
+    run_diff = args.differential or args.all
+    run_inv = args.invariants or args.all
+    run_headline = args.all or not (run_diff or run_inv or args.emit_golden)
+    sizes = (tuple(int(s) for s in args.sizes.split(","))
+             if args.sizes else None)
+
+    if args.emit_golden:
+        from repro.verify import golden_table
+        table = golden_table(seed=2026 if args.seed is None else args.seed)
+        with open(args.emit_golden, "w") as fh:
+            json.dump(table, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"golden residual table (seed {table['seed']}, "
+              f"n={table['n']}) -> {args.emit_golden}")
+        if not (run_headline or run_diff or run_inv):
+            return 0
+
+    rc = 0
+    doc: dict = {}
+    if run_headline:
+        checks = _headline_checks(echo=not args.json)
+        doc["headline"] = {label: ok for label, ok in checks}
+        bad = sum(1 for _label, ok in checks if not ok)
+        if bad:
+            rc = 1
+        if not args.json:
+            print(f"\n{bad} check(s) failed" if bad
+                  else "\nall headline checks passed")
+
+    if run_diff or run_inv:
+        from repro import telemetry
+        from repro.telemetry.export import verify_summary
+        from repro.verify import check_invariants, run_differential
+
+        seed = 0 if args.seed is None else args.seed
+        with telemetry.collect() as col:
+            if run_diff:
+                diff_kwargs = {"num_systems": args.systems, "seed": seed}
+                if sizes:
+                    diff_kwargs["sizes"] = sizes
+                diff = run_differential(**diff_kwargs)
+                doc["differential"] = diff.to_dict()
+                if not diff.ok:
+                    rc = 1
+                if not args.json:
+                    print()
+                    print(diff.summary())
+            if run_inv:
+                inv_kwargs = {"seed": seed}
+                if sizes:
+                    inv_kwargs["sizes"] = sizes
+                inv = check_invariants(**inv_kwargs)
+                doc["invariants"] = inv.to_dict()
+                if not inv.ok:
+                    rc = 1
+                if not args.json:
+                    print()
+                    print(inv.summary())
+        snap = col.metrics.snapshot()
+        doc["metrics"] = {
+            "verify.cells": snap["counters"].get("verify.cells", {}),
+        }
+        if not args.json:
+            lines = verify_summary(col)
+            if lines:
+                print()
+                print("\n".join(lines))
+
+    if args.json:
+        doc["ok"] = rc == 0
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return rc
+
+
+def cmd_fuzz(args) -> int:
+    """Seeded differential fuzzing (or single-repro replay)."""
+    import json
+
+    from repro import telemetry
+    from repro.telemetry.export import verify_summary
+    from repro.verify import replay_repro, run_fuzz
+
+    warnings.simplefilter("ignore")
+    if args.replay:
+        cell = replay_repro(args.replay)
+        if args.json:
+            print(json.dumps({"ok": cell.ok, "replay": cell.to_dict()},
+                             indent=2, sort_keys=True))
+        else:
+            print(f"replay {args.replay}: {cell.status}"
+                  + (f" -- {cell.message}" if cell.message else ""))
+        return 0 if cell.ok else 1
+
+    with telemetry.collect() as col:
+        report = run_fuzz(seed=args.seed, iters=args.iters,
+                          corpus_dir=args.corpus,
+                          shrink=not args.no_shrink)
+    rc = 0 if report.ok else 1
+    snap = col.metrics.snapshot()
+    if args.json:
+        doc = report.to_dict()
+        doc["metrics"] = {
+            "fuzz.cases": snap["counters"].get("fuzz.cases", {}),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return rc
+    print(report.summary())
+    lines = verify_summary(col)
+    if lines:
+        print()
+        print("\n".join(lines))
+    return rc
 
 
 def cmd_analyze(args) -> int:
@@ -323,7 +449,48 @@ def main(argv=None) -> int:
         description="Fast Tridiagonal Solvers on the GPU -- reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="package and device summary")
-    sub.add_parser("verify", help="quick headline reproduction checks")
+    p_ver = sub.add_parser(
+        "verify",
+        help="verification: headline checks, differential oracle grid, "
+             "architectural invariants")
+    p_ver.add_argument("--all", action="store_true",
+                       help="headline + differential + invariants")
+    p_ver.add_argument("--differential", action="store_true",
+                       help="run every solver x layout x matrix class "
+                            "against the float64 pivoting oracle")
+    p_ver.add_argument("--invariants", action="store_true",
+                       help="diff analytic step/bank-conflict/transaction "
+                            "counts against recorded traces")
+    p_ver.add_argument("--sizes", default=None, metavar="N,N,...",
+                       help="comma-separated system sizes (powers of two)")
+    p_ver.add_argument("--systems", type=int, default=4,
+                       help="systems per differential cell")
+    p_ver.add_argument("--seed", type=int, default=None,
+                       help="generator seed (default 0; golden table 2026)")
+    p_ver.add_argument("--emit-golden", default=None, metavar="PATH",
+                       dest="emit_golden",
+                       help="write the golden residual table (what "
+                            "tests/data/sec54_residuals.json locks) and "
+                            "exit")
+    p_ver.add_argument("--json", action="store_true",
+                       help="machine-readable report + metrics")
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing with corpus replay and "
+             "automatic shrinking")
+    p_fz.add_argument("--seed", type=int, default=0,
+                      help="root seed for case drawing")
+    p_fz.add_argument("--iters", type=int, default=100,
+                      help="fresh fuzz iterations after corpus replay")
+    p_fz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="replay *.json repro files here first; new "
+                           "failures are minimized and written back")
+    p_fz.add_argument("--replay", default=None, metavar="PATH",
+                      help="re-run one repro file and exit")
+    p_fz.add_argument("--no-shrink", action="store_true", dest="no_shrink",
+                      help="report failures without minimizing them")
+    p_fz.add_argument("--json", action="store_true",
+                      help="machine-readable report + metrics")
     p_an = sub.add_parser("analyze",
                           help="trace + advisor for one solver kernel")
     p_an.add_argument("solver", choices=["cr", "pcr", "rd", "cr_pcr",
@@ -442,7 +609,7 @@ def main(argv=None) -> int:
                    help="list reproduced artifacts and their benches")
 
     args = parser.parse_args(argv)
-    handler = {"info": cmd_info, "verify": cmd_verify,
+    handler = {"info": cmd_info, "verify": cmd_verify, "fuzz": cmd_fuzz,
                "analyze": cmd_analyze, "calibrate": cmd_calibrate,
                "report": cmd_report, "profile": cmd_profile,
                "robust": cmd_robust, "serve": cmd_serve,

@@ -37,10 +37,15 @@ def derive_seed(*parts: int | str) -> int:
 
     Strings go through CRC-32 so job ids participate; the mix is a
     :class:`numpy.random.SeedSequence` spawn, which is stable across
-    platforms and numpy versions by contract.
+    platforms and numpy versions by contract.  The part count is mixed
+    in first because ``SeedSequence`` ignores trailing zero entropy
+    words -- without it ``derive_seed(s)`` and ``derive_seed(s, 0)``
+    (a device index, a chunk id, a first attempt) would collide and
+    silently share a stream.
     """
-    entropy = [zlib.crc32(p.encode()) if isinstance(p, str) else int(p)
-               for p in parts]
+    entropy = [len(parts)] + [
+        zlib.crc32(p.encode()) if isinstance(p, str) else int(p)
+        for p in parts]
     return int(np.random.SeedSequence(entropy).generate_state(1)[0])
 
 

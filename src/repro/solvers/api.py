@@ -166,7 +166,10 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
             raise ValueError(
                 f"method {name!r} requires power-of-two sizes and pad=False; "
                 f"got n={orig_n}")
-        systems, orig_n = pad_to_power_of_two(systems)
+        # RD-based methods divide by the interior super-diagonal, so
+        # they need the scan-safe (coupled) padding variant.
+        systems, orig_n = pad_to_power_of_two(
+            systems, scan_safe=name in ("rd", "cr_rd"))
 
     with telemetry.span("solve", method=name, n=systems.n,
                         num_systems=systems.num_systems,

@@ -65,13 +65,24 @@ def next_power_of_two(n: int) -> int:
     return 1 << (n - 1).bit_length()
 
 
-def pad_to_power_of_two(systems: TridiagonalSystems
+def pad_to_power_of_two(systems: TridiagonalSystems, *,
+                        scan_safe: bool = False
                         ) -> tuple[TridiagonalSystems, int]:
     """Embed systems into the next power-of-two size.
 
     Appended rows are decoupled identity equations (``b=1, a=c=d=0``),
     so the leading ``n`` entries of the padded solution equal the
     original solution exactly.  Returns ``(padded, original_n)``.
+
+    ``scan_safe=True`` pads with ``c = 1`` instead of ``c = 0``
+    (including the boundary coupling at row ``n - 1``).  Recursive
+    doubling builds its scan matrices by dividing every row by ``c_i``,
+    so a zero interior super-diagonal -- which identity padding
+    creates by construction -- poisons the whole scan with infinities.
+    The coupled pad rows ``x_i + x_{i+1} = 0`` still force every pad
+    unknown to zero (the cascade is homogeneous and terminates at the
+    last row, whose ``c`` is formal), leaving the original solution
+    intact while keeping the scan finite.
     """
     S, n = systems.shape
     n2 = next_power_of_two(n)
@@ -79,6 +90,7 @@ def pad_to_power_of_two(systems: TridiagonalSystems
         return systems, n
     dtype = systems.dtype
     pad = n2 - n
+    c_fill = 1 if scan_safe else 0
 
     def _pad(arr, fill):
         return np.concatenate(
@@ -86,9 +98,11 @@ def pad_to_power_of_two(systems: TridiagonalSystems
 
     padded = TridiagonalSystems(
         _pad(systems.a, 0), _pad(systems.b, 1),
-        _pad(systems.c, 0), _pad(systems.d, 0))
-    # Decouple the last original row from the first pad row.
-    padded.c[:, n - 1] = 0
+        _pad(systems.c, c_fill), _pad(systems.d, 0))
+    # c = 0 decouples the last original row from the first pad row;
+    # the scan-safe coupling is harmless because the pad solution is
+    # identically zero.
+    padded.c[:, n - 1] = c_fill
     return padded, n
 
 

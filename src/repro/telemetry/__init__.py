@@ -41,24 +41,26 @@ from . import callbacks
 from .collector import (Collector, LaunchRecord, collect, current_attr,
                         current_span, enabled, event, get_collector, span)
 from .export import (chrome_trace, phase_totals, resilience_summary,
-                     serve_summary, text_summary, to_jsonl,
+                     serve_summary, text_summary, to_jsonl, verify_summary,
                      write_chrome_trace, write_jsonl, write_summary)
 from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
                       DEADLINE_MISSES, DEGRADED_TOTAL, FALLBACK_TOTAL,
-                      QUEUE_DEPTH, QUEUE_REJECTED, RESIDUAL_MAX, Counter,
+                      FUZZ_CASES, QUEUE_DEPTH, QUEUE_REJECTED, RESIDUAL_MAX,
+                      VERIFY_CELLS, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       record_breaker_transition, record_chunk_done,
                       record_chunk_retry, record_deadline_miss,
                       record_degraded_solve, record_fallback,
-                      record_queue_depth, record_queue_rejection,
-                      record_residual_max)
+                      record_fuzz_case, record_queue_depth,
+                      record_queue_rejection,
+                      record_residual_max, record_verify_cell)
 from .spans import NOOP_SPAN, EventRecord, LiveSpan, NoopSpan, SpanRecord
 
 __all__ = [
     "callbacks", "Collector", "LaunchRecord", "collect", "current_attr",
     "current_span", "enabled", "event", "get_collector", "span",
     "chrome_trace", "phase_totals", "resilience_summary", "serve_summary",
-    "text_summary",
+    "text_summary", "verify_summary",
     "to_jsonl", "write_chrome_trace", "write_jsonl", "write_summary",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "FALLBACK_TOTAL", "RESIDUAL_MAX", "record_fallback",
@@ -68,5 +70,6 @@ __all__ = [
     "record_breaker_transition", "record_chunk_done", "record_chunk_retry",
     "record_deadline_miss", "record_degraded_solve", "record_queue_depth",
     "record_queue_rejection",
+    "FUZZ_CASES", "VERIFY_CELLS", "record_fuzz_case", "record_verify_cell",
     "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",
 ]

@@ -298,6 +298,49 @@ def serve_summary(collector: Collector) -> list[str]:
     return out
 
 
+def verify_summary(collector: Collector) -> list[str]:
+    """Readable lines for the verification metrics, empty when none.
+
+    Renders ``verify.cells{status,...}`` per status and per engine, and
+    ``fuzz.cases{status}`` -- the coverage view of a ``repro verify`` /
+    ``repro fuzz`` run.
+    """
+    from .metrics import FUZZ_CASES, VERIFY_CELLS, Counter
+
+    out: list[str] = []
+    cells = collector.metrics._metrics.get(VERIFY_CELLS)
+    if isinstance(cells, Counter) and cells.series:
+        by_status: dict[str, float] = {}
+        by_engine: dict[str, float] = {}
+        failing: dict[str, float] = {}
+        for key, value in cells.series.items():
+            labels = dict(key)
+            status = labels.get("status", "?")
+            by_status[status] = by_status.get(status, 0.0) + value
+            eng = labels.get("engine", "?")
+            by_engine[eng] = by_engine.get(eng, 0.0) + value
+            if status == "fail":
+                cell = (f"{labels.get('solver', '?')}/"
+                        f"{labels.get('matrix_class', '?')}")
+                failing[cell] = failing.get(cell, 0.0) + value
+        total = sum(by_status.values())
+        parts = ", ".join(f"{k}={v:g}" for k, v in sorted(by_status.items()))
+        out.append(f"differential cells: {total:g} ({parts})")
+        parts = ", ".join(f"{k}={v:g}" for k, v in sorted(by_engine.items()))
+        out.append(f"  by engine: {parts}")
+        for cell, value in sorted(failing.items()):
+            out.append(f"  FAILING {cell}: {value:g}")
+    fuzz = collector.metrics._metrics.get(FUZZ_CASES)
+    if isinstance(fuzz, Counter) and fuzz.series:
+        total = sum(fuzz.series.values())
+        parts = ", ".join(f"{dict(k).get('status', '?')}={v:g}"
+                          for k, v in sorted(fuzz.series.items()))
+        out.append(f"fuzz cases: {total:g} ({parts})")
+    if out:
+        out.insert(0, "verification:")
+    return out
+
+
 def text_summary(collector: Collector, cost_model=None) -> str:
     """Human-readable session roll-up."""
     out: list[str] = []
@@ -340,6 +383,10 @@ def text_summary(collector: Collector, cost_model=None) -> str:
     if srv:
         out.append("")
         out.extend(srv)
+    ver = verify_summary(collector)
+    if ver:
+        out.append("")
+        out.extend(ver)
     snap = collector.metrics.snapshot()
     for kind in ("counters", "gauges"):
         if snap[kind]:

@@ -37,6 +37,12 @@ DEADLINE_MISSES = "serve.deadline_misses"
 DEGRADED_TOTAL = "serve.degraded_total"
 CHUNKS_TOTAL = "serve.chunks_total"
 
+#: Canonical verification metric names (emitted by
+#: :mod:`repro.verify`; rendered by
+#: :func:`repro.telemetry.export.verify_summary`).
+VERIFY_CELLS = "verify.cells"
+FUZZ_CASES = "fuzz.cases"
+
 
 def record_fallback(frm: str, to: str, reason: str, count: int = 1) -> None:
     """Count one solver escalation hop on the active collector.
@@ -136,6 +142,28 @@ def record_chunk_done(device: str, status: str) -> None:
         col.metrics.counter(
             CHUNKS_TOTAL, "chunks completed by device and status").inc(
                 device=device, status=status)
+
+
+def record_verify_cell(status: str, solver: str, matrix_class: str,
+                       engine: str) -> None:
+    """Count one differential-verification cell outcome
+    (``verify.cells{status,solver,matrix_class,engine}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            VERIFY_CELLS, "differential verification cells by outcome").inc(
+                status=status, solver=solver, matrix_class=matrix_class,
+                engine=engine)
+
+
+def record_fuzz_case(status: str) -> None:
+    """Count one fuzz iteration outcome (``fuzz.cases{status}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            FUZZ_CASES, "fuzz iterations by outcome").inc(status=status)
 
 
 def _labelkey(labels: dict[str, Any]) -> LabelKey:

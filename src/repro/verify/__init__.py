@@ -1,0 +1,50 @@
+"""Differential verification and seeded fuzzing (the §5.4 contract).
+
+The paper's accuracy experiments (§5.4, Fig 18) compare every solver
+against Gaussian elimination with partial pivoting over two matrix
+classes.  This package turns that one-off experiment into an enforced
+correctness *contract*:
+
+* :mod:`~repro.verify.oracle` -- the float64 pivoting-GE oracle and
+  solution-comparison metrics (relative residual, ULP distance);
+* :mod:`~repro.verify.generators` -- the paper's matrix classes plus
+  adversarial ones (near-singular, graded, periodic coefficients);
+* :mod:`~repro.verify.budgets` -- per solver x matrix-class residual
+  and ULP budgets derived from §5.4's findings;
+* :mod:`~repro.verify.differential` -- the harness that runs every
+  registered solver/kernel/layout combination against the oracle and
+  asserts the budgets;
+* :mod:`~repro.verify.invariants` -- the architectural invariant
+  checker: analytic step/sync/bank-conflict/transaction expectations
+  diffed against recorded gpusim traces;
+* :mod:`~repro.verify.fuzz` -- the seeded fuzzer: randomized cells,
+  corpus persistence, automatic shrinking to replayable repro files.
+
+CLI surface: ``repro verify --all`` / ``repro fuzz`` (see
+``docs/verification.md``).
+"""
+
+from .budgets import Budget, budget_for, budget_table
+from .differential import (CellResult, VerificationReport, golden_table,
+                           run_differential, verify_cell,
+                           verify_solution)
+from .fuzz import (FuzzCase, FuzzFailure, FuzzReport, load_repro,
+                   replay_repro, run_fuzz, shrink_failure, write_repro)
+from .generators import VERIFY_CLASSES, generate
+from .invariants import (InvariantMismatch, InvariantReport,
+                         check_invariants, expected_counters)
+from .oracle import (OracleComparison, compare_to_oracle, oracle_solve,
+                     ulp_distance)
+
+__all__ = [
+    "Budget", "budget_for", "budget_table",
+    "CellResult", "VerificationReport", "golden_table",
+    "run_differential", "verify_cell", "verify_solution",
+    "FuzzCase", "FuzzFailure", "FuzzReport", "load_repro",
+    "replay_repro", "run_fuzz", "shrink_failure", "write_repro",
+    "VERIFY_CLASSES", "generate",
+    "InvariantMismatch", "InvariantReport", "check_invariants",
+    "expected_counters",
+    "OracleComparison", "compare_to_oracle", "oracle_solve",
+    "ulp_distance",
+]

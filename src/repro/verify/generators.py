@@ -1,0 +1,119 @@
+"""Matrix-class registry for the verification harness.
+
+Extends the paper's two §5.4 classes (diagonally dominant fluid
+matrices, random close-values matrices) with adversarial generators
+that probe the failure modes the differential harness must tell
+apart:
+
+``near_singular``
+    dominance broken by tiny pivots sprinkled on the diagonal
+    (:func:`repro.numerics.generators.ill_conditioned`) -- separates
+    pivoting from non-pivoting solvers;
+``graded``
+    row magnitudes swept geometrically over several decades down the
+    system -- exercises scaling robustness without breaking dominance;
+``toeplitz_spd``
+    constant-coefficient SPD systems (Hockney's substrate);
+``periodic_coeff``
+    diagonally dominant systems whose couplings vary sinusoidally
+    along the band (periodic coefficient structure, as produced by
+    discretising on a periodic medium) -- a structured pattern that
+    strided elimination orders interact with.
+
+Every generator has the uniform signature
+``gen(num_systems, n, *, seed, dtype) -> TridiagonalSystems`` so the
+harness and the fuzzer can drive the registry blindly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics import generators as _g
+from repro.solvers.systems import TridiagonalSystems
+
+
+def graded(num_systems: int, n: int, *, seed=None, dtype=np.float32,
+           decades: float = 4.0) -> TridiagonalSystems:
+    """Diagonally dominant systems with geometrically graded rows.
+
+    Row ``i`` of every system is scaled by ``10**(decades * i / n)``,
+    sweeping the band over ``decades`` orders of magnitude.  Scaling
+    whole rows preserves row dominance, so all the no-pivoting solvers
+    remain applicable -- what is stressed is their behaviour under
+    badly equilibrated data.
+    """
+    base = _g.diagonally_dominant_fluid(num_systems, n, seed=seed,
+                                        dtype=np.float64)
+    scale = 10.0 ** (decades * np.arange(n) / max(1, n))
+    return TridiagonalSystems(
+        (base.a * scale).astype(dtype), (base.b * scale).astype(dtype),
+        (base.c * scale).astype(dtype), (base.d * scale).astype(dtype))
+
+
+def periodic_coeff(num_systems: int, n: int, *, seed=None,
+                   dtype=np.float32, waves: int = 4) -> TridiagonalSystems:
+    """Dominant systems with sinusoidally varying couplings.
+
+    The coupling field ``k_i = 1 + 0.9 sin(2 pi waves i / n + phase)``
+    replaces the random couplings of the fluid class; rows keep the
+    Kass-Miller form ``(-k_i, 1 + k_i + k_{i+1}, -k_{i+1})`` and stay
+    strictly diagonally dominant.
+    """
+    rng = np.random.default_rng(seed)
+    phase = rng.uniform(0, 2 * np.pi, (num_systems, 1))
+    i = np.arange(n + 1)
+    k = 1.0 + 0.9 * np.sin(2 * np.pi * waves * i / max(1, n) + phase)
+    k[:, 0] = 0.0
+    k[:, -1] = 0.0
+    a = -k[:, :-1]
+    c = -k[:, 1:]
+    b = 1.0 + k[:, :-1] + k[:, 1:]
+    d = rng.uniform(-1.0, 1.0, (num_systems, n))
+    return TridiagonalSystems(a.astype(dtype), b.astype(dtype),
+                              c.astype(dtype), d.astype(dtype))
+
+
+def near_singular(num_systems: int, n: int, *, seed=None,
+                  dtype=np.float32) -> TridiagonalSystems:
+    """Nearly singular systems (tiny pivots); alias with the uniform
+    harness signature."""
+    return _g.ill_conditioned(num_systems, n, seed=seed, dtype=dtype)
+
+
+def _uniform(gen):
+    """Adapt a numerics generator to the uniform harness signature."""
+    def wrapped(num_systems, n, *, seed=None, dtype=np.float32):
+        return gen(num_systems, n, seed=seed, dtype=dtype)
+    wrapped.__name__ = gen.__name__
+    wrapped.__doc__ = gen.__doc__
+    return wrapped
+
+
+#: Verification matrix classes.  The first two are the paper's §5.4
+#: experiment; the rest are this harness's adversarial additions.
+VERIFY_CLASSES = {
+    "diagonally_dominant": _uniform(_g.diagonally_dominant_fluid),
+    "close_values": _uniform(_g.close_values),
+    "random_dominant": _uniform(_g.random_dominant),
+    "toeplitz_spd": _uniform(_g.toeplitz_spd),
+    "near_singular": near_singular,
+    "graded": graded,
+    "periodic_coeff": periodic_coeff,
+}
+
+#: Classes on which every row is strictly diagonally dominant, i.e. the
+#: no-pivoting GPU-path solvers carry an accuracy contract (§5.4: they
+#: "are accurate on diagonally dominant matrices").
+DOMINANT_CLASSES = frozenset({"diagonally_dominant", "random_dominant",
+                              "toeplitz_spd", "graded", "periodic_coeff"})
+
+
+def generate(matrix_class: str, num_systems: int, n: int, *, seed=None,
+             dtype=np.float32) -> TridiagonalSystems:
+    """Instantiate one registered matrix class."""
+    if matrix_class not in VERIFY_CLASSES:
+        raise ValueError(f"unknown matrix class {matrix_class!r}; "
+                         f"available: {sorted(VERIFY_CLASSES)}")
+    return VERIFY_CLASSES[matrix_class](num_systems, n, seed=seed,
+                                        dtype=dtype)

@@ -1,0 +1,106 @@
+"""The float64 pivoting-GE oracle and solution-comparison metrics.
+
+The paper's accuracy baseline is "GEP", Gaussian elimination with
+partial pivoting, which "always has the best accuracy because it has
+pivoting" (§5.4).  The oracle here is that same algorithm promoted to
+float64, so every float32 solver under test is compared against a
+reference whose own error is negligible at the scale of the budgets.
+
+Two distances are reported per system:
+
+* **relative residual** ``||A x - d|| / ||d||`` of the candidate
+  solution, accumulated in float64 (the paper's Fig 18 metric);
+* **ULP distance** between the candidate solution and the oracle
+  solution rounded to the candidate's dtype -- a forward-error metric
+  in units-in-the-last-place, which catches "right residual, wrong
+  solution" failures on ill-conditioned systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numerics.residual import relative_residual
+from repro.solvers.gauss import gep_batched
+from repro.solvers.systems import TridiagonalSystems
+
+
+def oracle_solve(systems: TridiagonalSystems) -> np.ndarray:
+    """Reference solutions: float64 Gaussian elimination with partial
+    pivoting.  Returns a float64 ``(num_systems, n)`` array."""
+    return gep_batched(systems.astype(np.float64))
+
+
+def ulp_distance(x: np.ndarray, ref: np.ndarray,
+                 dtype=np.float32) -> np.ndarray:
+    """Per-element distance in ``dtype`` ULPs between ``x`` and ``ref``.
+
+    Both arrays are rounded to ``dtype`` and mapped to their ordered
+    integer representation (sign-magnitude to two's-complement-ish
+    monotone mapping), where the difference of consecutive floats is
+    exactly 1.  Non-finite entries on either side map to ``inf``.
+    """
+    dt = np.dtype(dtype)
+    uint_t = {4: np.uint32, 8: np.uint64}[dt.itemsize]
+    bias = uint_t(1) << uint_t(8 * dt.itemsize - 1)
+    a = np.asarray(x, dtype=dt)
+    b = np.asarray(ref, dtype=dt)
+
+    def ordered(v):
+        # IEEE sign-magnitude -> monotone integer line: positive floats
+        # shift up by the sign-bit bias (modular, so the top positive
+        # key wraps harmlessly past 0), negative floats mirror below it
+        # (-0.0 and +0.0 coincide and adjacent floats differ by 1).
+        u = np.ascontiguousarray(v).view(uint_t)
+        with np.errstate(over="ignore"):
+            return np.where(u < bias, u + bias, uint_t(0) - u)
+
+    ka, kb = ordered(a), ordered(b)
+    dist = np.where(ka > kb, ka - kb, kb - ka).astype(np.float64)
+    bad = ~(np.isfinite(a) & np.isfinite(b))
+    dist[bad] = np.inf
+    return dist
+
+
+@dataclass
+class OracleComparison:
+    """Candidate-vs-oracle distances for one batch."""
+
+    rel_residual: np.ndarray     #: per system; inf where non-finite x
+    oracle_rel_residual: np.ndarray   #: the oracle's own residuals
+    ulp_max: np.ndarray          #: per system; inf where non-finite
+    overflow_fraction: float     #: fraction of systems with inf/NaN x
+
+    @property
+    def rel_residual_max(self) -> float:
+        finite = self.rel_residual[np.isfinite(self.rel_residual)]
+        return float(finite.max()) if finite.size else float("inf")
+
+    @property
+    def ulp_worst(self) -> float:
+        finite = self.ulp_max[np.isfinite(self.ulp_max)]
+        return float(finite.max()) if finite.size else float("inf")
+
+
+def compare_to_oracle(systems: TridiagonalSystems, x: np.ndarray,
+                      x_oracle: np.ndarray | None = None
+                      ) -> OracleComparison:
+    """Compare a candidate solution against the float64 GEP oracle."""
+    x = np.asarray(x)
+    if x_oracle is None:
+        x_oracle = oracle_solve(systems)
+    finite = np.all(np.isfinite(x), axis=1)
+    rel = np.full(systems.num_systems, np.inf)
+    if finite.any():
+        rel[finite] = relative_residual(systems.take(np.flatnonzero(finite)),
+                                        x[finite])
+    oracle_rel = relative_residual(systems, x_oracle)
+    dtype = x.dtype if x.dtype.kind == "f" else np.float32
+    ulps = ulp_distance(x, x_oracle, dtype=dtype)
+    return OracleComparison(
+        rel_residual=rel,
+        oracle_rel_residual=oracle_rel,
+        ulp_max=ulps.max(axis=1),
+        overflow_fraction=float(1.0 - finite.mean()))

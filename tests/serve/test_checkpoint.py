@@ -123,3 +123,92 @@ def test_header_only_file_resumes_empty(tmp_path, job):
     state = load_checkpoint(str(path), job)
     assert state.chunks == {}
     assert state.after_chunk == -1
+
+
+def test_torn_state_line_falls_back_to_previous_barrier(tmp_path, job):
+    """A kill can tear the *state* line itself; resume must land on the
+    last complete barrier, not the torn one."""
+    path = tmp_path / "job.jsonl"
+    write_chunks(path, job, [0])
+    with open(path, "a") as fh:
+        fh.write('{"type": "chunk", "chunk_id": 1, "status": "ok"}\n'
+                 '{"type": "state", "after_chunk": 1, "now_ms": 2.0')  # torn
+    state = load_checkpoint(str(path), job)
+    assert state.after_chunk == 0
+    assert sorted(state.chunks) == [0]
+
+
+def test_torn_line_truncates_everything_after_it(tmp_path, job):
+    """Parsing stops at the first undecodable line: later lines cannot
+    be trusted to belong to a consistent block, even if they parse."""
+    path = tmp_path / "job.jsonl"
+    xs = write_chunks(path, job, [0])
+    x = xs[0]
+    with open(path, "a") as fh:
+        fh.write('{"type": "chunk", "chunk_id": 3, "x_hex": "de')  # torn
+        fh.write("\n")
+        fh.write(json.dumps({"type": "state", "after_chunk": 3,
+                             "now_ms": 9.0, "device_clocks": {},
+                             "cpu_clock_ms": 0.0, "breakers": {}}) + "\n")
+    state = load_checkpoint(str(path), job)
+    assert state.after_chunk == 0          # the post-tear barrier is ignored
+    assert sorted(state.chunks) == [0]
+
+
+def test_torn_header_is_rejected(tmp_path, job):
+    path = tmp_path / "job.jsonl"
+    path.write_text('{"type": "header", "version": 1, "job_id": "ck')
+    with pytest.raises(CheckpointMismatchError, match="missing header"):
+        load_checkpoint(str(path), job)
+
+
+def test_empty_file_is_rejected(tmp_path, job):
+    path = tmp_path / "job.jsonl"
+    path.write_text("")
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(str(path), job)
+
+
+def test_blank_lines_are_tolerated(tmp_path, job):
+    path = tmp_path / "job.jsonl"
+    write_chunks(path, job, [0])
+    text = path.read_text().replace("\n", "\n\n")
+    path.write_text("\n" + text)
+    state = load_checkpoint(str(path), job)
+    assert sorted(state.chunks) == [0]
+    assert state.after_chunk == 0
+
+
+def test_version_mismatch_is_rejected(tmp_path, job):
+    path = tmp_path / "job.jsonl"
+    write_chunks(path, job, [0])
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 99
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(CheckpointMismatchError, match="version"):
+        load_checkpoint(str(path), job)
+
+
+def test_resume_append_supersedes_earlier_barrier(tmp_path, job):
+    """Reopening with resume=True appends (no second header); the last
+    barrier wins and earlier chunks stay restorable."""
+    path = tmp_path / "job.jsonl"
+    xs = write_chunks(path, job, [0])
+    rng = np.random.default_rng(1)
+    x1 = rng.standard_normal((job.chunk_size, job.systems.n))
+    with CheckpointWriter(str(path), job, resume=True) as w:
+        w.add_chunk(ChunkRecord(chunk_id=1, status="ok", device="gpu0",
+                                start_ms=1.0, end_ms=2.0, modeled_ms=1.0,
+                                digest=digest_array(x1)), x1)
+        w.barrier(1, now_ms=2.0, device_clocks={"gpu0": 2.0},
+                  cpu_clock_ms=0.5, breakers={})
+    headers = [line for line in path.read_text().splitlines()
+               if '"type": "header"' in line]
+    assert len(headers) == 1
+    state = load_checkpoint(str(path), job)
+    assert state.after_chunk == 1
+    assert sorted(state.chunks) == [0, 1]
+    assert np.array_equal(state.chunks[0][1], xs[0])
+    assert np.array_equal(state.chunks[1][1], x1)
+    assert state.cpu_clock_ms == 0.5

@@ -1,0 +1,65 @@
+"""The §5.4 budget taxonomy: who carries a contract where."""
+
+import pytest
+
+from repro.verify.budgets import (PIVOTING_FAMILY, RD_FAMILY, budget_for,
+                                  budget_table)
+from repro.verify.generators import DOMINANT_CLASSES, VERIFY_CLASSES
+
+pytestmark = pytest.mark.verify
+
+ALL_SOLVERS = ("thomas", "gep", "qr", "twoway", "cr", "pcr", "rd",
+               "cr_pcr", "cr_rd", "pcr_pingpong", "cr_split", "cr_global",
+               "rd_full")
+
+
+@pytest.mark.parametrize("solver", sorted(PIVOTING_FAMILY))
+@pytest.mark.parametrize("klass", sorted(VERIFY_CLASSES))
+def test_pivoting_solvers_are_under_contract_everywhere(solver, klass):
+    b = budget_for(solver, klass)
+    assert b.enforced
+    assert not b.allow_overflow
+
+
+def test_near_singular_budget_is_looser_for_pivoting():
+    easy = budget_for("gep", "diagonally_dominant")
+    hard = budget_for("gep", "near_singular")
+    assert hard.rel_residual > easy.rel_residual
+
+
+@pytest.mark.parametrize("solver", sorted(RD_FAMILY))
+def test_rd_family_contract_is_close_values_only(solver):
+    for klass in VERIFY_CLASSES:
+        b = budget_for(solver, klass)
+        if klass == "close_values":
+            assert b.enforced, "RD is accurate on close values (§5.4)"
+        else:
+            assert not b.enforced
+            assert b.allow_overflow, \
+                "RD may overflow off the close-values class (Fig 18)"
+
+
+@pytest.mark.parametrize("solver", ["thomas", "twoway", "cr", "pcr",
+                                    "cr_pcr", "cr_split", "cr_global",
+                                    "pcr_pingpong"])
+def test_stable_elimination_contract_is_dominant_only(solver):
+    for klass in VERIFY_CLASSES:
+        b = budget_for(solver, klass)
+        assert b.enforced == (klass in DOMINANT_CLASSES)
+
+
+def test_unknown_class_raises():
+    with pytest.raises(ValueError):
+        budget_for("cr", "bogus")
+
+
+def test_budget_table_covers_the_full_grid():
+    table = budget_table(ALL_SOLVERS)
+    assert len(table) == len(ALL_SOLVERS) * len(VERIFY_CLASSES)
+    assert all(hasattr(b, "rel_residual") for b in table.values())
+
+
+def test_budget_serializes():
+    d = budget_for("rd", "diagonally_dominant").to_dict()
+    assert d == {"rel_residual": None, "max_ulps": None,
+                 "allow_overflow": True}

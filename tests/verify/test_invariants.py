@@ -1,0 +1,69 @@
+"""Invariant checker: analytic expectations vs recorded traces."""
+
+import math
+
+import pytest
+
+from repro.verify import check_invariants, expected_counters
+from repro.verify.invariants import (CHECKED_COUNTERS, INVARIANT_KERNELS,
+                                     InvariantMismatch, InvariantReport)
+
+pytestmark = pytest.mark.verify
+
+
+def test_small_sizes_have_zero_mismatches():
+    report = check_invariants(sizes=(8, 32), kernels=INVARIANT_KERNELS)
+    assert report.ok, report.summary()
+    assert report.checked == 2 * len(INVARIANT_KERNELS)
+
+
+def test_flagship_size_cr_matches_trace():
+    report = check_invariants(sizes=(512,), kernels=("cr",))
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_cr_closed_forms(n):
+    L = int(math.log2(n))
+    e = expected_counters("cr", n)
+    assert e["steps"] == 2 * L - 1
+    assert e["syncs"] == 2 * L
+    assert e["shared_words"] == 28 * n - 38
+
+
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_pcr_closed_forms(n):
+    L = int(math.log2(n))
+    e = expected_counters("pcr", n)
+    assert e["steps"] == L
+    assert e["syncs"] == 2 * L
+
+
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_rd_closed_forms(n):
+    L = int(math.log2(n))
+    e = expected_counters("rd", n)
+    assert e["steps"] == L + 2
+    assert e["syncs"] == 2 * L + 3
+
+
+def test_cr_global_transactions_at_flagship_size():
+    # 512-unknown CR moves 5 coalesced arrays in and 1 out:
+    # ceil-per-16 segments over 512-long rows -> 160 transactions.
+    assert expected_counters("cr", 512)["global_transactions"] == 160
+
+
+def test_expected_counters_cover_the_checked_set():
+    e = expected_counters("cr_pcr", 64)
+    for counter in CHECKED_COUNTERS:
+        assert counter in e
+    assert isinstance(e["forward_step_shared_cycles"], list)
+
+
+def test_mismatch_reporting_shape():
+    report = InvariantReport(checked=1, mismatches=[
+        InvariantMismatch("cr", 64, "syncs", 12, 13)])
+    assert not report.ok
+    assert "MISMATCH" in report.summary()
+    doc = report.to_dict()
+    assert doc["ok"] is False and len(doc["mismatches"]) == 1

@@ -1,0 +1,61 @@
+"""Oracle solve, ULP metric, and the comparison container."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.verify.oracle import (compare_to_oracle, oracle_solve,
+                                 ulp_distance)
+
+pytestmark = pytest.mark.verify
+
+
+def test_oracle_is_float64_and_accurate():
+    s = diagonally_dominant_fluid(4, 64, seed=0)
+    x = oracle_solve(s)
+    assert x.dtype == np.float64
+    assert s.astype(np.float64).residual(x).max() < 1e-12
+
+
+def test_ulp_distance_identity_and_neighbours():
+    x = np.array([1.0, -2.5, 0.0, 3e7], dtype=np.float32)
+    assert ulp_distance(x, x).max() == 0
+    up = np.nextafter(x, np.float32(np.inf), dtype=np.float32)
+    assert np.all(ulp_distance(x, up) == 1)
+
+
+def test_ulp_distance_across_zero():
+    tiny = np.float32(1e-45)        # smallest subnormal
+    d = ulp_distance(np.array([-tiny]), np.array([tiny]))
+    assert d[0] == 2                # -den, (+/-)0, +den
+
+
+def test_ulp_distance_signed_zeros_coincide():
+    d = ulp_distance(np.array([-0.0], dtype=np.float32),
+                     np.array([0.0], dtype=np.float32))
+    assert d[0] == 0
+
+
+def test_ulp_distance_nonfinite_is_inf():
+    d = ulp_distance(np.array([np.nan, 1.0, np.inf], dtype=np.float32),
+                     np.array([1.0, 1.0, 1.0], dtype=np.float32))
+    assert np.isinf(d[0]) and d[1] == 0 and np.isinf(d[2])
+
+
+def test_compare_to_oracle_flags_overflowed_systems():
+    s = diagonally_dominant_fluid(4, 16, seed=1)
+    x = oracle_solve(s).astype(np.float32)
+    x[2] = np.inf
+    cmp_ = compare_to_oracle(s, x)
+    assert cmp_.overflow_fraction == pytest.approx(0.25)
+    assert np.isinf(cmp_.rel_residual[2])
+    finite = np.isfinite(cmp_.rel_residual)
+    assert cmp_.rel_residual[finite].max() < 1e-5
+    assert cmp_.rel_residual_max < 1e-5   # property skips the inf row
+
+
+def test_compare_to_oracle_accepts_precomputed_reference():
+    s = diagonally_dominant_fluid(2, 16, seed=2)
+    ref = oracle_solve(s)
+    cmp_ = compare_to_oracle(s, ref.astype(np.float32), ref)
+    assert cmp_.ulp_worst <= 1
