@@ -42,14 +42,11 @@ from repro.telemetry import callbacks as _cb
 from . import faults as _faults
 from .counters import CounterLedger, PhaseCounters
 from .device import DeviceSpec
-from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
-                     bank_conflict_cycles, coalesced_transactions)
+from .memory import (GlobalArray, KernelError, SharedArray,
+                     SharedMemorySpace, bank_conflict_cycles,
+                     coalesced_transactions)
 from .warp import (divergence_penalty_warps, is_contiguous_range,
                    warps_touched)
-
-
-class KernelError(RuntimeError):
-    """Raised for kernel programming errors (bad indices, bad active set)."""
 
 
 class StopKernel(Exception):
@@ -81,12 +78,20 @@ class BlockContext:
         violation usually signals an indexing bug.  Set False to
         simulate divergent kernels (the cost model then charges extra
         warp issues).
+    record_trace:
+        When False, the functional float32 path runs unchanged (all
+        validation included) but no counters or costs are recorded and
+        the conflict/coalescing arithmetic is skipped entirely.  The
+        trace cache (:mod:`~repro.gpusim.tracecache`) uses this on a
+        hit: the architectural trace is a pure function of the launch
+        signature, so a memoized ledger replaces the recording pass.
     """
 
     def __init__(self, device: DeviceSpec, num_blocks: int,
                  threads_per_block: int, dtype=np.float32,
                  check_contiguous_active: bool = True,
-                 step_limit: int | None = None):
+                 step_limit: int | None = None,
+                 record_trace: bool = True):
         if threads_per_block > device.max_threads_per_block:
             raise KernelError(
                 f"block of {threads_per_block} threads exceeds device limit "
@@ -101,6 +106,7 @@ class BlockContext:
                                               dtype=self.dtype)
         self.ledger = CounterLedger()
         self.check_contiguous_active = check_contiguous_active
+        self.record_trace = record_trace
         self._phase_name = "main"
         self._lanes = np.arange(self.threads_per_block, dtype=np.int64)
         self._in_step = False
@@ -143,10 +149,14 @@ class BlockContext:
                     "active threads contiguous to avoid divergence (see §4). "
                     "Pass check_contiguous_active=False to allow this.")
             self._lanes = lanes
+            if self.record_trace:
+                pc = self._pc()
+                pc.warp_instructions += divergence_penalty_warps(
+                    lanes, self.device)
+        if self.record_trace:
             pc = self._pc()
-            pc.warp_instructions += divergence_penalty_warps(lanes, self.device)
-        pc = self._pc()
-        pc.max_active_threads = max(pc.max_active_threads, self._lanes.size)
+            pc.max_active_threads = max(pc.max_active_threads,
+                                        self._lanes.size)
         return self._lanes
 
     # ------------------------------------------------------------------
@@ -178,6 +188,18 @@ class BlockContext:
         if self._in_step:
             raise KernelError("steps do not nest")
         self._in_step = True
+        if not self.record_trace:
+            # Functional pass only: keep nesting and step-limit
+            # semantics, skip the snapshot/record/emit machinery.
+            try:
+                yield
+            finally:
+                self._in_step = False
+            self._steps_executed += 1
+            if (self.step_limit is not None
+                    and self._steps_executed >= self.step_limit):
+                raise StopKernel(self._steps_executed)
+            return
         before = replace(self._pc())
         index = len(self.ledger.steps_in_phase(self._phase_name))
         try:
@@ -207,7 +229,8 @@ class BlockContext:
         atomically).  Under an active fault plan, a barrier is also a
         shared-memory upset opportunity (silent: GT200 shared memory
         has no ECC)."""
-        self._pc().syncs += 1
+        if self.record_trace:
+            self._pc().syncs += 1
         plan = _faults.active_plan()
         if plan is not None:
             plan.maybe_flip_shared(self.shared_space)
@@ -232,6 +255,8 @@ class BlockContext:
             raise KernelError(
                 f"shared access out of bounds: [{idx.min()}, {idx.max()}] "
                 f"in array of {arr.words} words")
+        if not self.record_trace:
+            return
         cycles, half_warps = bank_conflict_cycles(
             arr.word_addrs(idx), self.device, lane_ids=self._lanes)
         pc = self._pc()
@@ -288,8 +313,14 @@ class BlockContext:
     # ------------------------------------------------------------------
 
     def _charge_global(self, idx: np.ndarray) -> None:
+        if not self.record_trace:
+            return
         pc = self._pc()
-        transactions = coalesced_transactions(idx, self.device)
+        # Half-warps are partitioned by lane id, exactly as the shared
+        # path does: with a strided active-lane subset, grouping by
+        # array position would undercount transactions.
+        transactions = coalesced_transactions(idx, self.device,
+                                              lane_ids=self._lanes)
         pc.global_words += idx.size
         pc.global_transactions += transactions
         # Exposed DRAM latency, analogous to the shared-memory term:
@@ -297,7 +328,10 @@ class BlockContext:
         # warps are in flight.
         w = max(1, warps_touched(self._lanes, self.device))
         sat = self.device.latency_hiding_warps
-        per_halfwarp = transactions / max(1, self.device.half_warps(idx.size))
+        g = self.device.conflict_granularity
+        half_warps = (int(np.unique(self._lanes // g).size)
+                      if self._lanes.size else 0)
+        per_halfwarp = transactions / max(1, half_warps)
         pc.global_latency_units += per_halfwarp * max(0.0, 1.0 / w - 1.0 / sat)
 
     def gload(self, arr: GlobalArray, block_bases: np.ndarray,
@@ -344,6 +378,8 @@ class BlockContext:
         """
         if total < 0 or divs < 0 or divs > total:
             raise KernelError("invalid op counts")
+        if not self.record_trace:
+            return
         n_active = self.active_count
         inst = total if instructions is None else instructions
         pc = self._pc()

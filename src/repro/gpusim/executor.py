@@ -17,6 +17,7 @@ from repro.telemetry import callbacks as _cb
 from repro.telemetry import collector as _telemetry
 
 from . import faults as _faults
+from . import tracecache as _tracecache
 from .context import BlockContext, StopKernel
 from .counters import CounterLedger
 from .device import DeviceSpec, GTX280
@@ -39,6 +40,10 @@ class LaunchResult:
         Static shared-memory footprint per block, as allocated.
     device:
         The device the launch was simulated on.
+    trace_cached:
+        True when ``ledger`` was replayed from the trace cache instead
+        of being recorded by this launch (bitwise-identical either
+        way; see :mod:`~repro.gpusim.tracecache`).
     """
 
     outputs: Any
@@ -47,6 +52,7 @@ class LaunchResult:
     threads_per_block: int
     shared_bytes: int
     device: DeviceSpec
+    trace_cached: bool = False
 
     @property
     def blocks_per_sm(self) -> int:
@@ -114,9 +120,30 @@ def _launch_once(kernel, kernel_name, num_blocks, threads_per_block, device,
                  dtype, check_contiguous_active, step_limit, plan,
                  kernel_args) -> LaunchResult:
     """One successful launch attempt (the pre-fault-injection body)."""
+    cache = _tracecache.get_cache()
+    key = None
+    cached_ledger = None
+    if cache is not None:
+        if plan is not None or step_limit is not None:
+            # Injected faults perturb the run; differential timing
+            # must re-trace its truncated schedule.  Both re-record.
+            cache.record_bypass(kernel_name,
+                                reason=("fault_plan" if plan is not None
+                                        else "step_limit"))
+        else:
+            key = _tracecache.launch_signature(
+                kernel, num_blocks=num_blocks,
+                threads_per_block=threads_per_block, device=device,
+                dtype=dtype, check_contiguous_active=check_contiguous_active,
+                kernel_args=kernel_args)
+            if key is None:
+                cache.record_bypass(kernel_name)
+            else:
+                cached_ledger = cache.lookup(key, kernel=kernel_name)
     ctx = BlockContext(device, num_blocks, threads_per_block, dtype=dtype,
                        check_contiguous_active=check_contiguous_active,
-                       step_limit=step_limit)
+                       step_limit=step_limit,
+                       record_trace=cached_ledger is None)
     _cb.emit(_cb.DOMAIN_LAUNCH, _cb.SITE_BEGIN, kernel=kernel_name,
              num_blocks=num_blocks, threads_per_block=threads_per_block,
              device=device.name)
@@ -126,13 +153,16 @@ def _launch_once(kernel, kernel_name, num_blocks, threads_per_block, device,
             outputs = kernel(ctx, **kernel_args)
         except StopKernel:
             outputs = None
+        if key is not None and cached_ledger is None:
+            cache.store(key, ctx.ledger, kernel=kernel_name)
         result = LaunchResult(
             outputs=outputs,
-            ledger=ctx.ledger,
+            ledger=ctx.ledger if cached_ledger is None else cached_ledger,
             num_blocks=num_blocks,
             threads_per_block=threads_per_block,
             shared_bytes=ctx.shared_space.bytes_allocated,
             device=device,
+            trace_cached=cached_ledger is not None,
         )
         if plan is not None:
             detected = plan.corrupt_global_arrays(

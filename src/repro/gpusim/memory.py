@@ -13,6 +13,22 @@ each half-warp's addresses are binned into aligned 64-byte segments;
 one transaction is issued per touched segment.  A fully contiguous,
 aligned half-warp access therefore costs one transaction, a stride-16
 access costs 16.
+
+The cost functions here are the hot path of every simulated access
+instruction, so they are implemented as pure numpy (no Python loops):
+addresses are sorted by ``(half_warp, bank, address)`` with one
+:func:`numpy.lexsort`, run boundaries in the sorted order mark new
+``(half_warp, bank)`` pairs and new distinct words, and segmented
+reductions (:func:`numpy.add.reduceat` / :func:`numpy.maximum.reduceat`)
+fold them into per-pair distinct-word counts and per-half-warp worst
+banks.  The original loop implementations are retained as
+``_reference_*`` oracles and property-tested against the vectorized
+versions (``tests/gpusim/test_vectorized_memory.py``).
+
+In both implementations lanes are partitioned the way the hardware
+does it -- by ``lane_id // granularity``, never by array position --
+and addresses are first put in lane-id order, so an unordered
+``lane_ids`` vector cannot split one half-warp into several groups.
 """
 
 from __future__ import annotations
@@ -22,25 +38,72 @@ import numpy as np
 from .device import DeviceSpec
 
 
+class KernelError(RuntimeError):
+    """Raised for kernel programming errors (bad indices, bad active set)."""
+
+
+def _lane_order(addrs: np.ndarray, lane_ids: np.ndarray | None,
+                device: DeviceSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(addrs, groups)`` with addresses in lane-id order.
+
+    ``groups[i]`` is the half-warp id (``lane // granularity``) of the
+    address at ``addrs[i]``.  When ``lane_ids`` is None the addresses
+    are assumed to belong to lanes ``0..k-1``.  Unordered lane ids are
+    sorted (stably, together with their addresses) so grouping always
+    follows the hardware partition regardless of arrival order.
+    """
+    g = device.conflict_granularity
+    if lane_ids is None:
+        return addrs, np.arange(addrs.size, dtype=np.int64) // g
+    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
+    if lanes.size != addrs.size:
+        raise ValueError(
+            f"lane_ids has {lanes.size} entries for {addrs.size} addresses")
+    if lanes.size > 1 and np.any(np.diff(lanes) < 0):
+        order = np.argsort(lanes, kind="stable")
+        addrs = addrs[order]
+        lanes = lanes[order]
+    return addrs, lanes // g
+
+
 def _half_warp_groups(addrs: np.ndarray, device: DeviceSpec,
                       lane_ids: np.ndarray | None):
-    """Yield per-half-warp address groups.
+    """Yield per-half-warp address groups (reference implementation).
 
     Grouping follows the hardware: lanes are partitioned by
     ``lane_id // granularity``.  When ``lane_ids`` is None the addresses
     are assumed to belong to lanes ``0..k-1``.
     """
-    g = device.conflict_granularity
+    addrs, groups = _lane_order(addrs, lane_ids, device)
     if lane_ids is None:
+        g = device.conflict_granularity
         for start in range(0, addrs.size, g):
             yield addrs[start:start + g]
         return
-    lanes = np.asarray(lane_ids, dtype=np.int64).ravel()
-    groups = lanes // g
-    # Lanes arrive ordered, so groups are contiguous runs.
     boundaries = np.flatnonzero(np.diff(groups)) + 1
-    for chunk in np.split(addrs, boundaries):
-        yield chunk
+    yield from np.split(addrs, boundaries)
+
+
+def _pair_runs(addrs: np.ndarray, groups: np.ndarray, nbanks: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct-word counts per (half-warp, bank) pair, in sorted order.
+
+    Returns ``(per_pair, pair_groups)`` where ``per_pair[j]`` is the
+    number of distinct words pair ``j`` holds and ``pair_groups[j]``
+    its half-warp id, ordered by (half-warp, bank).
+    """
+    banks = addrs % nbanks
+    order = np.lexsort((addrs, banks, groups))
+    ga, ba, aa = groups[order], banks[order], addrs[order]
+    new_pair = np.empty(aa.size, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (ga[1:] != ga[:-1]) | (ba[1:] != ba[:-1])
+    distinct = np.empty(aa.size, dtype=bool)
+    distinct[0] = True
+    distinct[1:] = new_pair[1:] | (aa[1:] != aa[:-1])
+    pair_starts = np.flatnonzero(new_pair)
+    per_pair = np.add.reduceat(distinct.astype(np.int64), pair_starts)
+    return per_pair, ga[pair_starts]
 
 
 def bank_conflict_cycles(word_addrs: np.ndarray, device: DeviceSpec,
@@ -52,7 +115,7 @@ def bank_conflict_cycles(word_addrs: np.ndarray, device: DeviceSpec,
     ----------
     word_addrs:
         1-D integer array of 32-bit word addresses, one per *active*
-        lane, ordered by lane id.
+        lane, in the same order as ``lane_ids``.
     device:
         Supplies bank count and conflict granularity.
     lane_ids:
@@ -69,7 +132,66 @@ def bank_conflict_cycles(word_addrs: np.ndarray, device: DeviceSpec,
         ``half_warps`` is the number of half-warp groups touched (the
         conflict-free cost).
     """
-    addrs = np.asarray(word_addrs).ravel()
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
+    if addrs.size == 0:
+        return 0, 0
+    addrs, groups = _lane_order(addrs, lane_ids, device)
+    per_pair, pair_groups = _pair_runs(addrs, groups,
+                                       device.shared_mem_banks)
+    new_group = np.empty(pair_groups.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = pair_groups[1:] != pair_groups[:-1]
+    group_starts = np.flatnonzero(new_group)
+    worst = np.maximum.reduceat(per_pair, group_starts)
+    return int(worst.sum()), int(group_starts.size)
+
+
+def max_conflict_degree(word_addrs: np.ndarray, device: DeviceSpec,
+                        lane_ids: np.ndarray | None = None) -> int:
+    """Worst-case n-way conflict degree across half-warps of one access."""
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
+    if addrs.size == 0:
+        return 0
+    addrs, groups = _lane_order(addrs, lane_ids, device)
+    per_pair, _ = _pair_runs(addrs, groups, device.shared_mem_banks)
+    return int(per_pair.max())
+
+
+def coalesced_transactions(word_addrs: np.ndarray, device: DeviceSpec,
+                           lane_ids: np.ndarray | None = None) -> int:
+    """Number of global-memory transactions for one access instruction.
+
+    Half-warp granularity, aligned segments of
+    ``device.coalesce_segment_bytes`` (64 B = 16 words on GT200): one
+    transaction per distinct ``(half_warp, segment)`` pair.  As in
+    :func:`bank_conflict_cycles`, ``lane_ids`` partitions the accesses
+    into half-warps by lane id; the default is lanes ``0..k-1``.
+    """
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
+    if addrs.size == 0:
+        return 0
+    addrs, groups = _lane_order(addrs, lane_ids, device)
+    words_per_seg = device.coalesce_segment_bytes // device.bank_width_bytes
+    segs = addrs // words_per_seg
+    order = np.lexsort((segs, groups))
+    gs, ss = groups[order], segs[order]
+    if gs.size == 1:
+        return 1
+    return 1 + int(np.count_nonzero((gs[1:] != gs[:-1])
+                                    | (ss[1:] != ss[:-1])))
+
+
+# ----------------------------------------------------------------------
+# Reference oracles: the original loop implementations, retained for
+# property testing the vectorized versions above (and nothing else).
+# ----------------------------------------------------------------------
+
+def _reference_bank_conflict_cycles(word_addrs: np.ndarray,
+                                    device: DeviceSpec,
+                                    lane_ids: np.ndarray | None = None
+                                    ) -> tuple[int, int]:
+    """Loop-based oracle for :func:`bank_conflict_cycles`."""
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
     if addrs.size == 0:
         return 0, 0
     nbanks = device.shared_mem_banks
@@ -87,10 +209,11 @@ def bank_conflict_cycles(word_addrs: np.ndarray, device: DeviceSpec,
     return cycles, half_warps
 
 
-def max_conflict_degree(word_addrs: np.ndarray, device: DeviceSpec,
-                        lane_ids: np.ndarray | None = None) -> int:
-    """Worst-case n-way conflict degree across half-warps of one access."""
-    addrs = np.asarray(word_addrs).ravel()
+def _reference_max_conflict_degree(word_addrs: np.ndarray,
+                                   device: DeviceSpec,
+                                   lane_ids: np.ndarray | None = None) -> int:
+    """Loop-based oracle for :func:`max_conflict_degree`."""
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
     if addrs.size == 0:
         return 0
     nbanks = device.shared_mem_banks
@@ -104,20 +227,17 @@ def max_conflict_degree(word_addrs: np.ndarray, device: DeviceSpec,
     return int(worst_overall)
 
 
-def coalesced_transactions(word_addrs: np.ndarray, device: DeviceSpec) -> int:
-    """Number of global-memory transactions for one access instruction.
-
-    Half-warp granularity, aligned segments of
-    ``device.coalesce_segment_bytes`` (64 B = 16 words on GT200).
-    """
-    addrs = np.asarray(word_addrs).ravel()
+def _reference_coalesced_transactions(word_addrs: np.ndarray,
+                                      device: DeviceSpec,
+                                      lane_ids: np.ndarray | None = None
+                                      ) -> int:
+    """Loop-based oracle for :func:`coalesced_transactions`."""
+    addrs = np.asarray(word_addrs, dtype=np.int64).ravel()
     if addrs.size == 0:
         return 0
-    g = device.conflict_granularity
     words_per_seg = device.coalesce_segment_bytes // device.bank_width_bytes
     transactions = 0
-    for start in range(0, addrs.size, g):
-        group = addrs[start:start + g]
+    for group in _half_warp_groups(addrs, device, lane_ids):
         transactions += int(np.unique(group // words_per_seg).size)
     return transactions
 
@@ -171,6 +291,11 @@ class SharedArray:
     and return / accept ``(num_blocks, len(idx))`` value arrays.
     Cost accounting is done by the :class:`~repro.gpusim.context.BlockContext`,
     which calls :func:`bank_conflict_cycles` on ``base + idx``.
+
+    Accesses are bounds-checked: hardware has no index wraparound, so a
+    negative index (an ``i-1`` at ``i=0``) or one past the allocation
+    raises :class:`KernelError` instead of silently hitting numpy's
+    wrapped/tail elements.
     """
 
     def __init__(self, space: SharedMemorySpace, data: np.ndarray, base: int):
@@ -186,13 +311,21 @@ class SharedArray:
         """Absolute word addresses for bank accounting."""
         return self.base + np.asarray(idx, dtype=np.int64)
 
+    def _checked(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.words):
+            raise KernelError(
+                f"shared access out of bounds: indices span "
+                f"[{idx.min()}, {idx.max()}] in array of {self.words} words")
+        return idx
+
     def gather(self, idx: np.ndarray) -> np.ndarray:
         """Read ``data[:, idx]`` (no cost accounting here)."""
-        return self.data[:, np.asarray(idx, dtype=np.int64)]
+        return self.data[:, self._checked(idx)]
 
     def scatter(self, idx: np.ndarray, values: np.ndarray) -> None:
         """Write ``values`` to ``data[:, idx]`` (no cost accounting here)."""
-        self.data[:, np.asarray(idx, dtype=np.int64)] = values
+        self.data[:, self._checked(idx)] = values
 
 
 class GlobalArray:
@@ -203,6 +336,10 @@ class GlobalArray:
     with per-lane word indices offset by ``block_id * system_stride``.
     For simulation efficiency the batched accessors take the per-block
     base offsets as a vector.
+
+    As with :class:`SharedArray`, flat addresses outside ``[0, words)``
+    raise :class:`KernelError` -- numpy's negative-index wraparound
+    would otherwise make an off-by-one read the array tail.
     """
 
     def __init__(self, words: int, dtype=np.float32):
@@ -218,14 +355,26 @@ class GlobalArray:
     def words(self) -> int:
         return self.data.size
 
-    def gather(self, block_bases: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Read ``data[base_b + idx_l]`` for every block b, lane l."""
+    def trace_signature(self) -> tuple:
+        """Structural identity for trace memoization: the address-space
+        shape, never the data values (the architectural trace is
+        data-independent)."""
+        return ("global_array", self.data.size, str(self.data.dtype))
+
+    def _flat(self, block_bases: np.ndarray, idx: np.ndarray) -> np.ndarray:
         flat = (np.asarray(block_bases, dtype=np.int64)[:, None]
                 + np.asarray(idx, dtype=np.int64)[None, :])
-        return self.data[flat]
+        if flat.size and (flat.min() < 0 or flat.max() >= self.data.size):
+            raise KernelError(
+                f"global access out of bounds: flat addresses span "
+                f"[{flat.min()}, {flat.max()}] in array of "
+                f"{self.data.size} words")
+        return flat
+
+    def gather(self, block_bases: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Read ``data[base_b + idx_l]`` for every block b, lane l."""
+        return self.data[self._flat(block_bases, idx)]
 
     def scatter(self, block_bases: np.ndarray, idx: np.ndarray,
                 values: np.ndarray) -> None:
-        flat = (np.asarray(block_bases, dtype=np.int64)[:, None]
-                + np.asarray(idx, dtype=np.int64)[None, :])
-        self.data[flat] = values
+        self.data[self._flat(block_bases, idx)] = values

@@ -1,0 +1,222 @@
+"""Launch-signature memoization of the architectural trace.
+
+The :class:`~repro.gpusim.counters.CounterLedger` a launch records is a
+pure function of the *launch signature* -- kernel identity, structural
+argument shapes, grid/block geometry, device spec, dtype and the
+contiguity-check flag -- never of the data values flowing through the
+solver (the paper's kernels have data-independent schedules; the
+differential harness checks that assumption separately).  Repeat-launch
+workloads (the verify grid, serve throughput runs) therefore recompute
+an identical trace on every launch.  This module memoizes it:
+
+* :func:`launch_signature` derives a hashable cache key, or ``None``
+  when the launch is not safely memoizable (closure kernels, opaque
+  arguments).
+* :class:`TraceCache` maps signatures to deep-copied ledgers and keeps
+  hit/miss/bypass statistics, exported as ``gpusim.trace_cache.*``
+  telemetry counters when a collector is active.
+* The executor consults :func:`get_cache`.  On a hit the kernel still
+  runs functionally (real float32 outputs) but with
+  ``record_trace=False``; a deep copy of the cached ledger is attached
+  to the :class:`~repro.gpusim.executor.LaunchResult`.
+
+Bypass rule: the cache is skipped entirely whenever a
+:class:`~repro.gpusim.faults.FaultPlan` is active (injected faults
+perturb both execution and counters) or ``step_limit`` is set (the
+differential-timing probe must re-trace its truncated run), and for
+kernels or arguments without a stable structural identity.
+
+A process-wide default cache is enabled by default; set the
+environment variable ``REPRO_TRACE_CACHE=0`` to disable it, or scope a
+specific cache (e.g. a :class:`~repro.gpusim.pool.DevicePool`'s shared
+one) with :func:`use_cache`.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any
+
+import numpy as np
+
+from .counters import CounterLedger
+from .device import DeviceSpec
+
+#: Environment flag controlling the process-wide default cache.
+ENV_FLAG = "REPRO_TRACE_CACHE"
+
+#: Sentinel for "no stable structural identity" (forces a bypass).
+_OPAQUE = object()
+
+_HELP = {
+    "hits": "trace-cache hits (memoized ledger reused)",
+    "misses": "trace-cache misses (trace recorded and stored)",
+    "bypasses": "launches that skipped the trace cache",
+}
+
+
+def _count(event: str, kernel: str, **labels: str) -> None:
+    from repro.telemetry import collector as _telemetry
+    col = _telemetry.get_collector()
+    if col is None:
+        return
+    col.metrics.counter(f"gpusim.trace_cache.{event}",
+                        _HELP[event]).inc(kernel=kernel, **labels)
+
+
+def _token(value: Any) -> Any:
+    """Hashable signature token for one kernel argument.
+
+    Scalars pass through; objects may opt in via a ``trace_signature()``
+    method returning a hashable structural identity (shapes, never data
+    values).  Anything else is :data:`_OPAQUE` and forces a bypass.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return ("atom", value)
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return ("atom", value.item())
+    if isinstance(value, np.dtype):
+        return ("atom", str(value))
+    sig = getattr(value, "trace_signature", None)
+    if callable(sig):
+        return ("sig", sig())
+    if isinstance(value, (tuple, list)):
+        toks = tuple(_token(v) for v in value)
+        if any(t is _OPAQUE for t in toks):
+            return _OPAQUE
+        return ("seq", toks)
+    return _OPAQUE
+
+
+def launch_signature(kernel, *, num_blocks: int, threads_per_block: int,
+                     device: DeviceSpec, dtype, check_contiguous_active: bool,
+                     kernel_args: dict) -> tuple | None:
+    """Cache key for one launch, or ``None`` when not memoizable.
+
+    Kernel identity is ``module.qualname``; closures and ``<locals>``
+    functions are refused because two definitions with the same
+    qualname can capture different behaviour.  Arguments are tokenized
+    with :func:`_token` in sorted name order.
+    """
+    qualname = getattr(kernel, "__qualname__", None)
+    module = getattr(kernel, "__module__", None)
+    if not qualname or not module or "<locals>" in qualname:
+        return None
+    if getattr(kernel, "__closure__", None):
+        return None
+    arg_tokens = []
+    for name in sorted(kernel_args):
+        tok = _token(kernel_args[name])
+        if tok is _OPAQUE:
+            return None
+        arg_tokens.append((name, tok))
+    return (f"{module}.{qualname}", int(num_blocks), int(threads_per_block),
+            device, str(np.dtype(dtype)), bool(check_contiguous_active),
+            tuple(arg_tokens))
+
+
+class TraceCache:
+    """Signature -> :class:`CounterLedger` map with usage statistics.
+
+    Ledgers are deep-copied on both store and lookup, so callers can
+    mutate a returned ledger (or the one they stored) without
+    corrupting the cache.  Insertion-order (FIFO) eviction bounds the
+    footprint at ``max_entries``.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: dict[Any, CounterLedger] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key, *, kernel: str = "?") -> CounterLedger | None:
+        """A private copy of the memoized ledger, or ``None`` on miss."""
+        with self._lock:
+            ledger = self._entries.get(key)
+            if ledger is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                ledger = copy.deepcopy(ledger)
+        _count("misses" if ledger is None else "hits", kernel)
+        return ledger
+
+    def store(self, key, ledger: CounterLedger, *, kernel: str = "?") -> None:
+        with self._lock:
+            if (key not in self._entries
+                    and len(self._entries) >= self.max_entries):
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = copy.deepcopy(ledger)
+
+    def record_bypass(self, kernel: str = "?",
+                      reason: str = "opaque_signature") -> None:
+        with self._lock:
+            self.bypasses += 1
+        _count("bypasses", kernel, reason=reason)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over consulted launches (bypasses excluded)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "bypasses": self.bypasses, "entries": len(self._entries),
+                "hit_rate": self.hit_rate}
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.bypasses = 0
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+_process_cache: TraceCache | None = TraceCache() if _env_enabled() else None
+_override: list[TraceCache | None] = []
+
+
+def get_cache() -> TraceCache | None:
+    """The cache the executor should consult right now (``None`` = off)."""
+    if _override:
+        return _override[-1]
+    return _process_cache
+
+
+def default_cache() -> TraceCache | None:
+    """The process-wide default cache (ignores :func:`use_cache` scopes)."""
+    return _process_cache
+
+
+def set_default_cache(cache: TraceCache | None) -> TraceCache | None:
+    """Replace the process-wide default; returns the previous one."""
+    global _process_cache
+    prev = _process_cache
+    _process_cache = cache
+    return prev
+
+
+@contextmanager
+def use_cache(cache: TraceCache | None):
+    """Scope launches to ``cache`` (``None`` disables memoization)."""
+    _override.append(cache)
+    try:
+        yield cache
+    finally:
+        _override.pop()

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.gpusim import faults as _faults
+from repro.gpusim import tracecache as _tracecache
 from repro.gpusim.gt200 import gt200_cost_model
 from repro.gpusim.pool import DevicePool, PooledDevice, derive_seed
 from repro.kernels.api import run_kernel
@@ -146,8 +147,12 @@ class BatchScheduler:
                job.intermediate_size)
         if key not in self._estimate_cache:
             from repro.analysis.timing import modeled_grid_timing
-            t = modeled_grid_timing(job.method, job.systems.n, key[2],
-                                    intermediate_size=job.intermediate_size)
+            # Scoped to the pool's trace cache so estimate launches
+            # never touch (or depend on) process-global cache state --
+            # repeated runs on fresh pools stay telemetry-identical.
+            with _tracecache.use_cache(self.pool.trace_cache):
+                t = modeled_grid_timing(job.method, job.systems.n, key[2],
+                                        intermediate_size=job.intermediate_size)
             self._estimate_cache[key] = t.solver_ms
         return self._estimate_cache[key] * job.num_chunks / len(self.pool)
 
@@ -261,17 +266,21 @@ class BatchScheduler:
             start = max(self._clock[device.name], frontier_ms)
             plan = device.plan_for(job.job_id, chunk_id, attempt)
             try:
-                if plan is not None:
-                    with _faults.inject(plan):
+                # Chunks of one job (and across jobs on the same pool)
+                # share the pool's trace cache; faulted attempts bypass
+                # it inside the executor.
+                with _tracecache.use_cache(self.pool.trace_cache):
+                    if plan is not None:
+                        with _faults.inject(plan):
+                            x, launch = run_kernel(
+                                job.method, sub,
+                                intermediate_size=job.intermediate_size,
+                                device=device.spec)
+                    else:
                         x, launch = run_kernel(
                             job.method, sub,
                             intermediate_size=job.intermediate_size,
                             device=device.spec)
-                else:
-                    x, launch = run_kernel(
-                        job.method, sub,
-                        intermediate_size=job.intermediate_size,
-                        device=device.spec)
             except (_faults.DataCorruptionError,
                     _faults.KernelLaunchError) as exc:
                 kind = ("corruption"

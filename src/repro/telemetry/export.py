@@ -298,6 +298,27 @@ def serve_summary(collector: Collector) -> list[str]:
     return out
 
 
+def trace_cache_summary(collector: Collector) -> list[str]:
+    """Readable lines for the ``gpusim.trace_cache.*`` counters, empty
+    when no launch consulted the trace cache during the session."""
+    from .metrics import Counter
+
+    totals: dict[str, float] = {}
+    for event in ("hits", "misses", "bypasses"):
+        metric = collector.metrics._metrics.get(f"gpusim.trace_cache.{event}")
+        if isinstance(metric, Counter) and metric.series:
+            totals[event] = sum(metric.series.values())
+    if not totals:
+        return []
+    hits = totals.get("hits", 0.0)
+    misses = totals.get("misses", 0.0)
+    bypasses = totals.get("bypasses", 0.0)
+    consulted = hits + misses
+    rate = hits / consulted if consulted else 0.0
+    return [f"trace cache: {hits:g} hits, {misses:g} misses, "
+            f"{bypasses:g} bypasses (hit rate {100.0 * rate:.1f}%)"]
+
+
 def verify_summary(collector: Collector) -> list[str]:
     """Readable lines for the verification metrics, empty when none.
 
@@ -387,6 +408,10 @@ def text_summary(collector: Collector, cost_model=None) -> str:
     if ver:
         out.append("")
         out.extend(ver)
+    tc = trace_cache_summary(collector)
+    if tc:
+        out.append("")
+        out.extend(tc)
     snap = collector.metrics.snapshot()
     for kind in ("counters", "gauges"):
         if snap[kind]:

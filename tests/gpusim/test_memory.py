@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.gpusim.device import GTX280
-from repro.gpusim.memory import (GlobalArray, SharedMemorySpace,
+from repro.gpusim.memory import (GlobalArray, KernelError,
+                                 SharedMemorySpace,
                                  bank_conflict_cycles,
                                  coalesced_transactions,
                                  max_conflict_degree)
@@ -125,3 +126,95 @@ class TestGlobalArray:
         g.scatter(np.array([0, 4]), np.array([0, 1]),
                   np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
         np.testing.assert_array_equal(g.data[[0, 1, 4, 5]], [1, 2, 3, 4])
+
+
+class TestLaneIdRobustness:
+    """The hardware partitions by lane id; arrival order is irrelevant."""
+
+    def test_shuffled_lane_ids_match_sorted(self):
+        """An unordered lane set must not split one half-warp into
+        several groups (the old contiguous-runs assumption)."""
+        rng = np.random.default_rng(5)
+        lanes = np.arange(16)
+        addrs = np.arange(16) * 16          # one bank, 16-way conflict
+        perm = rng.permutation(16)
+        cycles, hw = bank_conflict_cycles(addrs[perm], GTX280,
+                                          lane_ids=lanes[perm])
+        assert (cycles, hw) == bank_conflict_cycles(addrs, GTX280,
+                                                    lane_ids=lanes)
+        assert (cycles, hw) == (16, 1)
+
+    def test_shuffled_lanes_across_half_warps(self):
+        rng = np.random.default_rng(9)
+        lanes = np.arange(32)
+        addrs = lanes * 2                   # 2-way in each half-warp
+        perm = rng.permutation(32)
+        cycles, hw = bank_conflict_cycles(addrs[perm], GTX280,
+                                          lane_ids=lanes[perm])
+        assert (cycles, hw) == (4, 2)
+        assert max_conflict_degree(addrs[perm], GTX280,
+                                   lane_ids=lanes[perm]) == 2
+
+    def test_shuffled_lanes_coalescing(self):
+        lanes = np.arange(32)
+        addrs = lanes.copy()                # contiguous: 1 segment per hw
+        perm = np.random.default_rng(11).permutation(32)
+        assert coalesced_transactions(addrs[perm], GTX280,
+                                      lane_ids=lanes[perm]) == 2
+
+    def test_coalescing_groups_by_lane_id(self):
+        """Stride-2 active set straddling a half-warp boundary: lanes
+        14 and 16 are in different half-warps even though they sit in
+        adjacent array positions, so one shared segment still costs
+        two transactions."""
+        lanes = np.array([14, 16])
+        addrs = np.array([0, 1])            # same 64-byte segment
+        assert coalesced_transactions(addrs, GTX280) == 1
+        assert coalesced_transactions(addrs, GTX280, lane_ids=lanes) == 2
+
+    def test_lane_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bank_conflict_cycles(np.arange(4), GTX280,
+                                 lane_ids=np.arange(3))
+
+
+class TestBoundsChecking:
+    """Hardware has no index wraparound: OOB raises, never wraps."""
+
+    def test_shared_negative_index(self):
+        space = SharedMemorySpace(1, GTX280)
+        arr = space.allocate(8)
+        with pytest.raises(KernelError, match="out of bounds"):
+            arr.gather(np.array([0, -1]))
+        with pytest.raises(KernelError, match="out of bounds"):
+            arr.scatter(np.array([-1]), np.array([[1.0]]))
+
+    def test_shared_past_the_end(self):
+        space = SharedMemorySpace(2, GTX280)
+        arr = space.allocate(8)
+        with pytest.raises(KernelError, match="out of bounds"):
+            arr.gather(np.array([7, 8]))
+        with pytest.raises(KernelError, match="out of bounds"):
+            arr.scatter(np.array([8]), np.zeros((2, 1), dtype=np.float32))
+
+    def test_global_negative_flat_address(self):
+        g = GlobalArray.from_array(np.arange(8, dtype=np.float32))
+        with pytest.raises(KernelError, match="out of bounds"):
+            g.gather(np.array([0]), np.array([-1]))    # i-1 at i=0
+        with pytest.raises(KernelError, match="out of bounds"):
+            g.scatter(np.array([0]), np.array([-1]),
+                      np.array([[1.0]], dtype=np.float32))
+
+    def test_global_past_the_end(self):
+        g = GlobalArray(8)
+        with pytest.raises(KernelError, match="out of bounds"):
+            g.gather(np.array([4]), np.array([3, 4]))
+        with pytest.raises(KernelError, match="out of bounds"):
+            g.scatter(np.array([4]), np.array([4]),
+                      np.array([[1.0]], dtype=np.float32))
+
+    def test_in_bounds_unchanged(self):
+        g = GlobalArray.from_array(np.arange(8, dtype=np.float32))
+        np.testing.assert_array_equal(
+            g.gather(np.array([0, 4]), np.array([0, 3])),
+            [[0, 3], [4, 7]])

@@ -1,0 +1,276 @@
+"""Launch-signature trace memoization: correctness and bypass rules."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.gpusim import (FaultPlan, TraceCache, inject, launch,
+                          ledgers_equal, tracecache, use_cache)
+from repro.gpusim.device import GTX280, TESLA_C1060
+from repro.kernels.api import run_kernel
+from repro.numerics.generators import diagonally_dominant_fluid
+from repro.verify.invariants import check_invariants
+from tests.conftest import make_systems
+
+
+def sample_kernel(ctx, n):
+    arr = ctx.shared(n)
+    with ctx.phase("work"):
+        ctx.set_active(n)
+        with ctx.step():
+            i = ctx.lanes
+            ctx.sstore(arr, i, np.ones((ctx.num_blocks, n),
+                                       dtype=np.float32))
+            v = ctx.sload(arr, i)
+            ctx.ops(2)
+            ctx.sync()
+    return v
+
+
+def echo_kernel(ctx, n):
+    """Same shape as sample_kernel but a different identity."""
+    arr = ctx.shared(n)
+    with ctx.phase("work"):
+        ctx.set_active(n)
+        with ctx.step():
+            ctx.sstore(arr, ctx.lanes,
+                       np.zeros((ctx.num_blocks, n), dtype=np.float32))
+            ctx.sync()
+
+
+class TestSignature:
+    def kw(self, **over):
+        kw = dict(num_blocks=2, threads_per_block=32, device=GTX280,
+                  dtype=np.float32, check_contiguous_active=True,
+                  kernel_args={"n": 32})
+        kw.update(over)
+        return kw
+
+    def test_identical_launches_share_a_key(self):
+        assert tracecache.launch_signature(sample_kernel, **self.kw()) == \
+            tracecache.launch_signature(sample_kernel, **self.kw())
+
+    def test_every_dimension_discriminates(self):
+        base = tracecache.launch_signature(sample_kernel, **self.kw())
+        for over in (dict(num_blocks=3), dict(threads_per_block=64),
+                     dict(device=TESLA_C1060), dict(dtype=np.float64),
+                     dict(check_contiguous_active=False),
+                     dict(kernel_args={"n": 16})):
+            assert tracecache.launch_signature(
+                sample_kernel, **self.kw(**over)) != base
+
+    def test_kernel_identity_discriminates(self):
+        assert tracecache.launch_signature(echo_kernel, **self.kw()) != \
+            tracecache.launch_signature(sample_kernel, **self.kw())
+
+    def test_closure_kernels_are_opaque(self):
+        captured = 3
+
+        def closure_kernel(ctx):
+            ctx.ops(captured)
+
+        assert tracecache.launch_signature(
+            closure_kernel, **self.kw(kernel_args={})) is None
+
+    def test_opaque_argument_is_refused(self):
+        assert tracecache.launch_signature(
+            sample_kernel, **self.kw(kernel_args={"n": object()})) is None
+
+    def test_structural_args_use_trace_signature(self):
+        s1 = make_systems(2, 32, seed=0)
+        s2 = make_systems(2, 32, seed=99)   # same shape, different data
+        from repro.kernels.common import GlobalSystemArrays
+        g1 = GlobalSystemArrays.from_systems(s1)
+        g2 = GlobalSystemArrays.from_systems(s2)
+        assert g1.trace_signature() == g2.trace_signature()
+        assert g1.trace_signature() != \
+            GlobalSystemArrays.from_systems(make_systems(4, 32)
+                                            ).trace_signature()
+
+
+class TestCacheBehaviour:
+    def test_hit_replays_identical_ledger(self):
+        cache = TraceCache()
+        with use_cache(cache):
+            cold = launch(sample_kernel, num_blocks=2, threads_per_block=32,
+                          n=32)
+            warm = launch(sample_kernel, num_blocks=2, threads_per_block=32,
+                          n=32)
+        assert not cold.trace_cached
+        assert warm.trace_cached
+        assert cache.stats() == {"hits": 1, "misses": 1, "bypasses": 0,
+                                 "entries": 1, "hit_rate": 0.5}
+        assert ledgers_equal(cold.ledger, warm.ledger) == []
+
+    def test_functional_outputs_still_computed_on_hit(self):
+        cache = TraceCache()
+        with use_cache(cache):
+            launch(sample_kernel, num_blocks=1, threads_per_block=16, n=16)
+            warm = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                          n=16)
+        assert warm.trace_cached
+        np.testing.assert_array_equal(warm.outputs,
+                                      np.ones((1, 16), dtype=np.float32))
+
+    def test_returned_ledger_is_a_private_copy(self):
+        cache = TraceCache()
+        with use_cache(cache):
+            launch(sample_kernel, num_blocks=1, threads_per_block=16, n=16)
+            a = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+            a.ledger.phase("work").flops += 999    # vandalize the copy
+            b = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+        assert b.ledger.phase("work").flops != a.ledger.phase("work").flops
+
+    def test_fault_plan_bypasses(self):
+        cache = TraceCache()
+        with use_cache(cache):
+            launch(sample_kernel, num_blocks=1, threads_per_block=16, n=16)
+            with inject(FaultPlan(seed=3)):
+                res = launch(sample_kernel, num_blocks=1,
+                             threads_per_block=16, n=16)
+        assert not res.trace_cached
+        assert cache.bypasses == 1
+        assert cache.hits == 0
+
+    def test_step_limit_bypasses(self):
+        cache = TraceCache()
+        with use_cache(cache):
+            launch(sample_kernel, num_blocks=1, threads_per_block=16, n=16)
+            res = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                         step_limit=1, n=16)
+        assert not res.trace_cached
+        assert cache.bypasses == 1
+        assert cache.hits == 0
+
+    def test_use_cache_none_disables(self):
+        with use_cache(None):
+            a = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+            b = launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+        assert not a.trace_cached and not b.trace_cached
+
+    def test_eviction_is_bounded(self):
+        cache = TraceCache(max_entries=2)
+        with use_cache(cache):
+            for blocks in (1, 2, 3):
+                launch(sample_kernel, num_blocks=blocks,
+                       threads_per_block=16, n=16)
+        assert len(cache) == 2
+
+    def test_default_cache_enabled_under_test(self):
+        assert tracecache.default_cache() is not None
+        assert tracecache.get_cache() is tracecache.default_cache()
+
+
+class TestSolverGridIdentity:
+    """Cached vs uncached ledgers are bitwise-identical, full grid."""
+
+    @pytest.mark.parametrize("kernel", ["cr", "pcr", "rd", "cr_pcr",
+                                        "cr_rd"])
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_cached_ledger_bitwise_identical(self, kernel, n):
+        systems = make_systems(2, n, seed=3)
+        with use_cache(None):
+            _x, cold = run_kernel(kernel, systems)
+        cache = TraceCache()
+        with use_cache(cache):
+            run_kernel(kernel, systems)
+            _x, warm = run_kernel(kernel, systems)
+        assert warm.trace_cached
+        assert ledgers_equal(cold.ledger, warm.ledger) == []
+        np.testing.assert_array_equal(_x, _x)
+
+    def test_solutions_identical_through_cache(self):
+        systems = make_systems(4, 64, seed=8)
+        with use_cache(None):
+            x_cold, _ = run_kernel("cr", systems)
+        cache = TraceCache()
+        with use_cache(cache):
+            run_kernel("cr", systems)
+            x_warm, res = run_kernel("cr", systems)
+        assert res.trace_cached
+        np.testing.assert_array_equal(x_cold, x_warm)
+
+
+class TestInvariantsThroughCache:
+    def test_invariants_pass_fully_cached(self):
+        """Second sweep is served from the cache and still satisfies
+        the analytic invariants (paper closed forms, incl. the CR
+        conflict ladder)."""
+        cache = TraceCache()
+        sizes = (8, 16, 64)
+        with use_cache(cache):
+            first = check_invariants(sizes=sizes)
+            assert first.ok, first.summary()
+            warm_before = cache.hits
+            second = check_invariants(sizes=sizes)
+            assert second.ok, second.summary()
+        assert cache.hits - warm_before == second.checked
+        assert cache.hit_rate >= 0.5
+
+    def test_cr_160_transactions_at_512_cached(self):
+        """The paper's 160-transaction global footprint at n=512,
+        replayed from the cache."""
+        systems = diagonally_dominant_fluid(2, 512, seed=0)
+        cache = TraceCache()
+        with use_cache(cache):
+            run_kernel("cr", systems)
+            _x, warm = run_kernel("cr", systems)
+        assert warm.trace_cached
+        assert warm.ledger.total().global_transactions == 160
+
+
+class TestTelemetryCounters:
+    def test_counters_exported(self):
+        cache = TraceCache()
+        with telemetry.collect() as col:
+            with use_cache(cache):
+                launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+                launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                       n=16)
+                with inject(FaultPlan(seed=1)):
+                    launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                           n=16)
+        m = col.metrics
+        assert m.counter("gpusim.trace_cache.misses").value(
+            kernel="sample_kernel") == 1
+        assert m.counter("gpusim.trace_cache.hits").value(
+            kernel="sample_kernel") == 1
+        assert m.counter("gpusim.trace_cache.bypasses").value(
+            kernel="sample_kernel", reason="fault_plan") == 1
+
+    def test_summary_line_in_text_summary(self):
+        from repro.telemetry.export import text_summary
+        cache = TraceCache()
+        with telemetry.collect() as col:
+            with use_cache(cache):
+                for _ in range(3):
+                    launch(sample_kernel, num_blocks=1, threads_per_block=16,
+                           n=16)
+        text = text_summary(col)
+        assert "trace cache: 2 hits, 1 misses, 0 bypasses" in text
+        assert "hit rate 66.7%" in text
+
+
+class TestPoolSharing:
+    def test_pool_owns_one_cache(self):
+        from repro.gpusim import make_pool
+        pool = make_pool(3, seed=1)
+        assert isinstance(pool.trace_cache, TraceCache)
+
+    def test_scheduler_chunks_share_pool_cache(self):
+        from repro.gpusim import make_pool
+        from repro.serve import BatchScheduler, SolveJob
+        pool = make_pool(2, seed=4)
+        sched = BatchScheduler(pool)
+        systems = make_systems(8, 32, seed=2)
+        report = sched.run_job(SolveJob(job_id="tc", systems=systems,
+                                        method="cr", chunk_size=2))
+        assert report.ok
+        # 4 identical chunks: first records, the rest replay.
+        assert pool.trace_cache.hits >= 2
+        assert pool.trace_cache.hit_rate > 0.5

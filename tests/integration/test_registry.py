@@ -25,7 +25,8 @@ class TestRegistryConsistency:
                                                    "bench_*.py"))}
         registered = {e.bench for e in EXPERIMENTS}
         # Wall-clock suites measure this library, not the paper.
-        exempt = {"bench_cpu_wallclock.py", "bench_extension_solvers.py"}
+        exempt = {"bench_cpu_wallclock.py", "bench_extension_solvers.py",
+                  "bench_trace_cache.py"}
         assert on_disk - registered - exempt == set()
 
     def test_every_module_imports(self):
