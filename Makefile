@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-cache figures report profile chaos serve-chaos verify verify-full fuzz calibrate examples clean
+.PHONY: test test-fast bench bench-cache bench-serve figures report profile chaos serve-chaos verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -15,6 +15,10 @@ bench:           ## all table/figure/ablation benchmarks (pytest-benchmark)
 
 bench-cache:     ## trace-cache perf smoke (fails if hit rate < 90%)
 	$(PY) benchmarks/bench_trace_cache.py --quick
+
+bench-serve:     ## serve-latency perf smoke (fails if p99 regresses >25%
+                 ## vs the committed baseline; --update to rebaseline)
+	$(PY) benchmarks/bench_serve_latency.py --check
 
 figures:         ## regenerate every table/figure text artifact in benchmarks/results/
 	@cd benchmarks && for b in bench_*.py; do \

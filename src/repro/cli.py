@@ -25,13 +25,19 @@ Commands
               exits nonzero when any system exhausts the chain
 ``serve``     batch-solve scheduler demo over a simulated device
               pool: deadlines, backpressure, circuit breakers,
-              checkpoint/resume (``--json`` for job reports + metrics)
+              checkpoint/resume; ``--report`` prints the per-class SLO
+              table, ``--export-dir`` writes the Chrome trace / JSONL /
+              Prometheus exposition (``--json`` for job reports +
+              SLO snapshot + metrics)
+``top``       deterministic `top`-style snapshot rendered from an
+              exported telemetry JSONL log
 ``experiments`` list every reproduced table/figure/ablation and its bench
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import warnings
 
@@ -389,18 +395,27 @@ def cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every, seed=args.seed)
 
     rejected: list[str] = []
+    shed: list[dict] = []
     reports = []
-    with telemetry.collect() as col:
+    # A deterministic collector (seeded span/event ids + tick clock)
+    # makes the exported JSONL/trace/report bitwise-reproducible for a
+    # given seed -- the property the chaos suite asserts.
+    with telemetry.collect(
+            telemetry.deterministic_collector(args.seed)) as col:
         for i in range(args.jobs):
             s = diagonally_dominant_fluid(args.systems, args.size,
                                           seed=args.seed + i)
             job = SolveJob(f"job{i}", s, method=args.solver,
                            chunk_size=args.chunk_size,
-                           deadline_ms=args.deadline_ms)
+                           deadline_ms=args.deadline_ms,
+                           slo_class=args.slo_class)
             try:
                 sched.submit(job)
             except AdmissionError as exc:
                 rejected.append(f"{job.job_id}: [{exc.reason}] {exc}")
+                shed.append({"job_id": job.job_id, "reason": exc.reason,
+                             "slo_class": job.slo_class,
+                             "message": str(exc)})
         while (job := sched.queue.pop()) is not None:
             reports.append(sched.run_job(job, resume=args.resume,
                                          stop_after=args.stop_after))
@@ -409,15 +424,45 @@ def cmd_serve(args) -> int:
     if args.stop_after is not None:
         # A demo kill is an intentional partial run, not a failure.
         rc = 0 if all(r.outcome in ("ok", "stopped") for r in reports) else 1
+    if rejected:
+        # Shed jobs are lost work: nonzero exit, matching `repro
+        # robust`'s "any unhealthy outcome fails the invocation".
+        rc = 1
+
+    if args.export_dir:
+        from repro.telemetry.export import (write_chrome_trace, write_jsonl,
+                                            write_prometheus, write_summary)
+        os.makedirs(args.export_dir, exist_ok=True)
+        for path in (
+                write_chrome_trace(
+                    col, os.path.join(args.export_dir, "serve.trace.json")),
+                write_jsonl(
+                    col, os.path.join(args.export_dir,
+                                      "serve.events.jsonl")),
+                write_summary(
+                    col, os.path.join(args.export_dir,
+                                      "serve.summary.txt")),
+                write_prometheus(
+                    col, os.path.join(args.export_dir,
+                                      "serve.metrics.prom"))):
+            if not args.json:
+                print(f"wrote {path}")
+
     if args.json:
         import json
         snap = col.metrics.snapshot()
-        doc = {"jobs": [r.to_dict() for r in reports],
+        doc = {"format": "repro.serve/v2",
+               "seed": args.seed,
+               "jobs": [r.to_dict() for r in reports],
                "rejected": rejected,
+               "shed": shed,
+               "slo": sched.slo.snapshot(),
                "breakers": {n: b.state_dict()
                             for n, b in sched.breakers.items()},
                "metrics": {k: v for k, v in snap["counters"].items()
-                           if k.startswith("serve.")}}
+                           if k.startswith("serve.")},
+               "pool_trace_cache": pool.trace_cache.stats(),
+               "exit_code": rc}
         print(json.dumps(doc, indent=2, sort_keys=True))
         return rc
     for r in reports:
@@ -428,6 +473,9 @@ def cmd_serve(args) -> int:
     if lines:
         print()
         print("\n".join(lines))
+    if args.report:
+        print()
+        print(sched.slo.report())
     if args.checkpoint:
         print(f"\ncheckpoints in {args.checkpoint}/ "
               f"(resume with: repro serve --resume ...)")
@@ -435,6 +483,65 @@ def cmd_serve(args) -> int:
         bad = [r.job_id for r in reports if not r.ok]
         print(f"\n{len(bad)} job(s) unhealthy: {bad} (exit 1)")
     return rc
+
+
+def cmd_top(args) -> int:
+    """Render a deterministic `top`-style snapshot from an exported
+    telemetry JSONL log (the final metrics line of `repro serve
+    --export-dir` / `repro profile` output)."""
+    import json
+
+    snap = None
+    try:
+        with open(args.events) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                doc = json.loads(line)
+                if doc.get("type") == "metrics":
+                    snap = doc["snapshot"]
+    except OSError as exc:
+        print(f"cannot read {args.events}: {exc}")
+        return 1
+    if snap is None:
+        print(f"no metrics snapshot in {args.events}")
+        return 1
+
+    print(f"== repro top ({args.events}) ==")
+    hists = snap.get("histograms", {})
+    latency = hists.get("serve.latency_ms")
+    if latency:
+        print("serve latency (modeled ms):")
+        for labels, s in sorted(latency.items()):
+            print(f"  {labels}: count {s['count']}, p50 {s['p50']:.3f}, "
+                  f"p95 {s['p95']:.3f}, p99 {s['p99']:.3f}")
+    for name in ("serve.queue_wait_ms", "serve.deadline_slack_ms",
+                 "serve.retry_delay_ms", "estimator.cost_residual"):
+        series = hists.get(name)
+        if not series:
+            continue
+        print(f"{name}:")
+        for labels, s in sorted(series.items()):
+            print(f"  {labels}: count {s['count']}, p50 {s['p50']:.3f}, "
+                  f"p95 {s['p95']:.3f}")
+    counters = {k: v for k, v in snap.get("counters", {}).items()
+                if k.startswith("serve.")}
+    if counters:
+        print("serve counters:")
+        for name, series in sorted(counters.items()):
+            for labels, value in sorted(series.items()):
+                label = "" if labels == "_" else labels
+                print(f"  {name}{label} = {value:g}")
+    gauges = {k: v for k, v in snap.get("gauges", {}).items()
+              if k.startswith("serve.")}
+    if gauges:
+        print("serve gauges:")
+        for name, series in sorted(gauges.items()):
+            for labels, value in sorted(series.items()):
+                label = "" if labels == "_" else labels
+                print(f"  {name}{label} = {value:g}")
+    return 0
 
 
 def cmd_experiments(_args) -> int:
@@ -604,7 +711,25 @@ def main(argv=None) -> int:
                        help="kill each job after N chunks (demo; pair "
                             "with --checkpoint then --resume)")
     p_srv.add_argument("--json", action="store_true",
-                       help="machine-readable job reports + metrics")
+                       help="machine-readable job reports + SLO snapshot "
+                            "+ metrics (schema: docs/observability.md)")
+    p_srv.add_argument("--slo-class", default="standard", dest="slo_class",
+                       choices=["interactive", "standard", "batch"],
+                       help="SLO class submitted jobs are accounted under")
+    p_srv.add_argument("--report", action="store_true",
+                       help="print the per-class SLO report "
+                            "(p50/p95/p99, burn rate, attribution)")
+    p_srv.add_argument("--export-dir", default=None, dest="export_dir",
+                       metavar="DIR",
+                       help="write Chrome trace, JSONL event log, text "
+                            "summary and Prometheus exposition here")
+    p_top = sub.add_parser(
+        "top",
+        help="deterministic top-style snapshot from an exported "
+             "telemetry JSONL log")
+    p_top.add_argument("events", metavar="EVENTS_JSONL",
+                       help="JSONL log from `repro serve --export-dir` "
+                            "or `repro profile`")
     sub.add_parser("experiments",
                    help="list reproduced artifacts and their benches")
 
@@ -613,7 +738,7 @@ def main(argv=None) -> int:
                "analyze": cmd_analyze, "calibrate": cmd_calibrate,
                "report": cmd_report, "profile": cmd_profile,
                "robust": cmd_robust, "serve": cmd_serve,
-               "experiments": cmd_experiments}
+               "top": cmd_top, "experiments": cmd_experiments}
     return handler[args.command](args)
 
 

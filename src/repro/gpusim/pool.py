@@ -125,7 +125,8 @@ class DevicePool:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate device names in pool: {names}")
         self.devices = list(devices)
-        self.trace_cache = TraceCache() if trace_cache is None else trace_cache
+        self.trace_cache = (TraceCache(name="pool")
+                            if trace_cache is None else trace_cache)
 
     def __len__(self) -> int:
         return len(self.devices)

@@ -127,10 +127,15 @@ class TraceCache:
     footprint at ``max_entries``.
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024, name: str = "default"):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = int(max_entries)
+        #: Telemetry label: which cache absorbed the traffic.  The
+        #: process default is "default"; a DevicePool's shared cache
+        #: is "pool", letting the profile summary aggregate hit rate
+        #: across all pooled devices.
+        self.name = str(name)
         self._entries: dict[Any, CounterLedger] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -149,7 +154,8 @@ class TraceCache:
             else:
                 self.hits += 1
                 ledger = copy.deepcopy(ledger)
-        _count("misses" if ledger is None else "hits", kernel)
+        _count("misses" if ledger is None else "hits", kernel,
+               cache=self.name)
         return ledger
 
     def store(self, key, ledger: CounterLedger, *, kernel: str = "?") -> None:
@@ -163,7 +169,7 @@ class TraceCache:
                       reason: str = "opaque_signature") -> None:
         with self._lock:
             self.bypasses += 1
-        _count("bypasses", kernel, reason=reason)
+        _count("bypasses", kernel, reason=reason, cache=self.name)
 
     @property
     def hit_rate(self) -> float:

@@ -68,6 +68,10 @@ class SolveJob:
         to every GPU chunk result (same semantics as ``robust_solve``).
     cpu_chain:
         Escalation ladder used when a chunk degrades to the CPU.
+    slo_class:
+        SLO class name (``interactive``/``standard``/``batch`` by
+        default; see :mod:`repro.telemetry.slo`).  Keys the per-class
+        latency/burn-rate accounting; unknown names auto-register.
     """
 
     job_id: str
@@ -79,6 +83,7 @@ class SolveJob:
     wall_deadline_s: float | None = None
     residual_tol: float = 1e-4
     cpu_chain: tuple[str, ...] = DEFAULT_CPU_CHAIN
+    slo_class: str = "standard"
 
     def __post_init__(self) -> None:
         if self.method not in KERNEL_RUNNERS:
@@ -176,6 +181,13 @@ class JobReport:
     deadline_met: bool = True
     #: ``ok`` | ``deadline`` | ``stopped`` | ``failed``
     outcome: str = "ok"
+    #: SLO class the job was admitted under.
+    slo_class: str = "standard"
+    #: Modeled milliseconds between admission and dispatch.
+    queue_wait_ms: float = 0.0
+    #: Trace-context id linking every span of this job's lifecycle
+    #: (None when telemetry was disabled during the run).
+    trace_id: str | None = None
 
     @property
     def num_chunks(self) -> int:
@@ -235,6 +247,9 @@ class JobReport:
             "job_id": self.job_id,
             "outcome": self.outcome,
             "completed": self.completed,
+            "slo_class": self.slo_class,
+            "queue_wait_ms": self.queue_wait_ms,
+            "trace_id": self.trace_id,
             "deadline_ms": self.deadline_ms,
             "deadline_met": self.deadline_met,
             "makespan_ms": self.makespan_ms,

@@ -49,12 +49,21 @@ from repro.gpusim.gt200 import gt200_cost_model
 from repro.gpusim.pool import DevicePool, PooledDevice, derive_seed
 from repro.kernels.api import run_kernel
 from repro.resilience.pipeline import _relative_residuals, robust_solve
-from repro.telemetry.metrics import (record_chunk_done, record_chunk_retry,
+from repro.telemetry.metrics import (record_chunk_done, record_chunk_latency,
+                                     record_chunk_retry,
+                                     record_cost_residual,
                                      record_deadline_miss,
-                                     record_degraded_solve)
+                                     record_deadline_slack,
+                                     record_degraded_solve,
+                                     record_job_latency,
+                                     record_pool_trace_cache,
+                                     record_queue_wait, record_retry_delay,
+                                     record_shed)
+from repro.telemetry.slo import SLORegistry
 
 from .breaker import OPEN, CircuitBreaker
 from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
+from .errors import AdmissionError
 from .job import ChunkAttempt, ChunkRecord, JobReport, SolveJob, digest_array
 from .queue import BoundedJobQueue
 
@@ -94,7 +103,12 @@ class BatchScheduler:
     checkpoint_every:
         Chunks per checkpoint barrier.
     seed:
-        Entropy root for the scheduler's own draws (backoff jitter).
+        Entropy root for the scheduler's own draws (backoff jitter)
+        and for per-job trace ids.
+    slo:
+        SLO accounting registry (:mod:`repro.telemetry.slo`); a fresh
+        default-class registry when not given.  Works with or without
+        an active telemetry collector.
     """
 
     def __init__(self, pool: DevicePool, *,
@@ -110,7 +124,8 @@ class BatchScheduler:
                  checkpoint_dir: str | None = None,
                  checkpoint_every: int = 4,
                  seed: int = 0,
-                 cost_model=None):
+                 cost_model=None,
+                 slo: SLORegistry | None = None):
         self.pool = pool
         self.queue = queue or BoundedJobQueue(
             queue_capacity, estimator=self.estimate_job_ms)
@@ -132,6 +147,13 @@ class BatchScheduler:
         self._cpu_clock = 0.0
         self._now_ms = 0.0
         self._estimate_cache: dict[tuple, float] = {}
+        self.slo = slo if slo is not None else SLORegistry()
+        #: Modeled admission time per job, for queue-wait accounting.
+        self._admitted_ms: dict[str, float] = {}
+        #: Per-job trace roots: job_id -> (collector, trace_id, root
+        #: LiveSpan).  The root is detached (never the implicit parent
+        #: of other jobs' spans) and closed when the job finishes.
+        self._traces: dict[str, tuple] = {}
 
     # -- admission ------------------------------------------------------
 
@@ -156,10 +178,68 @@ class BatchScheduler:
             self._estimate_cache[key] = t.solver_ms
         return self._estimate_cache[key] * job.num_chunks / len(self.pool)
 
+    def _chunk_estimate_ms(self, job: SolveJob) -> float:
+        """Modeled estimate for one chunk of ``job`` (the unit the
+        cost-residual telemetry compares realized chunk costs
+        against)."""
+        with telemetry.span("serve.estimate", job=job.job_id,
+                            method=job.method):
+            self.estimate_job_ms(job)
+        key = (job.method, job.systems.n, min(job.chunk_size,
+                                              job.systems.num_systems),
+               job.intermediate_size)
+        return self._estimate_cache[key]
+
+    # -- trace context --------------------------------------------------
+
+    def trace_id_for(self, job_id: str) -> str:
+        """Deterministic trace id for a job: a pure function of the
+        scheduler seed and the job id, so two identical seeded runs
+        export identical traces."""
+        return format(derive_seed(self.seed, "trace", job_id), "08x")
+
+    def _trace_context(self, job: SolveJob):
+        """``(trace_id, root LiveSpan)`` for ``job``; opens the
+        detached per-job root span on first use.  ``(None, None)``
+        when telemetry is disabled."""
+        col = telemetry.get_collector()
+        if col is None:
+            return None, None
+        entry = self._traces.get(job.job_id)
+        if entry is not None and entry[0] is col:
+            return entry[1], entry[2]
+        trace_id = self.trace_id_for(job.job_id)
+        root = col.start_span("serve.trace",
+                              {"job": job.job_id, "cls": job.slo_class},
+                              trace_id=trace_id, detached=True)
+        root.__enter__()
+        self._traces[job.job_id] = (col, trace_id, root)
+        return trace_id, root
+
+    def _close_trace(self, job_id: str) -> None:
+        entry = self._traces.pop(job_id, None)
+        if entry is not None and entry[0] is telemetry.get_collector():
+            entry[2].__exit__(None, None, None)
+
     def submit(self, job: SolveJob) -> None:
         """Admit ``job`` (raises a typed
-        :class:`~repro.serve.errors.AdmissionError` under backpressure)."""
-        self.queue.submit(job)
+        :class:`~repro.serve.errors.AdmissionError` under backpressure).
+
+        A rejection is accounted as a *shed* against the job's SLO
+        class before the error propagates."""
+        trace_id, root = self._trace_context(job)
+        parent = root.record.span_id if root is not None else None
+        try:
+            with telemetry.trace_span("serve.admit", trace_id=trace_id,
+                                      parent_id=parent, job=job.job_id,
+                                      cls=job.slo_class):
+                self.queue.submit(job)
+        except AdmissionError as exc:
+            self.slo.record_shed(job.slo_class, exc.reason)
+            record_shed(job.slo_class, exc.reason)
+            self._close_trace(job.job_id)
+            raise
+        self._admitted_ms[job.job_id] = self._now_ms
 
     def run(self, *, resume: bool = False) -> list[JobReport]:
         """Drain the queue in FIFO order; one report per job."""
@@ -229,10 +309,13 @@ class BatchScheduler:
         """Run one chunk down the CPU chain (never raises: a chunk the
         chain cannot vouch for is reported ``failed``, not thrown)."""
         sub = job.chunk_systems(chunk_id)
-        report = robust_solve(sub.a, sub.b, sub.c, sub.d,
-                              chain=job.cpu_chain, engine="numpy",
-                              residual_tol=job.residual_tol,
-                              check_finite=False, raise_on_failure=False)
+        with telemetry.span("serve.degrade", job=job.job_id,
+                            chunk=chunk_id, reason=reason):
+            report = robust_solve(sub.a, sub.b, sub.c, sub.d,
+                                  chain=job.cpu_chain, engine="numpy",
+                                  residual_tol=job.residual_tol,
+                                  check_finite=False,
+                                  raise_on_failure=False)
         cost = sub.num_systems * sub.n * CPU_NS_PER_UNKNOWN * 1e-6
         start = max(self._cpu_clock, frontier_ms)
         end = start + cost
@@ -241,6 +324,7 @@ class BatchScheduler:
         status = "degraded" if report.all_accepted else "failed"
         record_degraded_solve(reason)
         record_chunk_done("cpu", status)
+        record_chunk_latency(cost, job.slo_class, "cpu")
         telemetry.event("serve.chunk_degraded", job=job.job_id,
                         chunk=chunk_id, reason=reason, status=status)
         x = np.asarray(np.atleast_2d(report.x), dtype=np.float64)
@@ -248,6 +332,17 @@ class BatchScheduler:
                              attempts=attempts, start_ms=start, end_ms=end,
                              modeled_ms=cost, digest=digest_array(x))
         return record, x
+
+    def _breaker_failure(self, breaker: CircuitBreaker, end_ms: float,
+                         kind: str, job: SolveJob) -> None:
+        """Charge a breaker failure and attribute a resulting trip
+        (closed/half-open -> open) to the job's SLO class."""
+        was_open = breaker.state == OPEN
+        breaker.record_failure(end_ms, kind)
+        if breaker.state == OPEN and not was_open:
+            self.slo.record_breaker_trip(job.slo_class, breaker.name)
+            telemetry.event("serve.breaker_trip", device=breaker.name,
+                            cls=job.slo_class, kind=kind)
 
     def _run_chunk(self, job: SolveJob, chunk_id: int, frontier_ms: float
                    ) -> tuple[ChunkRecord, np.ndarray]:
@@ -268,8 +363,13 @@ class BatchScheduler:
             try:
                 # Chunks of one job (and across jobs on the same pool)
                 # share the pool's trace cache; faulted attempts bypass
-                # it inside the executor.
-                with _tracecache.use_cache(self.pool.trace_cache):
+                # it inside the executor.  The attempt span is what the
+                # sim.launch spans nest under, tying kernel launches
+                # into the job's trace tree.
+                with telemetry.span("serve.attempt", job=job.job_id,
+                                    chunk=chunk_id, attempt=attempt,
+                                    device=device.name), \
+                        _tracecache.use_cache(self.pool.trace_cache):
                     if plan is not None:
                         with _faults.inject(plan):
                             x, launch = run_kernel(
@@ -290,8 +390,9 @@ class BatchScheduler:
                 end = start + LAUNCH_FAIL_PENALTY_MS
                 self._clock[device.name] = end + backoff
                 self._now_ms = max(self._now_ms, end)
-                breaker.record_failure(end, kind)
+                self._breaker_failure(breaker, end, kind, job)
                 record_chunk_retry(device.name, kind)
+                record_retry_delay(backoff, job.slo_class, device.name)
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome=kind,
                     modeled_ms=LAUNCH_FAIL_PENALTY_MS, backoff_ms=backoff))
@@ -305,7 +406,7 @@ class BatchScheduler:
                 end = start + self.chunk_timeout_ms
                 self._clock[device.name] = end
                 self._now_ms = max(self._now_ms, end)
-                breaker.record_failure(end, "timeout")
+                self._breaker_failure(breaker, end, "timeout", job)
                 record_chunk_retry(device.name, "timeout")
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome="timeout",
@@ -320,6 +421,15 @@ class BatchScheduler:
                 self._now_ms = max(self._now_ms, end)
                 breaker.record_success(end)
                 record_chunk_done(device.name, "ok")
+                record_chunk_latency(cost, job.slo_class, device.name)
+                if telemetry.enabled():
+                    # Pair the realized modeled cost with the
+                    # scheduler's estimate for this chunk shape: the
+                    # per-(solver, layout, n) calibration residual.
+                    est = self._chunk_estimate_ms(job)
+                    if est > 0:
+                        record_cost_residual(job.method, "global", sub.n,
+                                             (cost - est) / est)
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome="ok", modeled_ms=cost))
                 x64 = np.asarray(x, dtype=np.float64)
@@ -370,6 +480,12 @@ class BatchScheduler:
         x_out = np.zeros(job.systems.shape, dtype=np.float64)
         chunks: list[ChunkRecord] = []
         job_start = self._now_ms
+        trace_id, root = self._trace_context(job)
+        root_id = root.record.span_id if root is not None else None
+        queue_wait = max(
+            0.0, job_start - self._admitted_ms.pop(job.job_id, job_start))
+        self.slo.record_queue_wait(job.slo_class, queue_wait)
+        record_queue_wait(queue_wait, job.slo_class)
         wall_start = time.monotonic()
         outcome = "ok"
         completed = True
@@ -385,9 +501,11 @@ class BatchScheduler:
                     breakers={n: b.state_dict()
                               for n, b in self.breakers.items()})
 
-        with telemetry.span("serve.job", job=job.job_id,
-                            num_systems=job.systems.num_systems,
-                            n=job.systems.n, chunks=job.num_chunks):
+        with telemetry.trace_span("serve.job", trace_id=trace_id,
+                                  parent_id=root_id, job=job.job_id,
+                                  cls=job.slo_class,
+                                  num_systems=job.systems.num_systems,
+                                  n=job.systems.n, chunks=job.num_chunks):
             for chunk_id in range(job.num_chunks):
                 if chunk_id in restored:
                     record, x = restored[chunk_id]
@@ -396,7 +514,9 @@ class BatchScheduler:
                     chunks.append(record)
                     record_chunk_done(record.device, "restored")
                     continue
-                record, x = self._run_chunk(job, chunk_id, job_start)
+                with telemetry.span("serve.chunk", job=job.job_id,
+                                    chunk=chunk_id):
+                    record, x = self._run_chunk(job, chunk_id, job_start)
                 x_out[job.chunk_indices(chunk_id)] = x
                 chunks.append(record)
                 computed += 1
@@ -440,10 +560,22 @@ class BatchScheduler:
             makespan_ms=self._now_ms - job_start,
             completed=completed,
             deadline_met=(outcome != "deadline"),
-            outcome=outcome)
+            outcome=outcome,
+            slo_class=job.slo_class,
+            queue_wait_ms=queue_wait,
+            trace_id=trace_id)
+        slack = (job.deadline_ms - report.makespan_ms
+                 if job.deadline_ms is not None else None)
+        self.slo.record_job(job.slo_class, report.makespan_ms, outcome,
+                            deadline_slack_ms=slack)
+        record_job_latency(report.makespan_ms, job.slo_class)
+        if slack is not None:
+            record_deadline_slack(slack, job.slo_class)
+        record_pool_trace_cache(self.pool.trace_cache.stats())
         telemetry.event("serve.job_done", job=job.job_id,
                         outcome=outcome,
                         makespan_ms=report.makespan_ms,
                         degraded=len(report.degraded_chunks),
                         retries=report.total_retries)
+        self._close_trace(job.job_id)
         return report

@@ -38,38 +38,59 @@ See ``docs/observability.md`` for the full walkthrough.
 """
 
 from . import callbacks
-from .collector import (Collector, LaunchRecord, collect, current_attr,
-                        current_span, enabled, event, get_collector, span)
-from .export import (chrome_trace, phase_totals, resilience_summary,
-                     serve_summary, text_summary, to_jsonl, verify_summary,
-                     write_chrome_trace, write_jsonl, write_summary)
+from .collector import (Collector, LaunchRecord, TickClock, collect,
+                        current_attr, current_span, deterministic_collector,
+                        enabled, event, get_collector, span, trace_span)
+from .export import (chrome_trace, estimator_summary, phase_totals,
+                     prometheus_text, resilience_summary, serve_summary,
+                     text_summary, to_jsonl, trace_cache_summary,
+                     trace_trees, verify_summary, write_chrome_trace,
+                     write_jsonl, write_prometheus, write_summary)
 from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
-                      DEADLINE_MISSES, DEGRADED_TOTAL, FALLBACK_TOTAL,
-                      FUZZ_CASES, QUEUE_DEPTH, QUEUE_REJECTED, RESIDUAL_MAX,
+                      COST_RESIDUAL, DEADLINE_MISSES, DEADLINE_SLACK,
+                      DEGRADED_TOTAL, FALLBACK_TOTAL,
+                      FUZZ_CASES, QUEUE_DEPTH, QUEUE_REJECTED, QUEUE_WAIT,
+                      RESIDUAL_MAX, RETRY_DELAY, SERVE_CHUNK_LATENCY,
+                      SERVE_LATENCY, SHED_TOTAL,
                       VERIFY_CELLS, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       record_breaker_transition, record_chunk_done,
-                      record_chunk_retry, record_deadline_miss,
+                      record_chunk_latency,
+                      record_chunk_retry, record_cost_residual,
+                      record_deadline_miss, record_deadline_slack,
                       record_degraded_solve, record_fallback,
-                      record_fuzz_case, record_queue_depth,
-                      record_queue_rejection,
-                      record_residual_max, record_verify_cell)
+                      record_fuzz_case, record_job_latency,
+                      record_pool_trace_cache, record_queue_depth,
+                      record_queue_rejection, record_queue_wait,
+                      record_residual_max, record_retry_delay,
+                      record_shed, record_verify_cell)
+from .slo import DEFAULT_CLASS, DEFAULT_CLASSES, SLOClass, SLORegistry
 from .spans import NOOP_SPAN, EventRecord, LiveSpan, NoopSpan, SpanRecord
 
 __all__ = [
-    "callbacks", "Collector", "LaunchRecord", "collect", "current_attr",
-    "current_span", "enabled", "event", "get_collector", "span",
-    "chrome_trace", "phase_totals", "resilience_summary", "serve_summary",
-    "text_summary", "verify_summary",
-    "to_jsonl", "write_chrome_trace", "write_jsonl", "write_summary",
+    "callbacks", "Collector", "LaunchRecord", "TickClock", "collect",
+    "current_attr", "current_span", "deterministic_collector", "enabled",
+    "event", "get_collector", "span", "trace_span",
+    "chrome_trace", "estimator_summary", "phase_totals", "prometheus_text",
+    "resilience_summary", "serve_summary",
+    "text_summary", "trace_cache_summary", "trace_trees", "verify_summary",
+    "to_jsonl", "write_chrome_trace", "write_jsonl", "write_prometheus",
+    "write_summary",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "FALLBACK_TOTAL", "RESIDUAL_MAX", "record_fallback",
     "record_residual_max",
     "BREAKER_TRANSITIONS", "CHUNKS_TOTAL", "CHUNK_RETRIES",
-    "DEADLINE_MISSES", "DEGRADED_TOTAL", "QUEUE_DEPTH", "QUEUE_REJECTED",
-    "record_breaker_transition", "record_chunk_done", "record_chunk_retry",
-    "record_deadline_miss", "record_degraded_solve", "record_queue_depth",
-    "record_queue_rejection",
+    "COST_RESIDUAL", "DEADLINE_MISSES", "DEADLINE_SLACK", "DEGRADED_TOTAL",
+    "QUEUE_DEPTH", "QUEUE_REJECTED", "QUEUE_WAIT", "RETRY_DELAY",
+    "SERVE_CHUNK_LATENCY", "SERVE_LATENCY", "SHED_TOTAL",
+    "record_breaker_transition", "record_chunk_done",
+    "record_chunk_latency", "record_chunk_retry", "record_cost_residual",
+    "record_deadline_miss", "record_deadline_slack",
+    "record_degraded_solve", "record_job_latency",
+    "record_pool_trace_cache", "record_queue_depth",
+    "record_queue_rejection", "record_queue_wait", "record_retry_delay",
+    "record_shed",
     "FUZZ_CASES", "VERIFY_CELLS", "record_fuzz_case", "record_verify_cell",
+    "DEFAULT_CLASS", "DEFAULT_CLASSES", "SLOClass", "SLORegistry",
     "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",
 ]

@@ -20,6 +20,25 @@ With no active collector every instrumentation site reduces to one
 ``None`` check (``span()`` returns the shared no-op singleton and the
 callback registry has no subscribers), which is what keeps the solve
 path overhead-free by default.
+
+Trace context
+-------------
+Spans carry an optional ``trace_id``: a stable string identifying one
+logical request (one serve job, say).  A span opened without an
+explicit trace inherits its parent's, so instrumenting the root of a
+request is enough for every nested span -- down to the simulator's
+``sim.launch``/``sim.phase`` spans -- to land in the same tree.
+:func:`trace_span` opens a span with explicit trace context (and
+optionally *detached*, i.e. not the implicit parent of what follows).
+
+Determinism
+-----------
+``Collector(seed=...)`` derives span/event ids from
+:func:`repro.gpusim.pool.derive_seed`-style counters instead of the
+arrival counter alone, and :class:`TickClock` replaces
+``time.perf_counter`` with a deterministic tick, so two identical
+seeded runs export bitwise-identical JSONL span logs
+(:func:`deterministic_collector` bundles both).
 """
 
 from __future__ import annotations
@@ -33,6 +52,26 @@ from . import callbacks as cb
 from .metrics import MetricsRegistry
 from .spans import (LiveSpan, NOOP_SPAN, EventRecord, NoopSpan,
                     SpanRecord)
+
+
+class TickClock:
+    """Deterministic clock: every read advances one fixed tick.
+
+    Substituting it for ``time.perf_counter`` makes every wall-clock
+    field in the export a pure function of the sequence of
+    instrumentation calls -- which a seeded run fixes -- so the JSONL
+    log becomes bitwise-reproducible.
+    """
+
+    __slots__ = ("tick_s", "_now_s")
+
+    def __init__(self, tick_s: float = 1e-6):
+        self.tick_s = float(tick_s)
+        self._now_s = 0.0
+
+    def __call__(self) -> float:
+        self._now_s += self.tick_s
+        return self._now_s
 
 
 @dataclass
@@ -52,11 +91,19 @@ class LaunchRecord:
 
 
 class Collector:
-    """Accumulates spans, events, metrics and launch records."""
+    """Accumulates spans, events, metrics and launch records.
 
-    def __init__(self, clock=time.perf_counter):
+    ``seed`` switches id assignment from the plain arrival counter to
+    seed-derived 32-bit ids (``derive_seed(seed, "span", counter)``),
+    making ids a function of the seed rather than of how many other
+    collectors or objects existed before -- the property the serve
+    determinism suite asserts.
+    """
+
+    def __init__(self, clock=time.perf_counter, seed: int | None = None):
         self._clock = clock
         self._t0 = clock()
+        self.seed = seed
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []
         self.launches: list[LaunchRecord] = []
@@ -64,6 +111,8 @@ class Collector:
         self._stack: list[SpanRecord] = []
         self._sim_stack: list[SpanRecord] = []
         self._next_id = 1
+        self._next_event_id = 1
+        self._by_id: dict[int, SpanRecord] = {}
         self._handle = None
 
     # -- lifecycle -----------------------------------------------------
@@ -81,22 +130,63 @@ class Collector:
     def _now(self) -> float:
         return self._clock() - self._t0
 
+    # -- ids -----------------------------------------------------------
+
+    def _derive_id(self, kind: str, counter: int) -> int:
+        from repro.gpusim.pool import derive_seed
+        salt = 0
+        ident = derive_seed(self.seed, kind, counter)
+        while ident in self._by_id:      # deterministic collision bump
+            salt += 1
+            ident = derive_seed(self.seed, kind, counter, salt)
+        return ident
+
+    def _new_span_id(self) -> int:
+        counter = self._next_id
+        self._next_id += 1
+        if self.seed is None:
+            return counter
+        return self._derive_id("span", counter)
+
+    def _new_event_id(self) -> int:
+        counter = self._next_event_id
+        self._next_event_id += 1
+        if self.seed is None:
+            return counter
+        from repro.gpusim.pool import derive_seed
+        return derive_seed(self.seed, "event", counter)
+
     # -- spans / events ------------------------------------------------
 
-    def start_span(self, name: str, attrs: dict[str, Any] | None = None
-                   ) -> LiveSpan:
-        record = SpanRecord(span_id=self._next_id,
-                            parent_id=None, name=name,
-                            attrs=dict(attrs or {}))
-        self._next_id += 1
-        return LiveSpan(self, record)
+    def start_span(self, name: str, attrs: dict[str, Any] | None = None,
+                   *, parent_id: int | None = None,
+                   trace_id: str | None = None,
+                   detached: bool = False) -> LiveSpan:
+        """Build a live span.
 
-    def _enter_span(self, record: SpanRecord) -> None:
-        record.parent_id = (self._stack[-1].span_id if self._stack
-                            else None)
+        ``parent_id``/``trace_id`` pin explicit trace context; when
+        omitted they fall back to the open-span stack at enter time.
+        ``detached`` registers and times the span without making it
+        the implicit parent of subsequently opened spans.
+        """
+        record = SpanRecord(span_id=self._new_span_id(),
+                            parent_id=parent_id, name=name,
+                            attrs=dict(attrs or {}), trace_id=trace_id)
+        return LiveSpan(self, record, detached=detached)
+
+    def _enter_span(self, record: SpanRecord,
+                    detached: bool = False) -> None:
+        if record.parent_id is None and self._stack:
+            record.parent_id = self._stack[-1].span_id
+        if record.trace_id is None and record.parent_id is not None:
+            parent = self._by_id.get(record.parent_id)
+            if parent is not None:
+                record.trace_id = parent.trace_id
         record.wall_start_s = self._now()
-        self._stack.append(record)
+        if not detached:
+            self._stack.append(record)
         self.spans.append(record)
+        self._by_id[record.span_id] = record
 
     def _exit_span(self, record: SpanRecord) -> None:
         record.wall_dur_s = self._now() - record.wall_start_s
@@ -104,6 +194,9 @@ class Collector:
             self._stack.pop()
         elif record in self._stack:          # mismatched exit order
             self._stack.remove(record)
+
+    def span_by_id(self, span_id: int) -> SpanRecord | None:
+        return self._by_id.get(span_id)
 
     def current_span(self) -> SpanRecord | None:
         return self._stack[-1] if self._stack else None
@@ -113,7 +206,8 @@ class Collector:
         if span_id is None and self._stack:
             span_id = self._stack[-1].span_id
         ev = EventRecord(name=name, wall_s=self._now(),
-                         attrs=dict(attrs or {}), span_id=span_id)
+                         attrs=dict(attrs or {}), span_id=span_id,
+                         event_id=self._new_event_id())
         self.events.append(ev)
         return ev
 
@@ -197,6 +291,13 @@ class Collector:
                     counters.conflict_degree, phase=phase)
 
 
+def deterministic_collector(seed: int = 0,
+                            tick_s: float = 1e-6) -> Collector:
+    """A collector whose export is bitwise-reproducible under seeded
+    workloads: seed-derived span/event ids and a :class:`TickClock`."""
+    return Collector(clock=TickClock(tick_s), seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Module-level state: the process-local default collector.
 # ----------------------------------------------------------------------
@@ -240,6 +341,18 @@ def span(name: str, **attrs: Any) -> LiveSpan | NoopSpan:
     if col is None:
         return NOOP_SPAN
     return col.start_span(name, attrs)
+
+
+def trace_span(name: str, *, trace_id: str | None = None,
+               parent_id: int | None = None, detached: bool = False,
+               **attrs: Any) -> LiveSpan | NoopSpan:
+    """Open a span with explicit trace context (see
+    :meth:`Collector.start_span`); a shared no-op when disabled."""
+    col = _active
+    if col is None:
+        return NOOP_SPAN
+    return col.start_span(name, attrs, parent_id=parent_id,
+                          trace_id=trace_id, detached=detached)
 
 
 def event(name: str, **attrs: Any) -> None:

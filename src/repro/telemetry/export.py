@@ -66,12 +66,14 @@ def to_jsonl(collector: Collector) -> str:
     for s in collector.spans:
         lines.append(json.dumps({
             "type": "span", "id": s.span_id, "parent": s.parent_id,
-            "name": s.name, "wall_start_s": s.wall_start_s,
+            "trace": s.trace_id, "name": s.name,
+            "wall_start_s": s.wall_start_s,
             "wall_dur_s": s.wall_dur_s, "attrs": _jsonable(s.attrs)}))
     for e in collector.events:
         lines.append(json.dumps({
-            "type": "event", "name": e.name, "span": e.span_id,
-            "wall_s": e.wall_s, "attrs": _jsonable(e.attrs)}))
+            "type": "event", "id": e.event_id, "name": e.name,
+            "span": e.span_id, "wall_s": e.wall_s,
+            "attrs": _jsonable(e.attrs)}))
     for rec in collector.launches:
         entry = {"type": "launch", "seq": rec.seq, "kernel": rec.kernel,
                  "num_blocks": rec.num_blocks,
@@ -168,18 +170,41 @@ def chrome_trace(collector: Collector, cost_model=None) -> dict:
                      "blocks_per_sm": rep.blocks_per_sm,
                      "waves": rep.waves}})
         cursor += _LAUNCH_GAP_US
+    # Wall-clock spans: tid 0 carries untraced spans; each trace_id
+    # gets its own host thread so one job's tree (scheduler -> device
+    # -> launch) reads as a single contiguous track.
+    trace_tids: dict[str, int] = {}
+
+    def wall_tid(trace_id: str | None) -> int:
+        if trace_id is None:
+            return 0
+        if trace_id not in trace_tids:
+            tid = len(trace_tids) + 1
+            trace_tids[trace_id] = tid
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": _WALL_PID, "tid": tid,
+                           "args": {"name": f"trace:{trace_id[:8]}"}})
+        return trace_tids[trace_id]
+
+    span_trace: dict[int, str | None] = {}
     for s in collector.spans:
+        span_trace[s.span_id] = s.trace_id
         if s.wall_dur_s is None:
             continue
+        args = _jsonable(s.attrs)
+        if s.trace_id is not None:
+            args = dict(args)
+            args["trace_id"] = s.trace_id
         events.append({
             "ph": "X", "name": s.name, "cat": "span",
-            "pid": _WALL_PID, "tid": 0,
+            "pid": _WALL_PID, "tid": wall_tid(s.trace_id),
             "ts": s.wall_start_s * 1e6, "dur": s.wall_dur_s * 1e6,
-            "args": _jsonable(s.attrs)})
+            "args": args})
     for e in collector.events:
+        tid = wall_tid(span_trace.get(e.span_id)) if e.span_id else 0
         events.append({
             "ph": "i", "s": "t", "name": e.name, "cat": "event",
-            "pid": _WALL_PID, "tid": 0, "ts": e.wall_s * 1e6,
+            "pid": _WALL_PID, "tid": tid, "ts": e.wall_s * 1e6,
             "args": _jsonable(e.attrs)})
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"format": "repro.telemetry/v1",
@@ -239,8 +264,8 @@ def resilience_summary(collector: Collector) -> list[str]:
     rm = collector.metrics._metrics.get(RESIDUAL_MAX)
     if isinstance(rm, Histogram) and rm.series:
         out.append("residual_max per attempt:")
-        for key, values in sorted(rm.series.items()):
-            summ = Histogram.summarize(values)
+        for key, series in sorted(rm.series.items()):
+            summ = series.summary()
             labels = dict(key)
             out.append(f"  {labels.get('method', '?')}: "
                        f"count {summ['count']}, p50 {summ['p50']:.3e}, "
@@ -260,12 +285,13 @@ def serve_summary(collector: Collector) -> list[str]:
     """Readable lines for the serving-layer metrics, empty when none.
 
     Renders breaker transitions, chunk retries, degraded solves,
-    deadline misses and admission rejections -- the health view of a
-    :class:`repro.serve.BatchScheduler` run.
+    deadline misses, admission rejections/sheds, per-class latency
+    quantiles and the pool-level trace-cache hit rate -- the health
+    view of a :class:`repro.serve.BatchScheduler` run.
     """
     from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
                           DEADLINE_MISSES, DEGRADED_TOTAL, QUEUE_REJECTED,
-                          Counter)
+                          SERVE_LATENCY, SHED_TOTAL, Counter, Histogram)
 
     out: list[str] = []
     chunks = collector.metrics._metrics.get(CHUNKS_TOTAL)
@@ -286,16 +312,50 @@ def serve_summary(collector: Collector) -> list[str]:
             (CHUNK_RETRIES, "kind", "chunk retries"),
             (DEGRADED_TOTAL, "reason", "degraded to CPU chain"),
             (DEADLINE_MISSES, "job", "deadline misses"),
-            (QUEUE_REJECTED, "reason", "admission rejections")):
+            (QUEUE_REJECTED, "reason", "admission rejections"),
+            (SHED_TOTAL, "cls", "shed jobs")):
         metric = collector.metrics._metrics.get(name)
         if isinstance(metric, Counter) and metric.series:
             total = sum(metric.series.values())
             parts = ", ".join(f"{dict(k).get(label, '?')}={v:g}"
                               for k, v in sorted(metric.series.items()))
             out.append(f"{head}: {total:g} ({parts})")
+    lat = collector.metrics._metrics.get(SERVE_LATENCY)
+    if isinstance(lat, Histogram) and lat.series:
+        out.append("latency by class (modeled ms):")
+        for key, series in sorted(lat.series.items()):
+            s = series.summary()
+            out.append(f"  {dict(key).get('cls', '?')}: "
+                       f"count {s['count']}, p50 {s['p50']:.3f}, "
+                       f"p95 {s['p95']:.3f}, p99 {s['p99']:.3f}")
+    pool = _pool_cache_stats(collector)
+    if pool is not None:
+        hits, misses, bypasses = pool
+        consulted = hits + misses
+        rate = hits / consulted if consulted else 0.0
+        out.append(f"pool trace cache: {hits:g} hits, {misses:g} misses, "
+                   f"{bypasses:g} bypasses "
+                   f"(hit rate {100.0 * rate:.1f}%)")
     if out:
         out.insert(0, "serving:")
     return out
+
+
+def _pool_cache_stats(collector: Collector
+                      ) -> tuple[float, float, float] | None:
+    """Pool-level trace-cache totals, published as gauges by the
+    scheduler after a run (``serve.pool_trace_cache.*``).  None when
+    no scheduler published them."""
+    from .metrics import Gauge
+
+    values = []
+    for event in ("hits", "misses", "bypasses"):
+        metric = collector.metrics._metrics.get(
+            f"serve.pool_trace_cache.{event}")
+        if not isinstance(metric, Gauge) or not metric.series:
+            return None
+        values.append(sum(metric.series.values()))
+    return values[0], values[1], values[2]
 
 
 def trace_cache_summary(collector: Collector) -> list[str]:
@@ -315,8 +375,28 @@ def trace_cache_summary(collector: Collector) -> list[str]:
     bypasses = totals.get("bypasses", 0.0)
     consulted = hits + misses
     rate = hits / consulted if consulted else 0.0
-    return [f"trace cache: {hits:g} hits, {misses:g} misses, "
-            f"{bypasses:g} bypasses (hit rate {100.0 * rate:.1f}%)"]
+    out = [f"trace cache: {hits:g} hits, {misses:g} misses, "
+           f"{bypasses:g} bypasses (hit rate {100.0 * rate:.1f}%)"]
+    # Per-cache breakdown, shown only when more than one distinct
+    # cache (e.g. the process default plus a DevicePool's) was active.
+    by_cache: dict[str, dict[str, float]] = {}
+    for event in ("hits", "misses", "bypasses"):
+        metric = collector.metrics._metrics.get(f"gpusim.trace_cache.{event}")
+        if isinstance(metric, Counter) and metric.series:
+            for key, value in metric.series.items():
+                cache = dict(key).get("cache", "default")
+                agg = by_cache.setdefault(cache, {})
+                agg[event] = agg.get(event, 0.0) + value
+    if len(by_cache) > 1:
+        for cache in sorted(by_cache):
+            agg = by_cache[cache]
+            h, m = agg.get("hits", 0.0), agg.get("misses", 0.0)
+            b = agg.get("bypasses", 0.0)
+            c = h + m
+            r = h / c if c else 0.0
+            out.append(f"  [{cache}] {h:g} hits, {m:g} misses, "
+                       f"{b:g} bypasses (hit rate {100.0 * r:.1f}%)")
+    return out
 
 
 def verify_summary(collector: Collector) -> list[str]:
@@ -360,6 +440,157 @@ def verify_summary(collector: Collector) -> list[str]:
     if out:
         out.insert(0, "verification:")
     return out
+
+
+def estimator_summary(collector: Collector) -> list[str]:
+    """Readable lines for the modeled-vs-actual cost residuals, empty
+    when the scheduler recorded none.
+
+    ``estimator.cost_residual{solver,layout,n}`` holds the signed
+    relative error of each scheduler cost estimate against the
+    realized modeled-clock cost -- the calibration table ROADMAP
+    items 1-2 (autotuner) consume.
+    """
+    from .metrics import COST_RESIDUAL, Histogram
+
+    cr = collector.metrics._metrics.get(COST_RESIDUAL)
+    if not isinstance(cr, Histogram) or not cr.series:
+        return []
+    out = ["estimator residuals (modeled actual vs estimate, "
+           "relative error):"]
+    for key, series in sorted(cr.series.items()):
+        labels = dict(key)
+        s = series.summary()
+        out.append(f"  {labels.get('solver', '?')}/"
+                   f"{labels.get('layout', '?')} n={labels.get('n', '?')}: "
+                   f"count {s['count']}, mean {s['mean']:+.3f}, "
+                   f"p50 {s['p50']:+.3f}, p95 {s['p95']:+.3f}, "
+                   f"max {s['max']:+.3f}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Trace trees
+# ----------------------------------------------------------------------
+
+def trace_trees(collector: Collector) -> dict[str, dict]:
+    """Group spans by trace id and check each trace's connectivity.
+
+    Returns ``{trace_id: {"root": SpanRecord | None,
+    "spans": [SpanRecord, ...], "connected": bool}}``.  A trace is
+    *connected* when it has exactly one root (a span whose parent is
+    missing or outside the trace) and every other span's parent lies
+    inside the trace -- the acceptance shape for "every job's spans
+    form one tree".  Untraced spans (``trace_id is None``) are ignored.
+    """
+    groups: dict[str, list] = {}
+    for s in collector.spans:
+        if s.trace_id is not None:
+            groups.setdefault(s.trace_id, []).append(s)
+    out: dict[str, dict] = {}
+    for trace_id, spans in groups.items():
+        ids = {s.span_id for s in spans}
+        roots = [s for s in spans
+                 if s.parent_id is None or s.parent_id not in ids]
+        out[trace_id] = {
+            "root": roots[0] if len(roots) == 1 else None,
+            "spans": spans,
+            "connected": len(roots) == 1,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_SAFE = None
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name into the Prometheus grammar, prefixed
+    ``repro_``."""
+    global _NAME_SAFE
+    if _NAME_SAFE is None:
+        import re
+        _NAME_SAFE = re.compile(r"[^a-zA-Z0-9_:]")
+    return "repro_" + _NAME_SAFE.sub("_", name)
+
+
+def _prom_labels(key, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    rendered = []
+    for k, v in pairs:
+        v = str(v).replace("\\", r"\\").replace('"', r'\"')
+        v = v.replace("\n", r"\n")
+        rendered.append(f'{k}="{v}"')
+    return "{" + ",".join(rendered) + "}"
+
+
+def _prom_float(value: float) -> str:
+    import math as _math
+    if _math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(collector: Collector) -> str:
+    """Prometheus text-format exposition of the collector's registry.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` series from the log-linear bucket
+    edges plus ``_sum``/``_count``.  Output ordering is fully
+    deterministic (name-sorted families, label-sorted series), so two
+    identical seeded runs produce identical expositions.
+    """
+    from .metrics import Counter, Gauge, Histogram
+
+    lines: list[str] = []
+    for metric in collector.metrics.families():
+        if isinstance(metric, Counter):
+            name = _prom_name(metric.name)
+            if not name.endswith("_total"):
+                name += "_total"
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} counter")
+            for key, value in sorted(metric.series.items()):
+                lines.append(f"{name}{_prom_labels(key)} "
+                             f"{_prom_float(value)}")
+        elif isinstance(metric, Gauge):
+            name = _prom_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} gauge")
+            for key, value in sorted(metric.series.items()):
+                lines.append(f"{name}{_prom_labels(key)} "
+                             f"{_prom_float(value)}")
+        elif isinstance(metric, Histogram):
+            name = _prom_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} histogram")
+            for key, series in sorted(metric.series.items()):
+                for upper, cum in series.cumulative():
+                    le = (("le", _prom_float(upper)),)
+                    lines.append(f"{name}_bucket{_prom_labels(key, le)} "
+                                 f"{cum}")
+                inf = (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_prom_labels(key, inf)} "
+                             f"{series.count}")
+                lines.append(f"{name}_sum{_prom_labels(key)} "
+                             f"{_prom_float(series.sum)}")
+                lines.append(f"{name}_count{_prom_labels(key)} "
+                             f"{series.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(collector: Collector, path: str) -> str:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(collector))
+    return path
 
 
 def text_summary(collector: Collector, cost_model=None) -> str:
@@ -408,6 +639,10 @@ def text_summary(collector: Collector, cost_model=None) -> str:
     if ver:
         out.append("")
         out.extend(ver)
+    est = estimator_summary(collector)
+    if est:
+        out.append("")
+        out.extend(est)
     tc = trace_cache_summary(collector)
     if tc:
         out.append("")

@@ -11,12 +11,22 @@ JSONL sink and the text summary.
 Counters are float-valued on purpose: "modeled milliseconds by
 solver/phase" is a counter in the aggregation sense (only ever added
 to) even though the increments are fractional.
+
+Histograms are *streaming*: observations land in log-linear (HDR-style)
+buckets -- :data:`SUBBUCKETS` linear sub-buckets per power of two --
+so a series holds O(buckets) state independent of how many samples it
+absorbed, merges bucket-wise, and reports deterministic p50/p95/p99.
+The old exact list-backed implementation survives as
+:class:`_ReferenceHistogram` / :func:`_reference_summarize`, the oracle
+the property tests compare quantiles against (agreement within one
+bucket, i.e. a relative error of at most ``1/SUBBUCKETS`` per edge).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -36,6 +46,21 @@ CHUNK_RETRIES = "serve.chunk_retries"
 DEADLINE_MISSES = "serve.deadline_misses"
 DEGRADED_TOTAL = "serve.degraded_total"
 CHUNKS_TOTAL = "serve.chunks_total"
+
+#: SLO-facing latency distributions (modeled milliseconds, emitted by
+#: :class:`repro.serve.BatchScheduler` through the
+#: :class:`repro.telemetry.slo.SLORegistry`; rendered by
+#: ``repro serve --report`` and the Prometheus exposition).
+SERVE_LATENCY = "serve.latency_ms"
+SERVE_CHUNK_LATENCY = "serve.chunk_ms"
+QUEUE_WAIT = "serve.queue_wait_ms"
+DEADLINE_SLACK = "serve.deadline_slack_ms"
+RETRY_DELAY = "serve.retry_delay_ms"
+SHED_TOTAL = "serve.shed_total"
+
+#: Modeled-vs-actual scheduler estimator accuracy: signed relative
+#: error ``(actual - estimate) / estimate`` per (solver, layout, n).
+COST_RESIDUAL = "estimator.cost_residual"
 
 #: Canonical verification metric names (emitted by
 #: :mod:`repro.verify`; rendered by
@@ -144,6 +169,110 @@ def record_chunk_done(device: str, status: str) -> None:
                 device=device, status=status)
 
 
+def record_job_latency(ms: float, cls: str) -> None:
+    """Observe one job's modeled end-to-end latency
+    (``serve.latency_ms{cls}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            SERVE_LATENCY, "modeled job latency by SLO class").observe(
+                ms, cls=cls)
+
+
+def record_chunk_latency(ms: float, cls: str, device: str) -> None:
+    """Observe one accepted chunk's modeled cost
+    (``serve.chunk_ms{cls,device}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            SERVE_CHUNK_LATENCY,
+            "modeled chunk latency by SLO class and device").observe(
+                ms, cls=cls, device=device)
+
+
+def record_queue_wait(ms: float, cls: str) -> None:
+    """Observe one job's modeled admission-to-dispatch wait
+    (``serve.queue_wait_ms{cls}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            QUEUE_WAIT, "modeled queue wait by SLO class").observe(
+                ms, cls=cls)
+
+
+def record_deadline_slack(ms: float, cls: str) -> None:
+    """Observe one deadline job's remaining budget at completion,
+    negative on a miss (``serve.deadline_slack_ms{cls}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            DEADLINE_SLACK,
+            "modeled deadline slack by SLO class").observe(ms, cls=cls)
+
+
+def record_retry_delay(ms: float, cls: str, device: str) -> None:
+    """Observe one jittered retry backoff
+    (``serve.retry_delay_ms{cls,device}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            RETRY_DELAY,
+            "modeled retry backoff by SLO class and device").observe(
+                ms, cls=cls, device=device)
+
+
+def record_shed(cls: str, reason: str) -> None:
+    """Count one load-shed (admission-rejected) job
+    (``serve.shed_total{cls,reason}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            SHED_TOTAL, "jobs shed at admission by SLO class").inc(
+                cls=cls, reason=reason)
+
+
+def record_cost_residual(solver: str, layout: str, n: int,
+                         residual: float) -> None:
+    """Observe one modeled-vs-actual cost residual
+    (``estimator.cost_residual{solver,layout,n}``).
+
+    ``residual`` is the signed relative error
+    ``(actual_ms - estimate_ms) / estimate_ms`` -- the calibration
+    signal the autotuner roadmap items need.
+    """
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            COST_RESIDUAL,
+            "scheduler cost-estimate relative error").observe(
+                residual, solver=solver, layout=layout, n=n)
+
+
+def record_pool_trace_cache(stats: dict) -> None:
+    """Publish a :class:`~repro.gpusim.pool.DevicePool` trace-cache's
+    aggregate statistics as gauges
+    (``serve.pool_trace_cache.{hits,misses,bypasses,entries,hit_rate}``);
+    no-op when telemetry is disabled.
+
+    Gauges (latest-wins), not counters: the scheduler republishes the
+    cumulative pool totals after every job.
+    """
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        for key in ("hits", "misses", "bypasses", "entries", "hit_rate"):
+            col.metrics.gauge(
+                f"serve.pool_trace_cache.{key}",
+                "pool-level trace cache statistics").set(stats[key])
+
+
 def record_verify_cell(status: str, solver: str, matrix_class: str,
                        engine: str) -> None:
     """Count one differential-verification cell outcome
@@ -209,14 +338,227 @@ class Gauge:
         return self.series.get(_labelkey(labels), 0.0)
 
 
+# ----------------------------------------------------------------------
+# Streaming (log-linear, HDR-style) histogram
+# ----------------------------------------------------------------------
+
+#: Linear sub-buckets per power of two.  The relative width of one
+#: bucket -- and therefore the worst-case quantile error -- is
+#: ``1/SUBBUCKETS``.
+SUBBUCKETS = 32
+
+#: Binary-exponent clamp: magnitudes outside ``[2**MIN_EXP, 2**MAX_EXP)``
+#: collapse into the first/last bucket of their sign (exact min/max are
+#: tracked separately, so ``summary()`` stays honest at the extremes).
+MIN_EXP = -64
+MAX_EXP = 64
+
+_TOP_BUCKET = (MAX_EXP - MIN_EXP + 1) * SUBBUCKETS
+
+
+def bucket_index(value: float) -> int:
+    """Signed bucket index of ``value``.
+
+    0 holds exact zeros; positive values map to ``1..N`` (ascending),
+    negatives mirror to ``-1..-N`` -- so sorting indices as plain ints
+    sorts bucket representatives by value.  NaN has no bucket (callers
+    drop it before getting here).
+    """
+    if value == 0.0:
+        return 0
+    sign = 1 if value > 0 else -1
+    mag = abs(value)
+    if math.isinf(mag):
+        return sign * _TOP_BUCKET
+    m, e = math.frexp(mag)          # mag = m * 2**e, m in [0.5, 1)
+    e -= 1                          # mag = (2m) * 2**e, 2m in [1, 2)
+    if e < MIN_EXP:
+        return sign                 # subnormal-ish: first bucket
+    if e > MAX_EXP:
+        return sign * _TOP_BUCKET
+    frac = min(SUBBUCKETS - 1, int((2.0 * m - 1.0) * SUBBUCKETS))
+    return sign * ((e - MIN_EXP) * SUBBUCKETS + frac + 1)
+
+
+def bucket_lower(index: int) -> float:
+    """Lower edge (by magnitude) of a bucket -- the representative
+    value quantiles report, clamped by callers into the observed
+    ``[min, max]`` so exact powers of two and single-bucket series
+    round-trip exactly."""
+    if index == 0:
+        return 0.0
+    sign = 1.0 if index > 0 else -1.0
+    b = abs(index) - 1
+    e = b // SUBBUCKETS + MIN_EXP
+    frac = b % SUBBUCKETS
+    return sign * math.ldexp(1.0 + frac / SUBBUCKETS, e)
+
+
+def bucket_upper(index: int) -> float:
+    """Upper edge (by magnitude) of a bucket (the Prometheus ``le``
+    boundary for positive buckets)."""
+    if index == 0:
+        return 0.0
+    return bucket_lower(index + (1 if index > 0 else -1))
+
+
+@dataclass
+class HistogramSeries:
+    """One label-set's streaming state: sparse bucket counts plus
+    exact count/sum/min/max."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value != value:              # NaN carries no rank information
+            return
+        idx = bucket_index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "HistogramSeries") -> None:
+        for idx, c in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + c
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def _clamp(self, value: float) -> float:
+        return min(self.max, max(self.min, value))
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile with the same rank semantics as the
+        exact oracle: rank ``min(count-1, floor(q*count))`` of the
+        sorted samples, answered by the containing bucket's lower
+        edge."""
+        if self.count == 0:
+            return math.nan
+        rank = min(self.count - 1, int(q * self.count))
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen > rank:
+                return self._clamp(bucket_lower(idx))
+        return self.max                 # pragma: no cover - rank < count
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_edge, cumulative_count) pairs in ascending order --
+        the Prometheus ``_bucket{le=...}`` series."""
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            out.append((bucket_upper(idx), seen))
+        return out
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
 @dataclass
 class Histogram:
-    """Observed-value distribution per label set.
+    """Streaming observed-value distribution per label set.
 
-    Raw observations are kept (session-scale cardinality is small --
-    at most a few thousand step records) so the summary can report
-    exact quantiles instead of bucket approximations.
+    Memory is O(occupied buckets) per series -- bounded by the bucket
+    grid, independent of sample count -- and two histograms merge
+    bucket-wise, so per-shard instances can be combined without
+    replaying observations.  Quantiles are deterministic and agree
+    with the exact oracle to within one log-linear bucket
+    (relative error <= ``1/SUBBUCKETS``).
     """
+
+    name: str
+    help: str = ""
+    series: dict[LabelKey, HistogramSeries] = field(default_factory=dict)
+
+    def _series(self, labels: dict[str, Any]) -> HistogramSeries:
+        key = _labelkey(labels)
+        s = self.series.get(key)
+        if s is None:
+            s = self.series[key] = HistogramSeries()
+        return s
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._series(labels).observe(value)
+
+    def count(self, **labels: Any) -> int:
+        s = self.series.get(_labelkey(labels))
+        return s.count if s is not None else 0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        s = self.series.get(_labelkey(labels))
+        return s.quantile(q) if s is not None else math.nan
+
+    def summary(self, **labels: Any) -> dict[str, float]:
+        s = self.series.get(_labelkey(labels))
+        return s.summary() if s is not None else {"count": 0}
+
+    def cumulative(self, **labels: Any) -> list[tuple[float, int]]:
+        s = self.series.get(_labelkey(labels))
+        return s.cumulative() if s is not None else []
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s series into this histogram bucket-wise."""
+        for key, theirs in other.series.items():
+            mine = self.series.get(key)
+            if mine is None:
+                mine = self.series[key] = HistogramSeries()
+            mine.merge(theirs)
+
+
+# ----------------------------------------------------------------------
+# The exact list-backed oracle (previous implementation, retained for
+# property tests: streaming quantiles must agree within one bucket).
+# ----------------------------------------------------------------------
+
+def _reference_summarize(values: list[float]) -> dict[str, float]:
+    """Exact summary over raw samples -- the pre-streaming behaviour."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+
+    def quantile(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "sum": sum(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+        "p99": quantile(0.99),
+    }
+
+
+@dataclass
+class _ReferenceHistogram:
+    """Exact list-backed histogram: keeps every sample.  Only used as
+    the oracle in histogram property tests; production code uses the
+    streaming :class:`Histogram`."""
 
     name: str
     help: str = ""
@@ -228,24 +570,15 @@ class Histogram:
     def values(self, **labels: Any) -> list[float]:
         return list(self.series.get(_labelkey(labels), []))
 
-    @staticmethod
-    def summarize(values: list[float]) -> dict[str, float]:
+    def quantile(self, q: float, **labels: Any) -> float:
+        values = self.values(**labels)
         if not values:
-            return {"count": 0}
+            return math.nan
         ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
-        def quantile(q: float) -> float:
-            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
-
-        return {
-            "count": len(ordered),
-            "sum": sum(ordered),
-            "min": ordered[0],
-            "max": ordered[-1],
-            "mean": sum(ordered) / len(ordered),
-            "p50": quantile(0.50),
-            "p95": quantile(0.95),
-        }
+    def summary(self, **labels: Any) -> dict[str, float]:
+        return _reference_summarize(self.values(**labels))
 
 
 class MetricsRegistry:
@@ -277,6 +610,11 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def families(self) -> Iterable[Counter | Gauge | Histogram]:
+        """All metric families in name order (for the exposition)."""
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
     def snapshot(self) -> dict[str, Any]:
         """All metric families as plain dicts (JSON-ready)."""
         out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
@@ -291,6 +629,6 @@ class MetricsRegistry:
                     for k, v in sorted(metric.series.items())}
             else:
                 out["histograms"][name] = {
-                    _labelstr(k) or "_": Histogram.summarize(v)
-                    for k, v in sorted(metric.series.items())}
+                    _labelstr(k) or "_": s.summary()
+                    for k, s in sorted(metric.series.items())}
         return out

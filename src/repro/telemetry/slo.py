@@ -1,0 +1,207 @@
+"""Per-class service-level objectives for the serve layer.
+
+ROADMAP item 5 asks for ``p50/p99 + breaker/shed counters`` so a
+multi-tenant front end can do SLO-aware load shedding.  This module is
+that accounting: jobs are tagged with an :class:`SLOClass` (latency
+objective on the modeled clock), and an :class:`SLORegistry` folds each
+finished/shed job into streaming histograms and attribution counters.
+
+The registry owns its own :class:`~repro.telemetry.metrics.Histogram`
+instances, so it works with or without an active telemetry collector;
+when one *is* active the scheduler additionally mirrors the same
+observations into collector metrics (``serve.latency_ms`` et al.) so
+they appear in exports and snapshots.
+
+Burn rate follows the usual SRE definition: the fraction of requests
+that violated the objective divided by the budgeted violation fraction
+``1 - objective``.  A burn rate of 1.0 means the error budget is being
+consumed exactly at the sustainable pace; above 1.0 the class is
+burning budget faster than it can afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One latency class: p99 objective in modeled milliseconds."""
+
+    name: str
+    latency_p99_ms: float
+    #: Target fraction of jobs meeting the latency bound (and not shed).
+    objective: float = 0.99
+
+    def budget_fraction(self) -> float:
+        return max(1e-9, 1.0 - self.objective)
+
+
+#: Default classes, loosely tiered like interactive/standard/batch
+#: request pools in a multi-tenant solver service.
+DEFAULT_CLASSES = (
+    SLOClass("interactive", latency_p99_ms=5.0),
+    SLOClass("standard", latency_p99_ms=50.0),
+    SLOClass("batch", latency_p99_ms=500.0),
+)
+
+DEFAULT_CLASS = "standard"
+
+
+@dataclass
+class _ClassState:
+    slo: SLOClass
+    latency: Histogram = None          # type: ignore[assignment]
+    queue_wait: Histogram = None       # type: ignore[assignment]
+    deadline_slack: Histogram = None   # type: ignore[assignment]
+    total: int = 0
+    good: int = 0
+    violations: int = 0
+    shed: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    breaker_trips: dict[str, int] = field(default_factory=dict)
+    deadline_misses: int = 0
+    outcomes: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        name = self.slo.name
+        self.latency = Histogram(f"slo.{name}.latency_ms")
+        self.queue_wait = Histogram(f"slo.{name}.queue_wait_ms")
+        self.deadline_slack = Histogram(f"slo.{name}.deadline_slack_ms")
+
+    def burn_rate(self) -> float:
+        """Error-budget burn rate; 0.0 before any traffic."""
+        seen = self.total + self.shed
+        if seen == 0:
+            return 0.0
+        bad = self.violations + self.shed
+        return (bad / seen) / self.slo.budget_fraction()
+
+
+class SLORegistry:
+    """Folds serve outcomes into per-class SLO accounting.
+
+    Unknown class names auto-register with the loosest default
+    objective rather than raising: a misconfigured client should show
+    up in the report, not crash the scheduler.
+    """
+
+    def __init__(self, classes=DEFAULT_CLASSES):
+        self._classes: dict[str, _ClassState] = {
+            c.name: _ClassState(c) for c in classes}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def class_names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def slo_for(self, name: str) -> SLOClass:
+        return self._state(name).slo
+
+    def _state(self, name: str) -> _ClassState:
+        st = self._classes.get(name)
+        if st is None:
+            st = _ClassState(SLOClass(name, latency_p99_ms=500.0))
+            self._classes[name] = st
+        return st
+
+    # -- recording -----------------------------------------------------
+
+    def record_job(self, cls: str, latency_ms: float, outcome: str,
+                   deadline_slack_ms: float | None = None) -> None:
+        """One finished job: ``outcome`` is the JobReport outcome
+        (``ok``/``deadline``/``stopped``/``failed``)."""
+        st = self._state(cls)
+        st.total += 1
+        st.latency.observe(latency_ms)
+        st.outcomes[outcome] = st.outcomes.get(outcome, 0) + 1
+        ok = outcome == "ok" and latency_ms <= st.slo.latency_p99_ms
+        if ok:
+            st.good += 1
+        else:
+            st.violations += 1
+        if outcome == "deadline":
+            st.deadline_misses += 1
+        if deadline_slack_ms is not None:
+            st.deadline_slack.observe(deadline_slack_ms)
+
+    def record_queue_wait(self, cls: str, wait_ms: float) -> None:
+        self._state(cls).queue_wait.observe(wait_ms)
+
+    def record_shed(self, cls: str, reason: str) -> None:
+        """Job rejected at admission (never ran)."""
+        st = self._state(cls)
+        st.shed += 1
+        st.shed_reasons[reason] = st.shed_reasons.get(reason, 0) + 1
+
+    def record_breaker_trip(self, cls: str, device: str) -> None:
+        """A circuit breaker opened while serving this class."""
+        st = self._state(cls)
+        st.breaker_trips[device] = st.breaker_trips.get(device, 0) + 1
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-stable dict: per-class quantiles, counters, burn rate."""
+        out = {}
+        for name in sorted(self._classes):
+            st = self._classes[name]
+            lat = st.latency.summary()
+            out[name] = {
+                "objective": st.slo.objective,
+                "latency_p99_objective_ms": st.slo.latency_p99_ms,
+                "jobs": st.total,
+                "good": st.good,
+                "violations": st.violations,
+                "shed": st.shed,
+                "shed_reasons": dict(sorted(st.shed_reasons.items())),
+                "breaker_trips": dict(sorted(st.breaker_trips.items())),
+                "deadline_misses": st.deadline_misses,
+                "outcomes": dict(sorted(st.outcomes.items())),
+                "burn_rate": round(st.burn_rate(), 6),
+                "latency_ms": lat,
+                "queue_wait_ms": st.queue_wait.summary(),
+                "deadline_slack_ms": st.deadline_slack.summary(),
+            }
+        return out
+
+    def report(self) -> str:
+        """Deterministic fixed-width text report (``repro serve
+        --report`` / ``repro top``)."""
+        lines = ["== SLO report =="]
+        header = (f"  {'class':<12} {'jobs':>5} {'shed':>5} "
+                  f"{'viol':>5} {'p50':>9} {'p95':>9} {'p99':>9} "
+                  f"{'obj p99':>9} {'burn':>7}")
+        lines.append(header)
+        for name in sorted(self._classes):
+            st = self._classes[name]
+            s = st.latency.summary()
+            if st.total:
+                p50, p95, p99 = (f"{s['p50']:.3f}", f"{s['p95']:.3f}",
+                                 f"{s['p99']:.3f}")
+            else:
+                p50 = p95 = p99 = "-"
+            lines.append(
+                f"  {name:<12} {st.total:>5d} {st.shed:>5d} "
+                f"{st.violations:>5d} {p50:>9} {p95:>9} {p99:>9} "
+                f"{st.slo.latency_p99_ms:>9.3f} "
+                f"{st.burn_rate():>7.2f}")
+        attributed = []
+        for name in sorted(self._classes):
+            st = self._classes[name]
+            for reason, n in sorted(st.shed_reasons.items()):
+                attributed.append(
+                    f"  shed    {name}: [{reason}] {n}")
+            for device, n in sorted(st.breaker_trips.items()):
+                attributed.append(
+                    f"  breaker {name}: {device} tripped x{n}")
+            if st.deadline_misses:
+                attributed.append(
+                    f"  deadline {name}: {st.deadline_misses} missed")
+        if attributed:
+            lines.append("  -- attribution --")
+            lines.extend(attributed)
+        return "\n".join(lines)

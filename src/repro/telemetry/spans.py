@@ -29,6 +29,11 @@ class SpanRecord:
     #: Seconds since the collector's epoch (perf_counter based).
     wall_start_s: float = 0.0
     wall_dur_s: float | None = None
+    #: Trace-context id: spans of one logical request (e.g. one serve
+    #: job, admit -> chunks -> launches) share a trace_id and form one
+    #: tree through ``parent_id``.  Inherited from the parent span when
+    #: not set explicitly; ``None`` for untraced spans.
+    trace_id: str | None = None
 
     def set_attr(self, key: str, value: Any) -> None:
         self.attrs[key] = value
@@ -42,6 +47,8 @@ class EventRecord:
     wall_s: float
     attrs: dict[str, Any] = field(default_factory=dict)
     span_id: int | None = None
+    #: Stable id (seed-derived under deterministic collectors).
+    event_id: int | None = None
 
 
 class NoopSpan:
@@ -71,16 +78,25 @@ NOOP_SPAN = NoopSpan()
 
 
 class LiveSpan:
-    """Context manager binding one :class:`SpanRecord` to a collector."""
+    """Context manager binding one :class:`SpanRecord` to a collector.
 
-    __slots__ = ("_collector", "record")
+    A *detached* span is registered and timed but never pushed on the
+    collector's span stack: it does not become the implicit parent of
+    spans opened while it is live.  The scheduler uses detached spans
+    as per-job trace roots, which may interleave with other jobs'
+    spans on the same collector.
+    """
 
-    def __init__(self, collector, record: SpanRecord):
+    __slots__ = ("_collector", "record", "_detached")
+
+    def __init__(self, collector, record: SpanRecord,
+                 detached: bool = False):
         self._collector = collector
         self.record = record
+        self._detached = detached
 
     def __enter__(self) -> "LiveSpan":
-        self._collector._enter_span(self.record)
+        self._collector._enter_span(self.record, detached=self._detached)
         return self
 
     def __exit__(self, *exc) -> None:

@@ -237,11 +237,12 @@ class TestTelemetryCounters:
                            n=16)
         m = col.metrics
         assert m.counter("gpusim.trace_cache.misses").value(
-            kernel="sample_kernel") == 1
+            kernel="sample_kernel", cache="default") == 1
         assert m.counter("gpusim.trace_cache.hits").value(
-            kernel="sample_kernel") == 1
+            kernel="sample_kernel", cache="default") == 1
         assert m.counter("gpusim.trace_cache.bypasses").value(
-            kernel="sample_kernel", reason="fault_plan") == 1
+            kernel="sample_kernel", reason="fault_plan",
+            cache="default") == 1
 
     def test_summary_line_in_text_summary(self):
         from repro.telemetry.export import text_summary

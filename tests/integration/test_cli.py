@@ -147,3 +147,92 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert rc == 1                      # nothing ran
         assert "deadline_unmeetable" in out
+
+
+class TestServeObservability:
+    """``repro serve`` SLO report, JSON schema v2, exports, top."""
+
+    ARGS = ["serve", "--jobs", "2", "--systems", "8", "--size", "32",
+            "--chunk-size", "4", "--devices", "2", "--seed", "3"]
+
+    def test_report_renders_slo_table(self, capsys):
+        assert main(self.ARGS + ["--report"]) == 0
+        out = capsys.readouterr().out
+        assert "== SLO report ==" in out
+        assert "standard" in out
+        assert "latency by class (modeled ms):" in out
+        assert "pool trace cache:" in out
+
+    def test_report_is_bitwise_identical_across_runs(self, capsys):
+        assert main(self.ARGS + ["--report"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--report"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_slo_class_flag_routes_jobs(self, capsys):
+        import json
+        assert main(self.ARGS + ["--slo-class", "batch", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all(j["slo_class"] == "batch" for j in doc["jobs"])
+        assert doc["slo"]["batch"]["jobs"] == 2
+
+    def test_json_schema_v2(self, capsys):
+        import json
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro.serve/v2"
+        assert doc["seed"] == 3
+        assert doc["exit_code"] == 0
+        assert doc["shed"] == []
+        assert "standard" in doc["slo"]
+        assert doc["pool_trace_cache"]["hits"] >= 1
+        for job in doc["jobs"]:
+            assert job["trace_id"]
+            assert "queue_wait_ms" in job
+
+    def test_shed_jobs_exit_nonzero_with_attribution(self, capsys):
+        import json
+        rc = main(self.ARGS + ["--deadline-ms", "1e-9", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["exit_code"] == 1
+        assert len(doc["shed"]) == 2
+        assert all(s["reason"] == "deadline_unmeetable"
+                   for s in doc["shed"])
+        assert doc["slo"]["standard"]["shed"] == 2
+
+    def test_export_dir_writes_artifacts(self, tmp_path, capsys):
+        import json
+        out_dir = tmp_path / "obs"
+        assert main(self.ARGS + ["--export-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        trace = json.loads((out_dir / "serve.trace.json").read_text())
+        assert trace["traceEvents"]
+        events = (out_dir / "serve.events.jsonl").read_text()
+        assert '"type": "span"' in events
+        assert (out_dir / "serve.summary.txt").read_text()
+        prom = (out_dir / "serve.metrics.prom").read_text()
+        assert "repro_serve_latency_ms_bucket" in prom
+
+    def test_exports_bitwise_identical_across_runs(self, tmp_path,
+                                                   capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(self.ARGS + ["--export-dir", str(a)]) == 0
+        assert main(self.ARGS + ["--export-dir", str(b)]) == 0
+        capsys.readouterr()
+        for name in ("serve.trace.json", "serve.events.jsonl",
+                     "serve.metrics.prom"):
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+
+    def test_top_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "obs"
+        assert main(self.ARGS + ["--export-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(out_dir / "serve.events.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "== repro top" in out
+        assert "serve latency" in out
+        assert "p99" in out
+
+    def test_top_missing_file_exits_nonzero(self, capsys):
+        assert main(["top", "/nonexistent/events.jsonl"]) == 1

@@ -189,7 +189,7 @@ class TestTelemetryIntegration:
         assert fallback.value(**{"from": "(entry)", "to": "gep",
                                  "reason": "unstable"}) == s.num_systems
         hist = col.metrics.histogram(RESIDUAL_MAX, "")
-        assert len(hist.values(method="gep")) == 1
+        assert hist.count(method="gep") == 1
         span_names = [sp.name for sp in col.spans]
         assert "robust_solve" in span_names
 

@@ -165,3 +165,79 @@ class TestSeededDeterminism:
                  for c in reversed(range(6))]
         assert p_fwd == list(reversed(p_rev))
         assert len(set(p_fwd)) == 6          # and they decorrelate
+
+
+class TestTraceObservability:
+    """ISSUE 6 acceptance: one connected trace tree per job, with
+    bitwise-identical exports across two same-seed runs."""
+
+    def run_traced(self, seed=17):
+        col = telemetry.deterministic_collector(seed)
+        with telemetry.collect(col):
+            sched = make_sched(hot_pool(), failure_threshold=2, seed=seed)
+            for i in range(2):
+                sched.submit(make_job(batch(), job_id=f"t{i}",
+                                      deadline_ms=500.0))
+            reports = sched.run()
+        return col, sched, reports
+
+    def test_every_job_is_one_connected_tree(self):
+        col, sched, reports = self.run_traced()
+        trees = telemetry.trace_trees(col)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.trace_id is not None
+            tree = trees[report.trace_id]
+            assert tree["connected"], report.trace_id
+            assert tree["root"].name == "serve.trace"
+
+    def test_tree_spans_scheduler_to_launch(self):
+        col, _sched, reports = self.run_traced()
+        trees = telemetry.trace_trees(col)
+        for report in reports:
+            names = {s.name for s in trees[report.trace_id]["spans"]}
+            # Scheduler layer down into the simulated device layer.
+            assert {"serve.trace", "serve.admit", "serve.job",
+                    "serve.chunk", "serve.attempt"} <= names
+            assert any(n.startswith("sim.launch:") for n in names)
+            assert any(n.startswith("sim.phase:") for n in names)
+
+    def test_trace_ids_are_deterministic_functions_of_seed(self):
+        _, sched_a, reports_a = self.run_traced(seed=17)
+        _, sched_b, reports_b = self.run_traced(seed=17)
+        assert [r.trace_id for r in reports_a] == \
+            [r.trace_id for r in reports_b]
+        assert sched_a.trace_id_for("t0") == reports_a[0].trace_id
+        # Distinct jobs get distinct traces.
+        assert len({r.trace_id for r in reports_a}) == 2
+
+    def test_jsonl_export_bitwise_identical(self):
+        col_a, _, _ = self.run_traced(seed=17)
+        col_b, _, _ = self.run_traced(seed=17)
+        assert telemetry.to_jsonl(col_a) == telemetry.to_jsonl(col_b)
+
+    def test_slo_report_identical_across_runs(self):
+        _, sched_a, _ = self.run_traced(seed=17)
+        _, sched_b, _ = self.run_traced(seed=17)
+        assert sched_a.slo.report() == sched_b.slo.report()
+        assert sched_a.slo.snapshot() == sched_b.slo.snapshot()
+
+    def test_prometheus_exposition_identical_across_runs(self):
+        col_a, _, _ = self.run_traced(seed=17)
+        col_b, _, _ = self.run_traced(seed=17)
+        text = telemetry.prometheus_text(col_a)
+        assert text == telemetry.prometheus_text(col_b)
+        assert "repro_serve_latency_ms_bucket" in text
+
+    def test_estimator_residuals_recorded_per_chunk(self):
+        col, _, reports = self.run_traced()
+        hist = col.metrics.histogram(telemetry.COST_RESIDUAL)
+        total_chunks = sum(r.num_chunks for r in reports)
+        assert hist.count(solver="cr_pcr", layout="global", n=64) == \
+            total_chunks
+
+    def test_slo_attribution_sees_breaker_trip(self):
+        _, sched, _ = self.run_traced()
+        snap = sched.slo.snapshot()["standard"]
+        assert snap["breaker_trips"].get("gpu1", 0) >= 1
+        assert snap["jobs"] == 2

@@ -45,18 +45,20 @@ class TestHistogram:
         h = Histogram("deg")
         for v in [1, 2, 2, 4, 16]:
             h.observe(v)
-        s = Histogram.summarize(h.values())
+        s = h.summary()
         assert s["count"] == 5
         assert s["sum"] == 25
         assert s["min"] == 1 and s["max"] == 16
         assert s["p50"] == 2
 
-    def test_labelled_values(self):
+    def test_labelled_series_stay_separate(self):
         h = Histogram("deg")
         h.observe(2, phase="fwd")
         h.observe(8, phase="bwd")
-        assert h.values(phase="fwd") == [2]
-        assert h.values(phase="bwd") == [8]
+        assert h.count(phase="fwd") == 1
+        assert h.count(phase="bwd") == 1
+        assert h.quantile(0.5, phase="fwd") == 2
+        assert h.quantile(0.5, phase="bwd") == 8
 
 
 class TestRegistry:
@@ -107,7 +109,8 @@ class TestResilienceHelpers:
         assert c.value(**{"from": "cr_pcr", "to": "pcr",
                           "reason": "corruption"}) == 3
         h = col.metrics.histogram(RESIDUAL_MAX, "")
-        assert h.values(method="pcr") == [0.25]
+        assert h.count(method="pcr") == 1
+        assert h.summary(method="pcr")["max"] == 0.25
 
     def test_rendered_in_text_summary(self):
         from repro import telemetry
