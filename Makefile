@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-cache bench-serve figures report profile chaos serve-chaos verify verify-full fuzz calibrate examples clean
+.PHONY: test test-fast bench bench-cache bench-serve figures report profile chaos serve-chaos serve-health verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -45,6 +45,11 @@ serve-chaos:     ## serving-layer chaos suite (breakers, deadlines,
                  ## kill/resume), run twice for the determinism proof
 	$(PY) -m pytest tests/ -m serve -q
 	$(PY) -m pytest tests/ -m serve -q
+
+serve-health:    ## device lifecycle suite (quarantine/readmission, hedged
+                 ## chunks, warm spares), run twice for the determinism proof
+	$(PY) -m pytest tests/ -m health -q
+	$(PY) -m pytest tests/ -m health -q
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify

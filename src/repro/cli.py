@@ -371,20 +371,60 @@ def cmd_robust(args) -> int:
     return rc
 
 
+def _device_outcome_table(reports) -> str:
+    """Aggregate per-device chunk-attempt outcomes across job reports
+    (the `repro serve --report` health table)."""
+    agg: dict[str, dict[str, int]] = {}
+    for r in reports:
+        for dev, row in r.device_outcomes().items():
+            dst = agg.setdefault(dev, dict.fromkeys(row, 0))
+            for k, v in row.items():
+                dst[k] += v
+    lines = ["per-device chunk attempts:",
+             f"  {'device':<8s} {'ok':>5s} {'faulted':>8s} "
+             f"{'hedged':>7s} {'residual':>9s}"]
+    for dev in sorted(agg):
+        row = agg[dev]
+        lines.append(f"  {dev:<8s} {row['ok']:>5d} {row['faulted']:>8d} "
+                     f"{row['hedged']:>7d} {row['residual_missed']:>9d}")
+    return "\n".join(lines)
+
+
 def cmd_serve(args) -> int:
     from repro import telemetry
-    from repro.gpusim.pool import make_pool
+    from repro.gpusim.faults import BrownoutProcess, FlappingProcess
+    from repro.gpusim.pool import derive_seed, make_pool
     from repro.numerics.generators import diagonally_dominant_fluid
     from repro.serve import AdmissionError, BatchScheduler, SolveJob
     from repro.telemetry.export import serve_summary
 
     warnings.simplefilter("ignore")
-    hot_rates = {"launch_fatal_rate": args.hot_fatal,
+    processes = []
+    if args.hot_brownout is not None:
+        processes.append(BrownoutProcess(
+            start_ms=args.hot_brownout_start,
+            duration_ms=args.hot_brownout_ms,
+            multiplier=args.hot_brownout))
+    if args.hot_flap is not None:
+        processes.append(FlappingProcess(
+            seed=derive_seed(args.seed, "flap"),
+            period_ms=args.hot_flap_period,
+            duty=args.hot_flap_duty,
+            fault_rate=args.hot_flap))
+    # With a staged incident the hot device defaults to *no* static
+    # rates (the incident is the fault profile); without one it keeps
+    # the classic always-fatal profile.
+    hot_fatal = args.hot_fatal
+    if hot_fatal is None:
+        hot_fatal = 0.0 if processes else 1.0
+    hot_rates = {"launch_fatal_rate": hot_fatal,
                  "launch_transient_rate": args.hot_transient,
                  "global_bitflip_rate": args.hot_bitflip,
                  "ecc_detect_rate": args.hot_ecc_detect}
     pool = make_pool(args.devices, seed=args.seed, hot=args.hot,
-                     hot_rates=hot_rates)
+                     hot_rates=hot_rates,
+                     hot_processes=tuple(processes),
+                     spares=args.spares)
     sched = BatchScheduler(
         pool, queue_capacity=args.queue_capacity,
         failure_threshold=args.failure_threshold,
@@ -392,7 +432,8 @@ def cmd_serve(args) -> int:
         max_chunk_retries=args.chunk_retries,
         chunk_timeout_ms=args.chunk_timeout_ms,
         checkpoint_dir=args.checkpoint,
-        checkpoint_every=args.checkpoint_every, seed=args.seed)
+        checkpoint_every=args.checkpoint_every, seed=args.seed,
+        hedge_ratio=args.hedge)
 
     rejected: list[str] = []
     shed: list[dict] = []
@@ -430,9 +471,15 @@ def cmd_serve(args) -> int:
         rc = 1
 
     if args.export_dir:
+        import json as _json
+
         from repro.telemetry.export import (write_chrome_trace, write_jsonl,
                                             write_prometheus, write_summary)
         os.makedirs(args.export_dir, exist_ok=True)
+        health_path = os.path.join(args.export_dir, "serve.health.jsonl")
+        with open(health_path, "w") as fh:
+            for t in sched.health.transitions:
+                fh.write(_json.dumps(t, sort_keys=True) + "\n")
         for path in (
                 write_chrome_trace(
                     col, os.path.join(args.export_dir, "serve.trace.json")),
@@ -444,7 +491,8 @@ def cmd_serve(args) -> int:
                                       "serve.summary.txt")),
                 write_prometheus(
                     col, os.path.join(args.export_dir,
-                                      "serve.metrics.prom"))):
+                                      "serve.metrics.prom")),
+                health_path):
             if not args.json:
                 print(f"wrote {path}")
 
@@ -459,6 +507,7 @@ def cmd_serve(args) -> int:
                "slo": sched.slo.snapshot(),
                "breakers": {n: b.state_dict()
                             for n, b in sched.breakers.items()},
+               "health": sched.health.snapshot(),
                "metrics": {k: v for k, v in snap["counters"].items()
                            if k.startswith("serve.")},
                "pool_trace_cache": pool.trace_cache.stats(),
@@ -476,6 +525,10 @@ def cmd_serve(args) -> int:
     if args.report:
         print()
         print(sched.slo.report())
+        print()
+        print(sched.health.report())
+        print()
+        print(_device_outcome_table(reports))
     if args.checkpoint:
         print(f"\ncheckpoints in {args.checkpoint}/ "
               f"(resume with: repro serve --resume ...)")
@@ -680,10 +733,40 @@ def main(argv=None) -> int:
                        help="simulated GPUs in the pool")
     p_srv.add_argument("--hot", type=int, default=None, metavar="INDEX",
                        help="pool index of a faulty device")
-    p_srv.add_argument("--hot-fatal", type=float, default=1.0)
+    p_srv.add_argument("--hot-fatal", type=float, default=None,
+                       help="static launch-fatal rate of the hot device "
+                            "(default 1.0, or 0.0 when a staged incident "
+                            "is given)")
     p_srv.add_argument("--hot-transient", type=float, default=0.0)
     p_srv.add_argument("--hot-bitflip", type=float, default=0.0)
     p_srv.add_argument("--hot-ecc-detect", type=float, default=1.0)
+    p_srv.add_argument("--hot-brownout", type=float, default=None,
+                       metavar="MULT", dest="hot_brownout",
+                       help="stage a brownout on the hot device: latency "
+                            "multiplier over a modeled window")
+    p_srv.add_argument("--hot-brownout-start", type=float, default=0.0,
+                       dest="hot_brownout_start", metavar="MS")
+    p_srv.add_argument("--hot-brownout-ms", type=float,
+                       default=float("inf"), dest="hot_brownout_ms",
+                       metavar="MS", help="brownout window length "
+                                          "(default: open-ended)")
+    p_srv.add_argument("--hot-flap", type=float, default=None,
+                       metavar="RATE", dest="hot_flap",
+                       help="stage flapping on the hot device: seeded "
+                            "on/off fault bursts at this launch-fatal "
+                            "rate while down")
+    p_srv.add_argument("--hot-flap-period", type=float, default=2.0,
+                       dest="hot_flap_period", metavar="MS")
+    p_srv.add_argument("--hot-flap-duty", type=float, default=0.5,
+                       dest="hot_flap_duty",
+                       help="fraction of flap windows spent down")
+    p_srv.add_argument("--spares", type=int, default=0,
+                       help="warm spare devices kept out of placement "
+                            "until the health monitor promotes one")
+    p_srv.add_argument("--hedge", type=float, default=None, metavar="RATIO",
+                       help="hedge chunks whose realized/modeled cost "
+                            "ratio crosses RATIO on the next-best "
+                            "healthy device (first result wins)")
     p_srv.add_argument("--seed", type=int, default=0,
                        help="workload + device entropy root")
     p_srv.add_argument("--deadline-ms", type=float, default=None,

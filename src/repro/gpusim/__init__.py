@@ -14,9 +14,10 @@ Public surface:
 
 from .context import BlockContext, KernelError, StopKernel
 from .costmodel import CostModel, CostModelParams, PhaseTime, TimingReport
-from .faults import (DataCorruptionError, FaultEvent, FaultPlan, GpuFault,
+from .faults import (BrownoutProcess, DataCorruptionError, DegradationProcess,
+                     FaultEvent, FaultPlan, FlappingProcess, GpuFault,
                      KernelLaunchError, TransientLaunchError, active_plan,
-                     inject)
+                     combine_rates, evaluate_processes, inject)
 from .counters import CounterLedger, PhaseCounters
 from .device import GTX280, G80_8800GTX, TESLA_C1060, DeviceSpec, occupancy_report
 from .executor import LaunchResult, launch
@@ -37,6 +38,8 @@ from .warp import is_contiguous_prefix, is_contiguous_range, warps_touched
 __all__ = [
     "DataCorruptionError", "FaultEvent", "FaultPlan", "GpuFault",
     "KernelLaunchError", "TransientLaunchError", "active_plan", "inject",
+    "BrownoutProcess", "FlappingProcess", "DegradationProcess",
+    "combine_rates", "evaluate_processes",
     "BlockContext", "KernelError", "StopKernel", "CostModel", "CostModelParams",
     "PhaseTime", "TimingReport", "CounterLedger", "PhaseCounters",
     "GTX280", "G80_8800GTX", "TESLA_C1060", "DeviceSpec",

@@ -143,6 +143,12 @@ class FaultPlan:
         GT200, so shared flips are always silent.
     max_faults:
         Optional cap on total injected faults (chaos budget).
+    latency_multiplier:
+        Modeled slow-down factor of the whole launch (a *brownout*:
+        the device still answers, just late).  The scheduler multiplies
+        the cost model's realized milliseconds by it; 1.0 is healthy.
+        Injection raises nothing -- only latency-aware callers (the
+        serve layer's health monitor and hedging) notice it.
     """
 
     seed: int = 0
@@ -153,6 +159,7 @@ class FaultPlan:
     transfer_corruption_rate: float = 0.0
     ecc_detect_rate: float = 0.0
     max_faults: int | None = None
+    latency_multiplier: float = 1.0
     events: list[FaultEvent] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -279,6 +286,139 @@ class FaultPlan:
                         f"link CRC caught a corrupted {direction} transfer "
                         f"(array {i}, word {ev.detail['index']}, "
                         f"bit {ev.detail['bit']})")
+
+
+# ----------------------------------------------------------------------
+# Correlated fault processes (whole-device incidents over modeled time)
+# ----------------------------------------------------------------------
+#
+# A FaultPlan's flat rates model *independent* per-opportunity faults.
+# Real incidents are correlated in time: a card browns out for a
+# window, a link flaps in bursts, a dying board degrades progressively.
+# A FaultProcess is a pure function of modeled time that contributes
+# rate overrides and a latency multiplier to the plan derived for a
+# chunk attempt -- `PooledDevice.plan_for(..., at_ms=...)` evaluates
+# every process at the attempt's modeled start time, so the incident a
+# chunk sees is a deterministic function of its schedule position, and
+# checkpoint/resume (which restores the modeled clocks) replays it
+# exactly.
+
+
+def combine_rates(*rates: float) -> float:
+    """Independent-OR combination of per-opportunity probabilities:
+    ``1 - prod(1 - r)``, clamped to [0, 1]."""
+    keep = 1.0
+    for r in rates:
+        keep *= 1.0 - min(1.0, max(0.0, r))
+    return 1.0 - keep
+
+
+@dataclass(frozen=True)
+class BrownoutProcess:
+    """Latency multiplier over a modeled-time window (slow, not wrong).
+
+    Inside ``[start_ms, start_ms + duration_ms)`` every launch costs
+    ``multiplier``x its modeled milliseconds; no extra faults are
+    injected.  This is the failure mode circuit breakers cannot see --
+    nothing errors -- and exactly what latency-ratio health scoring
+    and hedged execution exist for.
+    """
+
+    start_ms: float = 0.0
+    duration_ms: float = float("inf")
+    multiplier: float = 2.0
+
+    def active_at(self, t_ms: float) -> bool:
+        return self.start_ms <= t_ms < self.start_ms + self.duration_ms
+
+    def rates_at(self, t_ms: float) -> dict[str, float]:
+        return {}
+
+    def latency_multiplier_at(self, t_ms: float) -> float:
+        return self.multiplier if self.active_at(t_ms) else 1.0
+
+
+@dataclass(frozen=True)
+class FlappingProcess:
+    """Fault bursts on a seeded on/off schedule.
+
+    Modeled time is cut into windows of ``period_ms``; each window is
+    independently *down* with probability ``duty``, drawn from a
+    generator seeded by ``(seed, window index)`` -- a pure function of
+    time, so two runs (or a resumed run) agree on every burst edge.
+    During a down window, launches fail fatally with ``fault_rate``;
+    between bursts the device looks perfectly healthy, which is what
+    defeats a plain breaker (one lucky half-open probe re-closes it).
+    """
+
+    seed: int = 0
+    period_ms: float = 2.0
+    duty: float = 0.5
+    fault_rate: float = 1.0
+
+    def down_at(self, t_ms: float) -> bool:
+        window = max(0, int(t_ms // self.period_ms))
+        draw = np.random.default_rng(
+            np.random.SeedSequence([self.seed, window])).random()
+        return bool(draw < self.duty)
+
+    def rates_at(self, t_ms: float) -> dict[str, float]:
+        if self.down_at(t_ms):
+            return {"launch_fatal_rate": self.fault_rate}
+        return {}
+
+    def latency_multiplier_at(self, t_ms: float) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DegradationProcess:
+    """Progressive degradation: a fault-probability ramp.
+
+    From ``start_ms`` on, ``field``'s rate grows by ``rate_per_ms``
+    per modeled millisecond up to ``max_rate`` -- the dying-board
+    profile where early traffic mostly succeeds and late traffic
+    mostly does not.
+    """
+
+    start_ms: float = 0.0
+    rate_per_ms: float = 0.01
+    max_rate: float = 1.0
+    field: str = "launch_fatal_rate"
+
+    def rate_at(self, t_ms: float) -> float:
+        if t_ms <= self.start_ms:
+            return 0.0
+        return min(self.max_rate, (t_ms - self.start_ms) * self.rate_per_ms)
+
+    def rates_at(self, t_ms: float) -> dict[str, float]:
+        rate = self.rate_at(t_ms)
+        return {self.field: rate} if rate > 0.0 else {}
+
+    def latency_multiplier_at(self, t_ms: float) -> float:
+        return 1.0
+
+
+#: Everything `PooledDevice.processes` accepts.
+FaultProcess = BrownoutProcess | FlappingProcess | DegradationProcess
+
+
+def evaluate_processes(processes, t_ms: float
+                       ) -> tuple[dict[str, float], float]:
+    """Fold a device's fault processes at one modeled instant into
+    ``(rate overrides, latency multiplier)``.
+
+    Rates from several processes combine independent-OR per field;
+    multipliers combine multiplicatively (two overlapping brownouts
+    compound).
+    """
+    rates: dict[str, float] = {}
+    multiplier = 1.0
+    for proc in processes:
+        for fld, rate in proc.rates_at(t_ms).items():
+            rates[fld] = combine_rates(rates.get(fld, 0.0), rate)
+        multiplier *= proc.latency_multiplier_at(t_ms)
+    return rates, multiplier
 
 
 def find_global_arrays(kernel_args: dict[str, Any]) -> list:

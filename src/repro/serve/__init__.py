@@ -12,6 +12,9 @@ process dies halfway through a long job.
 * :class:`~repro.serve.breaker.CircuitBreaker` -- per-device
   closed/open/half-open health gating driven by the PR-2 fault
   taxonomy;
+* :class:`~repro.serve.health.HealthMonitor` -- the device lifecycle
+  (active/suspect/quarantined/probation/evicted): EWMA health scoring,
+  canary readmission, flap eviction and warm-spare promotion;
 * :mod:`~repro.serve.checkpoint` -- JSONL checkpoints; kill a run,
   resume it bitwise;
 * :class:`~repro.serve.scheduler.BatchScheduler` -- chunk sharding,
@@ -41,6 +44,8 @@ from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
 from .errors import (AdmissionError, CheckpointMismatchError,
                      DeadlineExceededError, DeadlineUnmeetableError,
                      QueueFullError, ServeError)
+from .health import (ACTIVE, EVICTED, PROBATION, QUARANTINED, SPARE,
+                     SUSPECT, DeviceHealth, HealthMonitor, HealthPolicy)
 from .job import (DEFAULT_CPU_CHAIN, ChunkAttempt, ChunkRecord, JobReport,
                   SolveJob, digest_array)
 from .queue import BoundedJobQueue
@@ -49,6 +54,8 @@ from .scheduler import BatchScheduler
 __all__ = [
     "BatchScheduler", "BoundedJobQueue", "CircuitBreaker",
     "BreakerTransition", "CLOSED", "OPEN", "HALF_OPEN",
+    "HealthMonitor", "HealthPolicy", "DeviceHealth",
+    "ACTIVE", "SUSPECT", "QUARANTINED", "PROBATION", "EVICTED", "SPARE",
     "CheckpointWriter", "ResumeState", "load_checkpoint",
     "SolveJob", "JobReport", "ChunkRecord", "ChunkAttempt",
     "DEFAULT_CPU_CHAIN", "digest_array",

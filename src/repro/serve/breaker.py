@@ -110,12 +110,22 @@ class CircuitBreaker:
 
     def state_dict(self) -> dict:
         """JSON-ready snapshot of the dynamic state (thresholds are
-        configuration, not state, and stay with the scheduler)."""
+        configuration, not state, and stay with the scheduler).
+
+        The full *transition history* is part of the state: flap
+        detection (the health monitor counting trip cycles) must
+        survive a checkpoint/resume, or a resumed run would forgive a
+        device its pre-kill flapping.
+        """
         return {
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,
             "probe_successes": self.probe_successes,
             "opened_at_ms": self.opened_at_ms,
+            "transitions": [
+                {"from": t.frm, "to": t.to, "reason": t.reason,
+                 "at_ms": t.at_ms}
+                for t in self.transitions],
         }
 
     def load_state_dict(self, d: dict) -> None:
@@ -123,3 +133,17 @@ class CircuitBreaker:
         self.consecutive_failures = int(d["consecutive_failures"])
         self.probe_successes = int(d["probe_successes"])
         self.opened_at_ms = float(d["opened_at_ms"])
+        # Pre-lifecycle checkpoints carry no history; keep whatever
+        # this breaker already has rather than inventing an empty past.
+        if "transitions" in d:
+            self.transitions = [
+                BreakerTransition(frm=t["from"], to=t["to"],
+                                  reason=t["reason"],
+                                  at_ms=float(t["at_ms"]))
+                for t in d["transitions"]]
+
+    def trips_since(self, since_ms: float) -> int:
+        """How many times this breaker (re-)opened at or after
+        ``since_ms`` -- the flap signal the health monitor reads."""
+        return sum(1 for t in self.transitions
+                   if t.to == OPEN and t.at_ms >= since_ms)

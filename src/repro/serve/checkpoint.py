@@ -11,7 +11,11 @@ Format (one JSON object per line, append-only):
   restoration is bitwise) and their digest.
 * ``{"type": "state", "after_chunk": k, ...}`` -- scheduler state at a
   checkpoint barrier: per-device modeled clocks, the CPU-chain clock,
-  and every circuit breaker's dynamic state.
+  every circuit breaker's dynamic state (including its transition
+  history) and, since the lifecycle work, an optional ``health`` key
+  with the :class:`~repro.serve.health.HealthMonitor` snapshot.  The
+  format version stays at 1: ``health`` is additive and loaders
+  tolerate its absence (pre-lifecycle checkpoints resume fine).
 
 Chunk lines are buffered and written *together with* the state line
 every ``checkpoint_every`` chunks, so the file is always a prefix of
@@ -91,16 +95,20 @@ class CheckpointWriter:
 
     def barrier(self, after_chunk: int, *, now_ms: float,
                 device_clocks: dict[str, float], cpu_clock_ms: float,
-                breakers: dict[str, dict]) -> None:
+                breakers: dict[str, dict],
+                health: dict | None = None) -> None:
         """Flush buffered chunks plus one consistent state line."""
         for doc in self._buffer:
             self._write_line(doc)
         self._buffer.clear()
-        self._write_line({
+        doc = {
             "type": "state", "after_chunk": after_chunk, "now_ms": now_ms,
             "device_clocks": device_clocks, "cpu_clock_ms": cpu_clock_ms,
             "breakers": breakers,
-        })
+        }
+        if health is not None:
+            doc["health"] = health
+        self._write_line(doc)
         self._fh.flush()
 
     def close(self) -> None:
@@ -124,6 +132,8 @@ class ResumeState:
     device_clocks: dict[str, float] = field(default_factory=dict)
     cpu_clock_ms: float = 0.0
     breakers: dict[str, dict] = field(default_factory=dict)
+    #: HealthMonitor snapshot ({} for pre-lifecycle checkpoints)
+    health: dict = field(default_factory=dict)
     #: chunk_id -> (record, solution rows), bitwise as written
     chunks: dict[int, tuple[ChunkRecord, np.ndarray]] = \
         field(default_factory=dict)
@@ -169,6 +179,7 @@ def load_checkpoint(path: str, job: SolveJob) -> ResumeState:
                            for k, v in st["device_clocks"].items()}
     state.cpu_clock_ms = float(st["cpu_clock_ms"])
     state.breakers = dict(st["breakers"])
+    state.health = dict(st.get("health", {}))
     for doc in docs[1:last_state_pos]:
         if doc.get("type") != "chunk":
             continue

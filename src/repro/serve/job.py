@@ -125,12 +125,28 @@ class SolveJob:
         return h.hexdigest()
 
 
+#: Attempt outcomes that count as a device fault in the per-device
+#: outcome table.
+FAULT_OUTCOMES = frozenset({"launch_error", "corruption", "timeout"})
+
+#: Attempt outcomes produced by hedged execution: a ``hedge_cancelled``
+#: loser (healthy, just slower) and a ``hedge_failed`` hedge whose
+#: result was unusable (fault, timeout or residual miss).
+HEDGE_OUTCOMES = frozenset({"hedge_cancelled", "hedge_failed"})
+
+
 @dataclass
 class ChunkAttempt:
-    """One dispatch attempt of a chunk on one device."""
+    """One dispatch attempt of a chunk on one device.
+
+    ``outcome`` is one of ``ok`` | ``launch_error`` | ``corruption`` |
+    ``timeout`` | ``residual`` | ``hedge_cancelled`` | ``hedge_failed``
+    (the last two come from hedged execution; the race winner -- hedge
+    or primary -- always lands as a plain ``ok``).
+    """
 
     device: str
-    outcome: str     #: ok | launch_error | corruption | timeout | residual
+    outcome: str
     modeled_ms: float = 0.0
     backoff_ms: float = 0.0   #: jittered modeled backoff before retry
 
@@ -221,6 +237,35 @@ class JobReport:
             out[c.device] = out.get(c.device, 0) + 1
         return out
 
+    def device_outcomes(self) -> dict[str, dict[str, int]]:
+        """Per-device attempt accounting across this job's chunks:
+        ``{device: {"ok", "faulted", "hedged", "residual_missed"}}``.
+
+        ``hedged`` counts hedge-race losers and failed hedges on the
+        device (a hedge the device *won* counts under ``ok`` like any
+        accepted attempt).  Restored chunks carry their original
+        attempt lists, so resumed jobs aggregate identically.
+        """
+        out: dict[str, dict[str, int]] = {}
+
+        def row(device: str) -> dict[str, int]:
+            return out.setdefault(device, {
+                "ok": 0, "faulted": 0, "hedged": 0, "residual_missed": 0})
+
+        for c in self.chunks:
+            for a in c.attempts:
+                if a.outcome == "ok":
+                    row(a.device)["ok"] += 1
+                elif a.outcome in FAULT_OUTCOMES:
+                    row(a.device)["faulted"] += 1
+                elif a.outcome in HEDGE_OUTCOMES:
+                    row(a.device)["hedged"] += 1
+                elif a.outcome == "residual":
+                    row(a.device)["residual_missed"] += 1
+            if c.device == "cpu" and c.status in ("degraded", "failed"):
+                row("cpu")["ok" if c.status == "degraded" else "faulted"] += 1
+        return out
+
     def solution_digest(self) -> str:
         return digest_array(self.x)
 
@@ -259,6 +304,7 @@ class JobReport:
             "failed_chunks": self.failed_chunks,
             "total_retries": self.total_retries,
             "devices_used": self.devices_used(),
+            "device_outcomes": self.device_outcomes(),
             "solution_digest": self.solution_digest(),
             "chunks": [c.to_dict() for c in self.chunks],
         }

@@ -17,6 +17,15 @@ contract:
 * **circuit breaking** -- repeated failures open the device's breaker
   (:mod:`repro.serve.breaker`); an open device receives nothing until
   its modeled cooldown elapses, then probes trickle through;
+* **health lifecycle** -- a :class:`~repro.serve.health.HealthMonitor`
+  scores every device from EWMA fault rate, realized-vs-modeled
+  latency and breaker trip history; quarantined devices leave the
+  placement set until seeded canary solves readmit them, flapping
+  devices are evicted and warm spares promoted;
+* **hedged chunks** -- when a chunk's realized/modeled cost ratio
+  crosses ``hedge_ratio``, a deterministic hedge launches on the
+  next-best healthy device; the first acceptable result wins and the
+  loser is accounted as ``hedge_cancelled``;
 * **graceful degradation** -- a chunk that fails its residual gate, or
   finds every breaker open, falls back to the CPU chain via
   :func:`repro.resilience.robust_solve` (``thomas`` -> ``gep`` by
@@ -54,16 +63,17 @@ from repro.telemetry.metrics import (record_chunk_done, record_chunk_latency,
                                      record_cost_residual,
                                      record_deadline_miss,
                                      record_deadline_slack,
-                                     record_degraded_solve,
+                                     record_degraded_solve, record_hedge,
                                      record_job_latency,
                                      record_pool_trace_cache,
                                      record_queue_wait, record_retry_delay,
                                      record_shed)
 from repro.telemetry.slo import SLORegistry
 
-from .breaker import OPEN, CircuitBreaker
+from .breaker import CLOSED, OPEN, CircuitBreaker
 from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
 from .errors import AdmissionError
+from .health import HealthMonitor, HealthPolicy
 from .job import ChunkAttempt, ChunkRecord, JobReport, SolveJob, digest_array
 from .queue import BoundedJobQueue
 
@@ -73,6 +83,12 @@ LAUNCH_FAIL_PENALTY_MS = 0.01
 
 #: Modeled CPU-chain cost per unknown (sequential Thomas-style sweep).
 CPU_NS_PER_UNKNOWN = 500.0
+
+#: Attempt-coordinate offset for hedge fault plans.  A hedge must draw
+#: a fault stream distinct from every retry of the same chunk, so its
+#: plan is derived at ``HEDGE_ATTEMPT_BASE + attempt`` -- far above any
+#: realistic ``max_chunk_retries``.
+HEDGE_ATTEMPT_BASE = 1_000_000
 
 
 class BatchScheduler:
@@ -103,8 +119,18 @@ class BatchScheduler:
     checkpoint_every:
         Chunks per checkpoint barrier.
     seed:
-        Entropy root for the scheduler's own draws (backoff jitter)
-        and for per-job trace ids.
+        Entropy root for the scheduler's own draws (backoff jitter),
+        per-job trace ids and readmission canaries.
+    hedge_ratio:
+        Realized/modeled cost ratio above which a completed chunk also
+        launches a hedge on the next-best healthy device (``None``
+        disables hedging).  A fixed threshold -- not a quantile over
+        run history -- so a resumed run (which never re-observes
+        restored chunks) hedges identically to a straight one.
+    health_policy:
+        Lifecycle thresholds for the built-in
+        :class:`~repro.serve.health.HealthMonitor` (defaults when not
+        given; the monitor itself is always on).
     slo:
         SLO accounting registry (:mod:`repro.telemetry.slo`); a fresh
         default-class registry when not given.  Works with or without
@@ -125,6 +151,8 @@ class BatchScheduler:
                  checkpoint_every: int = 4,
                  seed: int = 0,
                  cost_model=None,
+                 hedge_ratio: float | None = None,
+                 health_policy: HealthPolicy | None = None,
                  slo: SLORegistry | None = None):
         self.pool = pool
         self.queue = queue or BoundedJobQueue(
@@ -137,13 +165,19 @@ class BatchScheduler:
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.seed = seed
         self._cost_model = cost_model or gt200_cost_model()
+        self.hedge_ratio = hedge_ratio
+        # Breakers and clocks cover warm spares too: promotion must
+        # never change the shape of checkpointed scheduler state.
         self.breakers: dict[str, CircuitBreaker] = {
             d.name: CircuitBreaker(
                 name=d.name, failure_threshold=failure_threshold,
                 cooldown_ms=cooldown_ms,
                 half_open_successes=half_open_successes)
-            for d in pool}
-        self._clock: dict[str, float] = {d.name: 0.0 for d in pool}
+            for d in pool.all_devices()}
+        self._clock: dict[str, float] = {
+            d.name: 0.0 for d in pool.all_devices()}
+        self.health = HealthMonitor(pool, policy=health_policy, seed=seed,
+                                    cost_model=self._cost_model)
         self._cpu_clock = 0.0
         self._now_ms = 0.0
         self._estimate_cache: dict[tuple, float] = {}
@@ -265,17 +299,26 @@ class BatchScheduler:
         for name, bstate in state.breakers.items():
             if name in self.breakers:
                 self.breakers[name].load_state_dict(bstate)
+        # Health last: loading re-applies spare promotions recorded in
+        # the snapshot, so pool membership (and with it placement
+        # order) matches the moment the barrier was written.
+        if state.health:
+            self.health.load_state_dict(state.health)
 
     def _pick_device(self, frontier_ms: float,
                      exclude: set[str]) -> PooledDevice | None:
         """Least-loaded admissible device; ``None`` when every breaker
-        is open.  ``exclude`` holds devices that already failed this
-        chunk -- preferred away from, but allowed again when they are
-        all that is left."""
+        is open (or every device quarantined).  ``exclude`` holds
+        devices that already failed this chunk -- preferred away from,
+        but allowed again when they are all that is left.  Devices the
+        health monitor holds in quarantine (or has evicted) are never
+        candidates."""
         def candidates(skip_excluded: bool) -> list[tuple[float, int]]:
             out = []
             for i, dev in enumerate(self.pool):
                 if skip_excluded and dev.name in exclude:
+                    continue
+                if not self.health.allows(dev.name):
                     continue
                 b = self.breakers[dev.name]
                 start = max(self._clock[dev.name], frontier_ms)
@@ -295,6 +338,25 @@ class BatchScheduler:
         if not self.breakers[device.name].allow(start):
             return None   # pragma: no cover - guarded by the scan above
         return device
+
+    def _pick_hedge_device(self, frontier_ms: float,
+                           exclude: set[str]) -> PooledDevice | None:
+        """Next-best healthy device for a hedge: like
+        :meth:`_pick_device` but strict -- excluded devices never come
+        back, and a closed breaker is required (a hedge is opportunistic
+        backup work, not worth spending a half-open probe slot on)."""
+        out = []
+        for i, dev in enumerate(self.pool):
+            if dev.name in exclude:
+                continue
+            if not self.health.allows(dev.name):
+                continue
+            if self.breakers[dev.name].state != CLOSED:
+                continue
+            out.append((max(self._clock[dev.name], frontier_ms), i))
+        if not out:
+            return None
+        return self.pool[min(out)[1]]
 
     def _backoff_ms(self, job: SolveJob, chunk_id: int,
                     attempt: int) -> float:
@@ -343,12 +405,20 @@ class BatchScheduler:
             self.slo.record_breaker_trip(job.slo_class, breaker.name)
             telemetry.event("serve.breaker_trip", device=breaker.name,
                             cls=job.slo_class, kind=kind)
+            # Repeated trips in a short window read as a flap; the
+            # monitor may quarantine the device outright.
+            self.health.note_trip(breaker.name, breaker, end_ms)
 
     def _run_chunk(self, job: SolveJob, chunk_id: int, frontier_ms: float
                    ) -> tuple[ChunkRecord, np.ndarray]:
-        """One chunk through the full contract: place, retry, reroute,
-        gate, degrade."""
+        """One chunk through the full contract: readmit, place, retry,
+        reroute, hedge, gate, degrade."""
         sub = job.chunk_systems(chunk_id)
+        # Chunk boundaries are the readmission points: quarantined
+        # devices that served their dwell run their canary round here.
+        self.health.maybe_readmit(max(self._now_ms, frontier_ms),
+                                  self._clock)
+        est = self._chunk_estimate_ms(job)
         attempts: list[ChunkAttempt] = []
         failed_on: set[str] = set()
         degrade_reason = "no_healthy_device"
@@ -359,7 +429,8 @@ class BatchScheduler:
                 break
             breaker = self.breakers[device.name]
             start = max(self._clock[device.name], frontier_ms)
-            plan = device.plan_for(job.job_id, chunk_id, attempt)
+            plan = device.plan_for(job.job_id, chunk_id, attempt,
+                                   at_ms=start)
             try:
                 # Chunks of one job (and across jobs on the same pool)
                 # share the pool's trace cache; faulted attempts bypass
@@ -391,6 +462,8 @@ class BatchScheduler:
                 self._clock[device.name] = end + backoff
                 self._now_ms = max(self._now_ms, end)
                 self._breaker_failure(breaker, end, kind, job)
+                self.health.observe_attempt(device.name, ok=False,
+                                            now_ms=end)
                 record_chunk_retry(device.name, kind)
                 record_retry_delay(backoff, job.slo_class, device.name)
                 attempts.append(ChunkAttempt(
@@ -399,7 +472,11 @@ class BatchScheduler:
                 failed_on.add(device.name)
                 continue
 
-            cost = self._cost_model.report(launch).total_ms
+            # Realized cost: the cost-model time of the launch, scaled
+            # by any staged incident's latency multiplier (a brownout
+            # slows the device without faulting it).
+            cost = (self._cost_model.report(launch).total_ms
+                    * (plan.latency_multiplier if plan is not None else 1.0))
             if (self.chunk_timeout_ms is not None
                     and cost > self.chunk_timeout_ms):
                 # The watchdog kills the launch at the timeout mark.
@@ -407,6 +484,8 @@ class BatchScheduler:
                 self._clock[device.name] = end
                 self._now_ms = max(self._now_ms, end)
                 self._breaker_failure(breaker, end, "timeout", job)
+                self.health.observe_attempt(device.name, ok=False,
+                                            now_ms=end)
                 record_chunk_retry(device.name, "timeout")
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome="timeout",
@@ -417,21 +496,36 @@ class BatchScheduler:
             rel = _relative_residuals(sub, x)
             if bool(np.all(rel <= job.residual_tol)):
                 end = start + cost
+                ratio = (cost / est) if est > 0 else None
+                hedge = None
+                if (self.hedge_ratio is not None and ratio is not None
+                        and ratio >= self.hedge_ratio):
+                    hedge = self._try_hedge(job, chunk_id, attempt, sub,
+                                            est, device.name, failed_on,
+                                            frontier_ms)
+                if (hedge is not None and hedge["ok"]
+                        and hedge["end"] < end):
+                    return self._hedge_wins(job, chunk_id, attempts,
+                                            device, breaker, start, end,
+                                            ratio, hedge, sub, est)
+                # Primary wins (ties go to the primary) or no hedge ran.
                 self._clock[device.name] = end
                 self._now_ms = max(self._now_ms, end)
                 breaker.record_success(end)
+                self.health.observe_attempt(device.name, ok=True,
+                                            ratio=ratio, now_ms=end)
                 record_chunk_done(device.name, "ok")
                 record_chunk_latency(cost, job.slo_class, device.name)
-                if telemetry.enabled():
+                if telemetry.enabled() and est > 0:
                     # Pair the realized modeled cost with the
                     # scheduler's estimate for this chunk shape: the
                     # per-(solver, layout, n) calibration residual.
-                    est = self._chunk_estimate_ms(job)
-                    if est > 0:
-                        record_cost_residual(job.method, "global", sub.n,
-                                             (cost - est) / est)
+                    record_cost_residual(job.method, "global", sub.n,
+                                         (cost - est) / est)
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome="ok", modeled_ms=cost))
+                if hedge is not None:
+                    self._settle_losing_hedge(hedge, end, attempts)
                 x64 = np.asarray(x, dtype=np.float64)
                 record = ChunkRecord(
                     chunk_id=chunk_id, status="ok", device=device.name,
@@ -445,6 +539,8 @@ class BatchScheduler:
             end = start + cost
             self._clock[device.name] = end
             self._now_ms = max(self._now_ms, end)
+            self.health.observe_attempt(device.name, ok=True, ratio=None,
+                                        now_ms=end)
             attempts.append(ChunkAttempt(
                 device=device.name, outcome="residual", modeled_ms=cost))
             degrade_reason = "residual"
@@ -453,6 +549,154 @@ class BatchScheduler:
             degrade_reason = "retries_exhausted"
         return self._degrade(job, chunk_id, degrade_reason, attempts,
                              frontier_ms)
+
+    # -- hedged execution -----------------------------------------------
+
+    def _try_hedge(self, job: SolveJob, chunk_id: int, attempt: int,
+                   sub, est: float, primary: str, failed_on: set[str],
+                   frontier_ms: float) -> dict | None:
+        """Launch a hedge for a slow-but-successful primary attempt.
+
+        Returns ``None`` when no healthy device is free, else a dict:
+        ``ok=True`` carries the hedge result (device, start/end, cost,
+        ratio, x), ``ok=False`` carries the already-settled failure
+        record (the hedge device's breaker/clock/health were charged
+        here; the caller only appends the attempt line).
+        """
+        dev = self._pick_hedge_device(frontier_ms, {primary} | failed_on)
+        if dev is None:
+            return None
+        breaker = self.breakers[dev.name]
+        start = max(self._clock[dev.name], frontier_ms)
+        plan = dev.plan_for(job.job_id, chunk_id,
+                            HEDGE_ATTEMPT_BASE + attempt, at_ms=start)
+        record_hedge(dev.name, "launched")
+        telemetry.event("serve.hedge", job=job.job_id, chunk=chunk_id,
+                        device=dev.name, primary=primary)
+        try:
+            with telemetry.span("serve.hedge_attempt", job=job.job_id,
+                                chunk=chunk_id, device=dev.name), \
+                    _tracecache.use_cache(self.pool.trace_cache):
+                if plan is not None:
+                    with _faults.inject(plan):
+                        x, launch = run_kernel(
+                            job.method, sub,
+                            intermediate_size=job.intermediate_size,
+                            device=dev.spec)
+                else:
+                    x, launch = run_kernel(
+                        job.method, sub,
+                        intermediate_size=job.intermediate_size,
+                        device=dev.spec)
+        except (_faults.DataCorruptionError,
+                _faults.KernelLaunchError) as exc:
+            kind = ("corruption"
+                    if isinstance(exc, _faults.DataCorruptionError)
+                    else "launch_error")
+            end = start + LAUNCH_FAIL_PENALTY_MS
+            self._clock[dev.name] = end
+            self._now_ms = max(self._now_ms, end)
+            self._breaker_failure(breaker, end, kind, job)
+            self.health.observe_attempt(dev.name, ok=False, now_ms=end)
+            record_hedge(dev.name, "failed")
+            return {"ok": False, "attempt": ChunkAttempt(
+                device=dev.name, outcome="hedge_failed",
+                modeled_ms=LAUNCH_FAIL_PENALTY_MS)}
+        cost = (self._cost_model.report(launch).total_ms
+                * (plan.latency_multiplier if plan is not None else 1.0))
+        if (self.chunk_timeout_ms is not None
+                and cost > self.chunk_timeout_ms):
+            end = start + self.chunk_timeout_ms
+            self._clock[dev.name] = end
+            self._now_ms = max(self._now_ms, end)
+            self._breaker_failure(breaker, end, "timeout", job)
+            self.health.observe_attempt(dev.name, ok=False, now_ms=end)
+            record_hedge(dev.name, "failed")
+            return {"ok": False, "attempt": ChunkAttempt(
+                device=dev.name, outcome="hedge_failed",
+                modeled_ms=self.chunk_timeout_ms)}
+        rel = _relative_residuals(sub, x)
+        if not bool(np.all(rel <= job.residual_tol)):
+            # Not acceptable -- but also not a device fault; the
+            # primary's result stands and no breaker is charged.
+            end = start + cost
+            self._clock[dev.name] = end
+            self._now_ms = max(self._now_ms, end)
+            self.health.observe_attempt(dev.name, ok=True, ratio=None,
+                                        now_ms=end)
+            record_hedge(dev.name, "failed")
+            return {"ok": False, "attempt": ChunkAttempt(
+                device=dev.name, outcome="hedge_failed", modeled_ms=cost)}
+        return {"ok": True, "device": dev, "breaker": breaker,
+                "start": start, "end": start + cost, "cost": cost,
+                "ratio": (cost / est) if est > 0 else None, "x": x}
+
+    def _settle_losing_hedge(self, hedge: dict, winner_end_ms: float,
+                             attempts: list[ChunkAttempt]) -> None:
+        """Account a hedge that lost the race (or failed outright).
+
+        A losing-but-healthy hedge is *cancelled* at the winner's
+        finish line: its device is charged only the overlap, its
+        breaker records a success (the device did nothing wrong), and
+        the attempt lands as ``hedge_cancelled``.
+        """
+        if not hedge["ok"]:
+            attempts.append(hedge["attempt"])
+            return
+        dev = hedge["device"]
+        cancel_at = min(hedge["end"], max(hedge["start"], winner_end_ms))
+        self._clock[dev.name] = cancel_at
+        self._now_ms = max(self._now_ms, cancel_at)
+        hedge["breaker"].record_success(cancel_at)
+        self.health.observe_attempt(dev.name, ok=True,
+                                    ratio=hedge["ratio"],
+                                    now_ms=cancel_at)
+        attempts.append(ChunkAttempt(
+            device=dev.name, outcome="hedge_cancelled",
+            modeled_ms=max(0.0, cancel_at - hedge["start"])))
+        record_hedge(dev.name, "cancelled")
+
+    def _hedge_wins(self, job: SolveJob, chunk_id: int,
+                    attempts: list[ChunkAttempt], primary_dev,
+                    primary_breaker, primary_start: float,
+                    primary_end: float, primary_ratio: float | None,
+                    hedge: dict, sub, est: float
+                    ) -> tuple[ChunkRecord, np.ndarray]:
+        """The hedge beat the primary: the primary is cancelled at the
+        hedge's finish line and the hedge result becomes the chunk."""
+        h_end = hedge["end"]
+        cancel_at = min(primary_end, max(primary_start, h_end))
+        self._clock[primary_dev.name] = cancel_at
+        self._now_ms = max(self._now_ms, cancel_at)
+        primary_breaker.record_success(cancel_at)
+        self.health.observe_attempt(primary_dev.name, ok=True,
+                                    ratio=primary_ratio, now_ms=cancel_at)
+        attempts.append(ChunkAttempt(
+            device=primary_dev.name, outcome="hedge_cancelled",
+            modeled_ms=max(0.0, cancel_at - primary_start)))
+        record_hedge(primary_dev.name, "cancelled")
+
+        dev = hedge["device"]
+        self._clock[dev.name] = h_end
+        self._now_ms = max(self._now_ms, h_end)
+        hedge["breaker"].record_success(h_end)
+        self.health.observe_attempt(dev.name, ok=True,
+                                    ratio=hedge["ratio"], now_ms=h_end)
+        record_hedge(dev.name, "won")
+        record_chunk_done(dev.name, "ok")
+        record_chunk_latency(hedge["cost"], job.slo_class, dev.name)
+        if telemetry.enabled() and est > 0:
+            record_cost_residual(job.method, "global", sub.n,
+                                 (hedge["cost"] - est) / est)
+        attempts.append(ChunkAttempt(
+            device=dev.name, outcome="ok", modeled_ms=hedge["cost"]))
+        x64 = np.asarray(hedge["x"], dtype=np.float64)
+        record = ChunkRecord(
+            chunk_id=chunk_id, status="ok", device=dev.name,
+            attempts=attempts,
+            start_ms=min(primary_start, hedge["start"]), end_ms=h_end,
+            modeled_ms=hedge["cost"], digest=digest_array(x64))
+        return record, x64
 
     # -- the job loop ---------------------------------------------------
 
@@ -499,7 +743,8 @@ class BatchScheduler:
                     device_clocks=dict(self._clock),
                     cpu_clock_ms=self._cpu_clock,
                     breakers={n: b.state_dict()
-                              for n, b in self.breakers.items()})
+                              for n, b in self.breakers.items()},
+                    health=self.health.state_dict())
 
         with telemetry.trace_span("serve.job", trace_id=trace_id,
                                   parent_id=root_id, job=job.job_id,

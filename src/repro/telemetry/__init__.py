@@ -46,20 +46,26 @@ from .export import (chrome_trace, estimator_summary, phase_totals,
                      text_summary, to_jsonl, trace_cache_summary,
                      trace_trees, verify_summary, write_chrome_trace,
                      write_jsonl, write_prometheus, write_summary)
-from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
+from .metrics import (BREAKER_TRANSITIONS, CANARY_TOTAL, CHUNKS_TOTAL,
+                      CHUNK_RETRIES,
                       COST_RESIDUAL, DEADLINE_MISSES, DEADLINE_SLACK,
                       DEGRADED_TOTAL, FALLBACK_TOTAL,
-                      FUZZ_CASES, QUEUE_DEPTH, QUEUE_REJECTED, QUEUE_WAIT,
+                      FUZZ_CASES, HEALTH_SCORE, HEDGES_TOTAL,
+                      LIFECYCLE_TRANSITIONS,
+                      QUEUE_DEPTH, QUEUE_REJECTED, QUEUE_WAIT,
                       RESIDUAL_MAX, RETRY_DELAY, SERVE_CHUNK_LATENCY,
                       SERVE_LATENCY, SHED_TOTAL,
                       VERIFY_CELLS, Counter,
                       Gauge, Histogram, MetricsRegistry,
-                      record_breaker_transition, record_chunk_done,
+                      record_breaker_transition, record_canary,
+                      record_chunk_done,
                       record_chunk_latency,
                       record_chunk_retry, record_cost_residual,
                       record_deadline_miss, record_deadline_slack,
                       record_degraded_solve, record_fallback,
-                      record_fuzz_case, record_job_latency,
+                      record_fuzz_case, record_health_score, record_hedge,
+                      record_job_latency,
+                      record_lifecycle_transition,
                       record_pool_trace_cache, record_queue_depth,
                       record_queue_rejection, record_queue_wait,
                       record_residual_max, record_retry_delay,
@@ -90,6 +96,9 @@ __all__ = [
     "record_pool_trace_cache", "record_queue_depth",
     "record_queue_rejection", "record_queue_wait", "record_retry_delay",
     "record_shed",
+    "HEALTH_SCORE", "LIFECYCLE_TRANSITIONS", "HEDGES_TOTAL", "CANARY_TOTAL",
+    "record_health_score", "record_lifecycle_transition", "record_hedge",
+    "record_canary",
     "FUZZ_CASES", "VERIFY_CELLS", "record_fuzz_case", "record_verify_cell",
     "DEFAULT_CLASS", "DEFAULT_CLASSES", "SLOClass", "SLORegistry",
     "NOOP_SPAN", "EventRecord", "LiveSpan", "NoopSpan", "SpanRecord",

@@ -284,13 +284,16 @@ def resilience_summary(collector: Collector) -> list[str]:
 def serve_summary(collector: Collector) -> list[str]:
     """Readable lines for the serving-layer metrics, empty when none.
 
-    Renders breaker transitions, chunk retries, degraded solves,
-    deadline misses, admission rejections/sheds, per-class latency
-    quantiles and the pool-level trace-cache hit rate -- the health
-    view of a :class:`repro.serve.BatchScheduler` run.
+    Renders breaker transitions, lifecycle transitions, hedges,
+    canaries, chunk retries, degraded solves, deadline misses,
+    admission rejections/sheds, per-class latency quantiles and the
+    pool-level trace-cache hit rate -- the health view of a
+    :class:`repro.serve.BatchScheduler` run.
     """
-    from .metrics import (BREAKER_TRANSITIONS, CHUNKS_TOTAL, CHUNK_RETRIES,
-                          DEADLINE_MISSES, DEGRADED_TOTAL, QUEUE_REJECTED,
+    from .metrics import (BREAKER_TRANSITIONS, CANARY_TOTAL, CHUNKS_TOTAL,
+                          CHUNK_RETRIES,
+                          DEADLINE_MISSES, DEGRADED_TOTAL, HEDGES_TOTAL,
+                          LIFECYCLE_TRANSITIONS, QUEUE_REJECTED,
                           SERVE_LATENCY, SHED_TOTAL, Counter, Histogram)
 
     out: list[str] = []
@@ -308,7 +311,17 @@ def serve_summary(collector: Collector) -> list[str]:
             out.append(f"  {labels.get('device', '?')}: "
                        f"{labels.get('from', '?')} -> "
                        f"{labels.get('to', '?')}: {value:g}")
+    lc = collector.metrics._metrics.get(LIFECYCLE_TRANSITIONS)
+    if isinstance(lc, Counter) and lc.series:
+        out.append("lifecycle transitions:")
+        for key, value in sorted(lc.series.items()):
+            labels = dict(key)
+            out.append(f"  {labels.get('device', '?')}: "
+                       f"{labels.get('from', '?')} -> "
+                       f"{labels.get('to', '?')}: {value:g}")
     for name, label, head in (
+            (HEDGES_TOTAL, "outcome", "hedged chunks"),
+            (CANARY_TOTAL, "result", "readmission canaries"),
             (CHUNK_RETRIES, "kind", "chunk retries"),
             (DEGRADED_TOTAL, "reason", "degraded to CPU chain"),
             (DEADLINE_MISSES, "job", "deadline misses"),

@@ -58,6 +58,15 @@ DEADLINE_SLACK = "serve.deadline_slack_ms"
 RETRY_DELAY = "serve.retry_delay_ms"
 SHED_TOTAL = "serve.shed_total"
 
+#: Device-health lifecycle metrics (emitted by
+#: :class:`repro.serve.health.HealthMonitor` and the scheduler's hedged
+#: execution path; rendered in the serve summary and the Prometheus
+#: exposition).
+HEALTH_SCORE = "serve.health_score"
+LIFECYCLE_TRANSITIONS = "serve.lifecycle_transitions"
+HEDGES_TOTAL = "serve.hedges_total"
+CANARY_TOTAL = "serve.canary_total"
+
 #: Modeled-vs-actual scheduler estimator accuracy: signed relative
 #: error ``(actual - estimate) / estimate`` per (solver, layout, n).
 COST_RESIDUAL = "estimator.cost_residual"
@@ -235,6 +244,53 @@ def record_shed(cls: str, reason: str) -> None:
         col.metrics.counter(
             SHED_TOTAL, "jobs shed at admission by SLO class").inc(
                 cls=cls, reason=reason)
+
+
+def record_health_score(device: str, score: float) -> None:
+    """Gauge one device's current health score in [0, 1]
+    (``serve.health_score{device}``); 1 is perfectly healthy."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.gauge(
+            HEALTH_SCORE, "device health score (1 = healthy)").set(
+                score, device=device)
+
+
+def record_lifecycle_transition(device: str, frm: str, to: str) -> None:
+    """Count one device-lifecycle state change
+    (``serve.lifecycle_transitions{device,from,to}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            LIFECYCLE_TRANSITIONS,
+            "device health lifecycle transitions").inc(
+                **{"device": device, "from": frm, "to": to})
+
+
+def record_hedge(device: str, outcome: str) -> None:
+    """Count one hedged chunk attempt by its fate
+    (``serve.hedges_total{device,outcome}``; outcomes: ``launched`` |
+    ``won`` | ``cancelled`` | ``failed``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            HEDGES_TOTAL, "hedged chunk attempts by outcome").inc(
+                device=device, outcome=outcome)
+
+
+def record_canary(device: str, result: str) -> None:
+    """Count one readmission canary solve
+    (``serve.canary_total{device,result}``; results: ``ok`` |
+    ``residual`` | ``latency`` | ``fault``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            CANARY_TOTAL, "readmission canary solves by result").inc(
+                device=device, result=result)
 
 
 def record_cost_residual(solver: str, layout: str, n: int,
