@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-cache bench-serve figures report profile chaos serve-chaos serve-health verify verify-full fuzz calibrate examples clean
+.PHONY: test test-fast bench bench-cache bench-serve bench-overload figures report profile chaos serve-chaos serve-health serve-overload verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -19,6 +19,10 @@ bench-cache:     ## trace-cache perf smoke (fails if hit rate < 90%)
 bench-serve:     ## serve-latency perf smoke (fails if p99 regresses >25%
                  ## vs the committed baseline; --update to rebaseline)
 	$(PY) benchmarks/bench_serve_latency.py --check
+
+bench-overload:  ## overload-shedding perf smoke (fails on interactive
+                 ## sheds, goodput drops, or p99 regressions >25%)
+	$(PY) benchmarks/bench_overload.py --check
 
 figures:         ## regenerate every table/figure text artifact in benchmarks/results/
 	@cd benchmarks && for b in bench_*.py; do \
@@ -50,6 +54,11 @@ serve-health:    ## device lifecycle suite (quarantine/readmission, hedged
                  ## chunks, warm spares), run twice for the determinism proof
 	$(PY) -m pytest tests/ -m health -q
 	$(PY) -m pytest tests/ -m health -q
+
+serve-overload:  ## multi-tenant overload acceptance suite (admission,
+                 ## quotas, shedding), run twice for the determinism proof
+	$(PY) -m pytest tests/ -m overload -q
+	$(PY) -m pytest tests/ -m overload -q
 
 verify:          ## 30-second headline reproduction check
 	$(PY) -m repro verify

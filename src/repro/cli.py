@@ -390,6 +390,146 @@ def _device_outcome_table(reports) -> str:
     return "\n".join(lines)
 
 
+def _live_line(snap: dict) -> str:
+    """One periodic ``--live`` status line from a frontend snapshot."""
+    parts = [f"[t={snap['now_ms']:9.3f}ms]",
+             f"done {snap['completed']:4d}",
+             f"shed {snap['shed']:4d}",
+             f"pend {snap['pending']:3d}"]
+    lat = []
+    for cls, row in snap["by_class"].items():
+        p50 = row["p50"]
+        p99 = row["p99"]
+        if p99 is not None:
+            lat.append(f"{cls[:3]} p50 {p50:.3f} p99 {p99:.3f}")
+    if lat:
+        parts.append("| " + "  ".join(lat))
+    sheds = {cls: row["shed"] for cls, row in snap["by_class"].items()
+             if row["shed"]}
+    if sheds:
+        parts.append("| shed " + ",".join(f"{c}={n}"
+                                          for c, n in sheds.items()))
+    parts.append(f"| quota {sum(snap['quota_denied'].values())} "
+                 f"breaker {snap['breaker_trips']} "
+                 f"downgrade {snap['downgrades']}")
+    return " ".join(parts)
+
+
+def _serve_live(args) -> int:
+    """`repro serve --live`: seeded open-loop overload run through the
+    multi-tenant front end with periodic p50/p99 + shed/quota/breaker
+    counters and the usual observability exports."""
+    import dataclasses
+    import json as _json
+
+    from repro import telemetry
+    from repro.gpusim.pool import make_pool
+    from repro.serve import (BatchScheduler, FrontendConfig, ServeFrontend,
+                             loadgen)
+    from repro.telemetry.export import serve_summary
+
+    warnings.simplefilter("ignore")
+    profiles = loadgen.overload_profiles(
+        args.load, scenario=args.scenario, tenants=args.tenants)
+    if args.quota_rate is not None:
+        profiles = [dataclasses.replace(
+            p, spec=dataclasses.replace(p.spec, quota_rate=args.quota_rate,
+                                        quota_burst=args.quota_burst))
+            for p in profiles]
+    requests = loadgen.generate(profiles, horizon_ms=args.duration_ms,
+                                seed=args.seed)
+    sink = None if args.json else (lambda snap: print(_live_line(snap)))
+    with telemetry.collect(
+            telemetry.deterministic_collector(args.seed)) as col:
+        pool = make_pool(args.devices, seed=args.seed)
+        sched = BatchScheduler(
+            pool, queue_capacity=args.queue_capacity,
+            failure_threshold=args.failure_threshold,
+            cooldown_ms=args.cooldown_ms,
+            max_chunk_retries=args.chunk_retries,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every, seed=args.seed)
+        fe = ServeFrontend(
+            sched, [p.spec for p in profiles],
+            config=FrontendConfig(pending_capacity=args.pending_capacity),
+            resume=args.resume)
+        if not args.json:
+            print(f"serving {len(requests)} requests from "
+                  f"{args.tenants} tenants over {args.duration_ms:g} "
+                  f"modeled ms ({args.scenario} mix, {args.load:g}x load, "
+                  f"seed {args.seed})")
+        report = fe.run(requests, live_every_ms=args.report_every_ms,
+                        live_sink=sink,
+                        stop_after_jobs=args.stop_after)
+        fe.close()
+
+    rc = 0 if report.completed else 1
+    if args.export_dir:
+        from repro.telemetry.export import (write_chrome_trace, write_jsonl,
+                                            write_prometheus, write_summary)
+        os.makedirs(args.export_dir, exist_ok=True)
+        latency_path = os.path.join(args.export_dir, "serve.loadgen.json")
+        with open(latency_path, "w") as fh:
+            fh.write(_json.dumps(
+                {"format": "repro.serve.loadgen/v1", "seed": args.seed,
+                 "scenario": args.scenario, "load": args.load,
+                 "duration_ms": args.duration_ms,
+                 "requests": len(report.outcomes),
+                 "completed": len(report.completed),
+                 "shed": len(report.shed),
+                 "shed_by_class": report.shed_by_class(),
+                 "downgrades": report.downgrades,
+                 "quota_denied": report.quota_denied,
+                 "latency": report.latency_report()},
+                indent=2, sort_keys=True) + "\n")
+        for path in (
+                write_chrome_trace(
+                    col, os.path.join(args.export_dir, "serve.trace.json")),
+                write_jsonl(
+                    col, os.path.join(args.export_dir,
+                                      "serve.events.jsonl")),
+                write_summary(
+                    col, os.path.join(args.export_dir,
+                                      "serve.summary.txt")),
+                write_prometheus(
+                    col, os.path.join(args.export_dir,
+                                      "serve.metrics.prom")),
+                latency_path):
+            if not args.json:
+                print(f"wrote {path}")
+
+    if args.json:
+        doc = report.to_dict()
+        doc["seed"] = args.seed
+        doc["scenario"] = args.scenario
+        doc["load"] = args.load
+        doc["duration_ms"] = args.duration_ms
+        doc["exit_code"] = rc
+        # Full per-job chunk detail makes the doc enormous; the live
+        # report keeps outcomes shallow (reports stay available via
+        # the python API).
+        for o in doc["outcomes"]:
+            if "report" in o and o["report"] is not None:
+                o["report"] = {k: o["report"][k]
+                               for k in ("outcome", "makespan_ms",
+                                         "solution_digest")}
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return rc
+
+    print()
+    print(f"completed {len(report.completed)}/{len(report.outcomes)} "
+          f"({len(report.shed)} shed: {report.shed_by_class()}; "
+          f"{report.downgrades} downgraded)")
+    lines = serve_summary(col)
+    if lines:
+        print()
+        print("\n".join(lines))
+    if args.report:
+        print()
+        print(fe.slo.report())
+    return rc
+
+
 def cmd_serve(args) -> int:
     from repro import telemetry
     from repro.gpusim.faults import BrownoutProcess, FlappingProcess
@@ -397,6 +537,9 @@ def cmd_serve(args) -> int:
     from repro.numerics.generators import diagonally_dominant_fluid
     from repro.serve import AdmissionError, BatchScheduler, SolveJob
     from repro.telemetry.export import serve_summary
+
+    if args.live:
+        return _serve_live(args)
 
     warnings.simplefilter("ignore")
     processes = []
@@ -806,6 +949,39 @@ def main(argv=None) -> int:
                        metavar="DIR",
                        help="write Chrome trace, JSONL event log, text "
                             "summary and Prometheus exposition here")
+    p_srv.add_argument("--live", action="store_true",
+                       help="run the multi-tenant front end against a "
+                            "seeded open-loop load-generator stream "
+                            "(periodic p50/p99 + shed/quota/breaker "
+                            "counters; see docs/robustness.md)")
+    p_srv.add_argument("--duration-ms", type=float, default=4.0,
+                       dest="duration_ms", metavar="MS",
+                       help="[--live] modeled arrival horizon")
+    p_srv.add_argument("--load", type=float, default=2.0,
+                       help="[--live] offered load as a multiple of "
+                            "modeled pool capacity (2.0 = sustained "
+                            "overload)")
+    p_srv.add_argument("--scenario", default="mixed",
+                       choices=["mixed", "adi3d", "ocean"],
+                       help="[--live] per-tenant request-size mix")
+    p_srv.add_argument("--tenants", type=int, default=3,
+                       help="[--live] number of named tenants")
+    p_srv.add_argument("--report-every-ms", type=float, default=1.0,
+                       dest="report_every_ms", metavar="MS",
+                       help="[--live] modeled interval between status "
+                            "lines")
+    p_srv.add_argument("--pending-capacity", type=int, default=24,
+                       dest="pending_capacity",
+                       help="[--live] front-end pending-buffer bound "
+                            "(overflow sheds strictly by class)")
+    p_srv.add_argument("--quota-rate", type=float, default=None,
+                       dest="quota_rate", metavar="RATE",
+                       help="[--live] per-tenant token refill rate in "
+                            "modeled ms of work per modeled ms "
+                            "(default: unlimited)")
+    p_srv.add_argument("--quota-burst", type=float, default=0.5,
+                       dest="quota_burst", metavar="TOKENS",
+                       help="[--live] per-tenant token-bucket burst size")
     p_top = sub.add_parser(
         "top",
         help="deterministic top-style snapshot from an exported "

@@ -19,7 +19,16 @@ process dies halfway through a long job.
   resume it bitwise;
 * :class:`~repro.serve.scheduler.BatchScheduler` -- chunk sharding,
   deadline budgets, seeded-jitter retries, rerouting, and graceful
-  degradation to the CPU chain.
+  degradation to the CPU chain;
+* :class:`~repro.serve.frontend.ServeFrontend` /
+  :class:`~repro.serve.frontend.AsyncServeFrontend` -- the
+  multi-tenant front end: per-tenant token-bucket quotas and weighted
+  fair queueing (:mod:`~repro.serve.quota`), cost-model admission
+  with class downgrade, and strict-by-class load shedding under
+  sustained overload;
+* :mod:`~repro.serve.loadgen` -- the seeded open-loop load generator
+  (Poisson/burst arrivals, ADI/ocean size mixes) that makes overload
+  runs bitwise-reproducible.
 
 Quickstart::
 
@@ -40,15 +49,20 @@ See ``docs/robustness.md`` ("Serving layer").
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, \
     CircuitBreaker
-from .checkpoint import CheckpointWriter, ResumeState, load_checkpoint
+from .checkpoint import (CheckpointWriter, ResumeState, ShedLedger,
+                         load_checkpoint)
 from .errors import (AdmissionError, CheckpointMismatchError,
                      DeadlineExceededError, DeadlineUnmeetableError,
-                     QueueFullError, ServeError)
+                     OverloadShedError, QueueFullError,
+                     QuotaExceededError, ServeError)
+from .frontend import (AsyncServeFrontend, FrontendConfig, FrontendReport,
+                       RequestOutcome, ServeFrontend, ServeRequest)
 from .health import (ACTIVE, EVICTED, PROBATION, QUARANTINED, SPARE,
                      SUSPECT, DeviceHealth, HealthMonitor, HealthPolicy)
 from .job import (DEFAULT_CPU_CHAIN, ChunkAttempt, ChunkRecord, JobReport,
                   SolveJob, digest_array)
 from .queue import BoundedJobQueue
+from .quota import TenantSpec, TokenBucket, WeightedFairQueue
 from .scheduler import BatchScheduler
 
 __all__ = [
@@ -56,10 +70,14 @@ __all__ = [
     "BreakerTransition", "CLOSED", "OPEN", "HALF_OPEN",
     "HealthMonitor", "HealthPolicy", "DeviceHealth",
     "ACTIVE", "SUSPECT", "QUARANTINED", "PROBATION", "EVICTED", "SPARE",
-    "CheckpointWriter", "ResumeState", "load_checkpoint",
+    "CheckpointWriter", "ResumeState", "ShedLedger", "load_checkpoint",
     "SolveJob", "JobReport", "ChunkRecord", "ChunkAttempt",
     "DEFAULT_CPU_CHAIN", "digest_array",
+    "ServeFrontend", "AsyncServeFrontend", "ServeRequest",
+    "RequestOutcome", "FrontendConfig", "FrontendReport",
+    "TenantSpec", "TokenBucket", "WeightedFairQueue",
     "ServeError", "AdmissionError", "QueueFullError",
-    "DeadlineUnmeetableError", "DeadlineExceededError",
+    "DeadlineUnmeetableError", "QuotaExceededError",
+    "OverloadShedError", "DeadlineExceededError",
     "CheckpointMismatchError",
 ]

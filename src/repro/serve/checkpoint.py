@@ -186,3 +186,77 @@ def load_checkpoint(path: str, job: SolveJob) -> ResumeState:
         record, x = _chunk_from_line(doc)
         state.chunks[record.chunk_id] = (record, x)
     return state
+
+
+class ShedLedger:
+    """Durable record of shed front-end requests under overload.
+
+    One JSONL line per shed decision, written (and flushed) the moment
+    the front end sheds, so a kill immediately after a shed still
+    leaves the decision on disk.  On ``--resume`` the front end loads
+    the ledger and *replays* every recorded shed instead of
+    re-admitting the request -- a request the service already turned
+    away must stay turned away, or the resumed run would double-serve
+    capacity the original run never granted.
+
+    The ledger is idempotent per request id: replayed sheds are not
+    re-appended, so resuming N times leaves one line per decision.
+    """
+
+    FILENAME = "frontend_shed.jsonl"
+
+    def __init__(self, path: str, *, resume: bool = False):
+        self.path = path
+        self._seen: dict[str, dict] = {}
+        if resume and os.path.exists(path):
+            self._seen = self._load(path)
+        mode = "a" if resume and os.path.exists(path) else "w"
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._fh: IO[str] = open(path, mode, encoding="utf-8")
+        if mode == "w":
+            self._fh.write(json.dumps(
+                {"type": "shed_header", "version": FORMAT_VERSION},
+                sort_keys=True) + "\n")
+            self._fh.flush()
+
+    @staticmethod
+    def _load(path: str) -> dict[str, dict]:
+        out: dict[str, dict] = {}
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue          # torn tail from a kill mid-write
+                if doc.get("type") == "shed":
+                    out[doc["request_id"]] = doc
+        return out
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._seen
+
+    def reason_for(self, request_id: str) -> str | None:
+        doc = self._seen.get(request_id)
+        return None if doc is None else doc.get("reason")
+
+    def shed_ids(self) -> list[str]:
+        return sorted(self._seen)
+
+    def record(self, request_id: str, *, tenant: str, cls: str,
+               reason: str, at_ms: float) -> None:
+        """Persist one shed decision (idempotent per request id)."""
+        if request_id in self._seen:
+            return
+        doc = {"type": "shed", "request_id": request_id,
+               "tenant": tenant, "cls": cls, "reason": reason,
+               "at_ms": at_ms}
+        self._seen[request_id] = doc
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()

@@ -40,6 +40,23 @@ class DeadlineUnmeetableError(AdmissionError):
         super().__init__(message, reason="deadline_unmeetable")
 
 
+class QuotaExceededError(AdmissionError):
+    """The tenant's token-bucket quota cannot cover the request's
+    modeled cost right now (front-end admission)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="quota")
+
+
+class OverloadShedError(AdmissionError):
+    """The front end's bounded pending buffer is full and the request
+    lost the strict-by-class shedding decision (batch before standard
+    before interactive)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="overload")
+
+
 class DeadlineExceededError(ServeError):
     """A running job blew its deadline budget (modeled or wall-clock).
 
@@ -59,6 +76,7 @@ class CheckpointMismatchError(ServeError):
 
 __all__ = [
     "ServeError", "AdmissionError", "QueueFullError",
-    "DeadlineUnmeetableError", "DeadlineExceededError",
+    "DeadlineUnmeetableError", "QuotaExceededError",
+    "OverloadShedError", "DeadlineExceededError",
     "CheckpointMismatchError",
 ]

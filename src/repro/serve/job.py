@@ -72,6 +72,11 @@ class SolveJob:
         SLO class name (``interactive``/``standard``/``batch`` by
         default; see :mod:`repro.telemetry.slo`).  Keys the per-class
         latency/burn-rate accounting; unknown names auto-register.
+    tenant:
+        Submitting tenant name (multi-tenant front end); labels the
+        shed/quota metrics and the per-tenant SLO attribution.  Not
+        part of the input digest -- the same job resumed under a
+        renamed tenant still matches its checkpoint.
     """
 
     job_id: str
@@ -84,6 +89,7 @@ class SolveJob:
     residual_tol: float = 1e-4
     cpu_chain: tuple[str, ...] = DEFAULT_CPU_CHAIN
     slo_class: str = "standard"
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.method not in KERNEL_RUNNERS:
@@ -199,6 +205,8 @@ class JobReport:
     outcome: str = "ok"
     #: SLO class the job was admitted under.
     slo_class: str = "standard"
+    #: Tenant the job was submitted by.
+    tenant: str = "default"
     #: Modeled milliseconds between admission and dispatch.
     queue_wait_ms: float = 0.0
     #: Trace-context id linking every span of this job's lifecycle
@@ -293,6 +301,7 @@ class JobReport:
             "outcome": self.outcome,
             "completed": self.completed,
             "slo_class": self.slo_class,
+            "tenant": self.tenant,
             "queue_wait_ms": self.queue_wait_ms,
             "trace_id": self.trace_id,
             "deadline_ms": self.deadline_ms,

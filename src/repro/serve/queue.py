@@ -64,25 +64,32 @@ class BoundedJobQueue:
     def depth(self) -> int:
         return len(self._jobs)
 
-    def _reject(self, reason: str, exc: Exception) -> None:
+    def _reject(self, reason: str, job: SolveJob, exc: Exception) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
-        record_queue_rejection(reason)
+        record_queue_rejection(reason, cls=job.slo_class, tenant=job.tenant)
         raise exc
 
     def submit(self, job: SolveJob) -> None:
         """Admit ``job`` or raise a typed
-        :class:`~repro.serve.errors.AdmissionError`."""
+        :class:`~repro.serve.errors.AdmissionError`.
+
+        Rejection messages carry the queue depth/capacity and the
+        job's tenant and SLO class so a shed line in the logs is
+        actionable without cross-referencing the metrics."""
+        who = f"(tenant {job.tenant!r}, class {job.slo_class!r})"
         if len(self._jobs) >= self.capacity:
-            self._reject("capacity", QueueFullError(
-                f"queue at capacity ({self.capacity}); job "
-                f"{job.job_id!r} rejected"))
+            self._reject("capacity", job, QueueFullError(
+                f"queue at capacity ({self.depth}/{self.capacity} "
+                f"waiting); job {job.job_id!r} {who} rejected"))
         if self.estimator is not None and job.deadline_ms is not None:
             estimate = float(self.estimator(job))
             if estimate > job.deadline_ms * FEASIBILITY_SLACK:
-                self._reject("deadline_unmeetable", DeadlineUnmeetableError(
-                    f"job {job.job_id!r}: estimated {estimate:.3f} ms "
-                    f"modeled cost exceeds the {job.deadline_ms:g} ms "
-                    f"deadline even on an idle pool"))
+                self._reject(
+                    "deadline_unmeetable", job, DeadlineUnmeetableError(
+                        f"job {job.job_id!r} {who}: estimated "
+                        f"{estimate:.3f} ms modeled cost exceeds the "
+                        f"{job.deadline_ms:g} ms deadline even on an "
+                        f"idle pool (depth {self.depth}/{self.capacity})"))
         self._jobs.append(job)
         self.admitted += 1
         record_queue_depth(self.depth)

@@ -1,0 +1,193 @@
+"""Tenant quotas and weighted fair queueing for the serve front end.
+
+Two small, deterministic mechanisms that the multi-tenant front end
+(:mod:`repro.serve.frontend`) composes:
+
+* :class:`TokenBucket` -- the per-tenant rate limit.  Tokens are
+  *modeled milliseconds of solver work*, refilled continuously on the
+  modeled clock, so a tenant's quota is stated in the same currency
+  the admission cost model speaks (``quota_rate`` = modeled ms of work
+  per modeled ms of wall time = a fractional share of one device).
+  A zero-rate, zero-burst bucket admits nothing -- that is the
+  "suspended tenant" configuration, not an error.
+
+* :class:`WeightedFairQueue` -- classic virtual-time WFQ across
+  tenants inside one SLO class.  Each queued request gets a virtual
+  finish tag ``max(V, last_finish[tenant]) + cost / weight``; popping
+  the smallest tag gives every tenant throughput proportional to its
+  weight regardless of arrival burstiness.  Ties break on a global
+  arrival sequence number, never on dict order, so two same-seed runs
+  drain identically.
+
+Everything here is pure state driven by caller-supplied modeled
+timestamps: no wall clock, no randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant configuration.
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier; labels every metric and shed record.
+    weight:
+        WFQ share relative to other tenants in the same SLO class.
+    quota_rate:
+        Token refill rate in modeled milliseconds of solver work per
+        modeled millisecond (``None`` = unlimited, the default).
+        ``0.0`` with ``quota_burst == 0`` denies everything.
+    quota_burst:
+        Bucket capacity in modeled milliseconds of work.  Bounds how
+        large a burst the tenant can land instantaneously.
+    """
+
+    name: str
+    weight: float = 1.0
+    quota_rate: float | None = None
+    quota_burst: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.quota_rate is not None and self.quota_rate < 0:
+            raise ValueError(f"tenant {self.name!r}: quota_rate "
+                             "must be >= 0")
+        if self.quota_burst < 0:
+            raise ValueError(f"tenant {self.name!r}: quota_burst "
+                             "must be >= 0")
+
+    def unlimited(self) -> bool:
+        return self.quota_rate is None
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on the modeled clock.
+
+    ``try_take`` is atomic: a denied request consumes nothing, so
+    quota denials never perturb the bucket state two same-seed runs
+    must agree on.  ``refund`` returns tokens when an admitted request
+    is later shed before running (capped at the burst size).
+    """
+
+    def __init__(self, rate: float | None, burst: float, *,
+                 start_ms: float = 0.0):
+        self.rate = rate            # None = unlimited
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_ms = float(start_ms)
+
+    def _refill(self, at_ms: float) -> None:
+        at_ms = max(at_ms, self.last_ms)   # modeled clock never rewinds
+        if self.rate:
+            self.tokens = min(
+                self.burst, self.tokens + self.rate * (at_ms - self.last_ms))
+        self.last_ms = at_ms
+
+    def peek(self, at_ms: float) -> float:
+        """Tokens available at ``at_ms`` without mutating state."""
+        if self.rate is None:
+            return float("inf")
+        at_ms = max(at_ms, self.last_ms)
+        if not self.rate:
+            return self.tokens
+        return min(self.burst,
+                   self.tokens + self.rate * (at_ms - self.last_ms))
+
+    def try_take(self, cost: float, at_ms: float) -> bool:
+        """Take ``cost`` tokens at modeled time ``at_ms``; False (and
+        no state change beyond the refill) when short."""
+        if self.rate is None:
+            return True
+        self._refill(at_ms)
+        if self.tokens + 1e-12 < cost:
+            return False
+        self.tokens -= cost
+        return True
+
+    def refund(self, cost: float) -> None:
+        """Return tokens for an admitted-then-shed request."""
+        if self.rate is None:
+            return
+        self.tokens = min(self.burst, self.tokens + cost)
+
+
+class WeightedFairQueue:
+    """Virtual-time weighted fair queue over one SLO class.
+
+    ``push`` stamps each item with a virtual finish time; ``pop``
+    serves the smallest tag (earliest virtual finish).  ``pop_tail``
+    evicts the *largest* tag -- the request that would have been
+    served last -- which is the deterministic victim the shedder
+    wants.  Both are O(log n) against one heap; eviction marks the
+    entry dead rather than rebuilding.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Any]] = []
+        self._dead: set[int] = set()
+        self._entries: dict[int, tuple[float, int, Any]] = {}
+        self._virtual = 0.0
+        self._last_finish: dict[str, float] = {}
+        self._seq = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, item: Any, *, tenant: str, weight: float,
+             cost: float) -> None:
+        start = max(self._virtual, self._last_finish.get(tenant, 0.0))
+        finish = start + max(cost, 1e-12) / weight
+        self._last_finish[tenant] = finish
+        entry = (finish, self._seq, item)
+        self._entries[self._seq] = entry
+        heapq.heappush(self._heap, entry)
+        self._seq += 1
+        self._len += 1
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0][1] in self._dead:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._dead.discard(seq)
+
+    def pop(self) -> Any | None:
+        """Earliest-virtual-finish item, or ``None`` when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        finish, seq, item = heapq.heappop(self._heap)
+        del self._entries[seq]
+        self._virtual = max(self._virtual, finish)
+        self._len -= 1
+        return item
+
+    def pop_tail(self) -> Any | None:
+        """Evict and return the latest-virtual-finish item (the
+        shedding victim), or ``None`` when empty."""
+        if not self._len:
+            return None
+        live = [(f, s) for f, s, _ in self._entries.values()]
+        finish, seq = max(live)
+        item = self._entries.pop(seq)[2]
+        self._dead.add(seq)
+        self._len -= 1
+        return item
+
+    def items(self) -> Iterator[Any]:
+        """Live items in deterministic (finish, seq) order."""
+        for _, _, item in sorted(self._entries.values(),
+                                 key=lambda e: (e[0], e[1])):
+            yield item
+
+
+__all__ = ["TenantSpec", "TokenBucket", "WeightedFairQueue"]

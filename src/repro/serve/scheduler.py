@@ -269,8 +269,9 @@ class BatchScheduler:
                                       cls=job.slo_class):
                 self.queue.submit(job)
         except AdmissionError as exc:
-            self.slo.record_shed(job.slo_class, exc.reason)
-            record_shed(job.slo_class, exc.reason)
+            self.slo.record_shed(job.slo_class, exc.reason,
+                                 tenant=job.tenant)
+            record_shed(job.slo_class, exc.reason, tenant=job.tenant)
             self._close_trace(job.job_id)
             raise
         self._admitted_ms[job.job_id] = self._now_ms
@@ -807,6 +808,7 @@ class BatchScheduler:
             deadline_met=(outcome != "deadline"),
             outcome=outcome,
             slo_class=job.slo_class,
+            tenant=job.tenant,
             queue_wait_ms=queue_wait,
             trace_id=trace_id)
         slack = (job.deadline_ms - report.makespan_ms

@@ -292,11 +292,48 @@ def serve_summary(collector: Collector) -> list[str]:
     """
     from .metrics import (BREAKER_TRANSITIONS, CANARY_TOTAL, CHUNKS_TOTAL,
                           CHUNK_RETRIES,
-                          DEADLINE_MISSES, DEGRADED_TOTAL, HEDGES_TOTAL,
+                          DEADLINE_MISSES, DEGRADED_TOTAL, DOWNGRADES,
+                          FRONTEND_REQUESTS, HEDGES_TOTAL,
                           LIFECYCLE_TRANSITIONS, QUEUE_REJECTED,
+                          QUOTA_DENIED, REQUEST_LATENCY,
                           SERVE_LATENCY, SHED_TOTAL, Counter, Histogram)
 
     out: list[str] = []
+    reqs = collector.metrics._metrics.get(FRONTEND_REQUESTS)
+    if isinstance(reqs, Counter) and reqs.series:
+        total = sum(reqs.series.values())
+        parts = ", ".join(
+            f"{dict(k).get('tenant', '?')}/{dict(k).get('cls', '?')}/"
+            f"{dict(k).get('outcome', '?')}={v:g}"
+            for k, v in sorted(reqs.series.items()))
+        out.append(f"front-end requests (tenant/cls/outcome): "
+                   f"{total:g} ({parts})")
+    def _by_label(metric: "Counter", label: str) -> dict[str, float]:
+        # Counters may carry more labels than the one displayed;
+        # aggregate so each display key appears once.
+        agg: dict[str, float] = {}
+        for k, v in metric.series.items():
+            key = dict(k).get(label, "?")
+            agg[key] = agg.get(key, 0.0) + v
+        return agg
+
+    for name, label, head in (
+            (QUOTA_DENIED, "tenant", "quota denials"),
+            (DOWNGRADES, "tenant", "admission downgrades")):
+        metric = collector.metrics._metrics.get(name)
+        if isinstance(metric, Counter) and metric.series:
+            total = sum(metric.series.values())
+            parts = ", ".join(f"{k}={v:g}" for k, v in
+                              sorted(_by_label(metric, label).items()))
+            out.append(f"{head}: {total:g} ({parts})")
+    rlat = collector.metrics._metrics.get(REQUEST_LATENCY)
+    if isinstance(rlat, Histogram) and rlat.series:
+        out.append("request latency by class (arrival->done, modeled ms):")
+        for key, series in sorted(rlat.series.items()):
+            s = series.summary()
+            out.append(f"  {dict(key).get('cls', '?')}: "
+                       f"count {s['count']}, p50 {s['p50']:.3f}, "
+                       f"p95 {s['p95']:.3f}, p99 {s['p99']:.3f}")
     chunks = collector.metrics._metrics.get(CHUNKS_TOTAL)
     if isinstance(chunks, Counter) and chunks.series:
         parts = ", ".join(
@@ -330,8 +367,8 @@ def serve_summary(collector: Collector) -> list[str]:
         metric = collector.metrics._metrics.get(name)
         if isinstance(metric, Counter) and metric.series:
             total = sum(metric.series.values())
-            parts = ", ".join(f"{dict(k).get(label, '?')}={v:g}"
-                              for k, v in sorted(metric.series.items()))
+            parts = ", ".join(f"{k}={v:g}" for k, v in
+                              sorted(_by_label(metric, label).items()))
             out.append(f"{head}: {total:g} ({parts})")
     lat = collector.metrics._metrics.get(SERVE_LATENCY)
     if isinstance(lat, Histogram) and lat.series:

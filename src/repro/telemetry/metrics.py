@@ -67,6 +67,18 @@ LIFECYCLE_TRANSITIONS = "serve.lifecycle_transitions"
 HEDGES_TOTAL = "serve.hedges_total"
 CANARY_TOTAL = "serve.canary_total"
 
+#: Multi-tenant front-end metrics (emitted by
+#: :class:`repro.serve.frontend.ServeFrontend`; rendered in the serve
+#: summary and the Prometheus exposition).  ``serve.requests_total``
+#: counts every request by tenant/class/outcome; the quota and
+#: downgrade counters attribute admission-control decisions per tenant.
+FRONTEND_REQUESTS = "serve.requests_total"
+FRONTEND_DEPTH = "serve.frontend_depth"
+REQUEST_LATENCY = "serve.request_latency_ms"
+QUOTA_DENIED = "serve.quota_denied_total"
+QUOTA_TOKENS = "serve.quota_tokens"
+DOWNGRADES = "serve.downgrades_total"
+
 #: Modeled-vs-actual scheduler estimator accuracy: signed relative
 #: error ``(actual - estimate) / estimate`` per (solver, layout, n).
 COST_RESIDUAL = "estimator.cost_residual"
@@ -115,14 +127,16 @@ def record_queue_depth(depth: int) -> None:
             QUEUE_DEPTH, "jobs waiting in the serve queue").set(depth)
 
 
-def record_queue_rejection(reason: str) -> None:
+def record_queue_rejection(reason: str, cls: str = "standard",
+                           tenant: str = "default") -> None:
     """Count one typed admission rejection
-    (``serve.queue_rejected{reason}``)."""
+    (``serve.queue_rejected{reason,cls,tenant}``)."""
     from .collector import get_collector
     col = get_collector()
     if col is not None:
         col.metrics.counter(
-            QUEUE_REJECTED, "jobs rejected at admission").inc(reason=reason)
+            QUEUE_REJECTED, "jobs rejected at admission").inc(
+                reason=reason, cls=cls, tenant=tenant)
 
 
 def record_breaker_transition(device: str, frm: str, to: str) -> None:
@@ -235,15 +249,83 @@ def record_retry_delay(ms: float, cls: str, device: str) -> None:
                 ms, cls=cls, device=device)
 
 
-def record_shed(cls: str, reason: str) -> None:
+def record_shed(cls: str, reason: str, tenant: str = "default") -> None:
     """Count one load-shed (admission-rejected) job
-    (``serve.shed_total{cls,reason}``)."""
+    (``serve.shed_total{cls,reason,tenant}``)."""
     from .collector import get_collector
     col = get_collector()
     if col is not None:
         col.metrics.counter(
             SHED_TOTAL, "jobs shed at admission by SLO class").inc(
-                cls=cls, reason=reason)
+                cls=cls, reason=reason, tenant=tenant)
+
+
+def record_request(tenant: str, cls: str, outcome: str) -> None:
+    """Count one front-end request by final disposition
+    (``serve.requests_total{tenant,cls,outcome}``); ``outcome`` is
+    ``completed`` | ``shed`` | ``failed``."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            FRONTEND_REQUESTS, "front-end requests by disposition").inc(
+                tenant=tenant, cls=cls, outcome=outcome)
+
+
+def record_frontend_depth(depth: int) -> None:
+    """Gauge the front end's pending-request depth (WFQ backlog plus
+    the bounded scheduler hand-off; ``serve.frontend_depth``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.gauge(
+            FRONTEND_DEPTH,
+            "requests pending in the serve front end").set(depth)
+
+
+def record_request_latency(ms: float, cls: str) -> None:
+    """Observe one request's arrival-to-completion modeled latency
+    (``serve.request_latency_ms{cls}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.histogram(
+            REQUEST_LATENCY,
+            "arrival-to-completion latency by SLO class").observe(
+                ms, cls=cls)
+
+
+def record_quota_denied(tenant: str) -> None:
+    """Count one token-bucket quota denial
+    (``serve.quota_denied_total{tenant}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            QUOTA_DENIED, "requests denied by tenant quota").inc(
+                tenant=tenant)
+
+
+def record_quota_tokens(tenant: str, tokens: float) -> None:
+    """Gauge one tenant's remaining quota tokens in modeled
+    milliseconds of work (``serve.quota_tokens{tenant}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.gauge(
+            QUOTA_TOKENS, "remaining tenant quota tokens").set(
+                tokens, tenant=tenant)
+
+
+def record_downgrade(tenant: str, frm: str, to: str) -> None:
+    """Count one admission-control class downgrade
+    (``serve.downgrades_total{tenant,from,to}``)."""
+    from .collector import get_collector
+    col = get_collector()
+    if col is not None:
+        col.metrics.counter(
+            DOWNGRADES, "requests downgraded at admission").inc(
+                **{"tenant": tenant, "from": frm, "to": to})
 
 
 def record_health_score(device: str, score: float) -> None:

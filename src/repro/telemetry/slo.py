@@ -64,6 +64,10 @@ class _ClassState:
     breaker_trips: dict[str, int] = field(default_factory=dict)
     deadline_misses: int = 0
     outcomes: dict[str, int] = field(default_factory=dict)
+    #: Per-tenant burn attribution: tenant -> {jobs, good, violations,
+    #: shed}.  Only populated when callers pass ``tenant=`` (the
+    #: multi-tenant front end does; the bare scheduler path does not).
+    tenants: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def __post_init__(self):
         name = self.slo.name
@@ -78,6 +82,10 @@ class _ClassState:
             return 0.0
         bad = self.violations + self.shed
         return (bad / seen) / self.slo.budget_fraction()
+
+    def tenant_row(self, tenant: str) -> dict[str, int]:
+        return self.tenants.setdefault(
+            tenant, {"jobs": 0, "good": 0, "violations": 0, "shed": 0})
 
 
 class SLORegistry:
@@ -111,7 +119,8 @@ class SLORegistry:
     # -- recording -----------------------------------------------------
 
     def record_job(self, cls: str, latency_ms: float, outcome: str,
-                   deadline_slack_ms: float | None = None) -> None:
+                   deadline_slack_ms: float | None = None,
+                   tenant: str | None = None) -> None:
         """One finished job: ``outcome`` is the JobReport outcome
         (``ok``/``deadline``/``stopped``/``failed``)."""
         st = self._state(cls)
@@ -127,15 +136,22 @@ class SLORegistry:
             st.deadline_misses += 1
         if deadline_slack_ms is not None:
             st.deadline_slack.observe(deadline_slack_ms)
+        if tenant is not None:
+            row = st.tenant_row(tenant)
+            row["jobs"] += 1
+            row["good" if ok else "violations"] += 1
 
     def record_queue_wait(self, cls: str, wait_ms: float) -> None:
         self._state(cls).queue_wait.observe(wait_ms)
 
-    def record_shed(self, cls: str, reason: str) -> None:
+    def record_shed(self, cls: str, reason: str,
+                    tenant: str | None = None) -> None:
         """Job rejected at admission (never ran)."""
         st = self._state(cls)
         st.shed += 1
         st.shed_reasons[reason] = st.shed_reasons.get(reason, 0) + 1
+        if tenant is not None:
+            st.tenant_row(tenant)["shed"] += 1
 
     def record_breaker_trip(self, cls: str, device: str) -> None:
         """A circuit breaker opened while serving this class."""
@@ -165,6 +181,8 @@ class SLORegistry:
                 "latency_ms": lat,
                 "queue_wait_ms": st.queue_wait.summary(),
                 "deadline_slack_ms": st.deadline_slack.summary(),
+                "tenants": {t: dict(sorted(row.items()))
+                            for t, row in sorted(st.tenants.items())},
             }
         return out
 
@@ -201,6 +219,11 @@ class SLORegistry:
             if st.deadline_misses:
                 attributed.append(
                     f"  deadline {name}: {st.deadline_misses} missed")
+            for tenant, row in sorted(st.tenants.items()):
+                attributed.append(
+                    f"  tenant  {name}: {tenant} "
+                    f"jobs={row['jobs']} good={row['good']} "
+                    f"viol={row['violations']} shed={row['shed']}")
         if attributed:
             lines.append("  -- attribution --")
             lines.extend(attributed)

@@ -26,7 +26,8 @@ class TestRegistryConsistency:
         registered = {e.bench for e in EXPERIMENTS}
         # Wall-clock suites measure this library, not the paper.
         exempt = {"bench_cpu_wallclock.py", "bench_extension_solvers.py",
-                  "bench_trace_cache.py", "bench_serve_latency.py"}
+                  "bench_trace_cache.py", "bench_serve_latency.py",
+                  "bench_overload.py"}
         assert on_disk - registered - exempt == set()
 
     def test_every_module_imports(self):

@@ -1,0 +1,141 @@
+"""Overload acceptance suite (ISSUE 8).
+
+At sustained ~2x admission capacity the front end must:
+
+* keep interactive p99 within the class objective,
+* shed exclusively by class -- batch before standard, never
+  interactive,
+* be bitwise reproducible: two same-seed runs produce identical shed
+  sets, identical JobReports and identical telemetry JSONL,
+* never re-admit a shed request across kill/resume.
+
+Run with ``pytest -m overload`` (CI runs it twice for determinism).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.gpusim.pool import make_pool
+from repro.serve import FrontendConfig, ServeFrontend, loadgen
+
+from .conftest import make_sched
+
+pytestmark = [pytest.mark.serve, pytest.mark.overload]
+
+SEED = 42
+HORIZON_MS = 3.0
+LOAD = 2.0
+
+
+def overload_requests(seed=SEED, horizon_ms=HORIZON_MS, load=LOAD):
+    return loadgen.generate(
+        loadgen.overload_profiles(load, scenario="mixed", tenants=3),
+        horizon_ms=horizon_ms, seed=seed)
+
+
+def run_overload(seed=SEED, *, checkpoint_dir=None, resume=False,
+                 stop_after_jobs=None, horizon_ms=HORIZON_MS):
+    """One full overload run under the deterministic collector."""
+    col = telemetry.deterministic_collector(seed)
+    with telemetry.collect(col):
+        sched = make_sched(make_pool(2, seed=5), seed=seed,
+                           queue_capacity=2,
+                           checkpoint_dir=checkpoint_dir)
+        fe = ServeFrontend(sched, config=FrontendConfig(), resume=resume)
+        rep = fe.run(overload_requests(seed, horizon_ms),
+                     stop_after_jobs=stop_after_jobs)
+        fe.close()
+    return rep, col
+
+
+class TestOverloadAcceptance:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_overload()
+
+    def test_sustained_overload_actually_sheds(self, run):
+        rep, _ = run
+        assert len(rep.outcomes) > 100
+        assert len(rep.shed) > 10
+        assert rep.completed, "service must keep doing useful work"
+
+    def test_shedding_is_strictly_by_class(self, run):
+        rep, _ = run
+        by_class = rep.shed_by_class()
+        assert set(by_class) <= {"batch", "standard"}
+        assert by_class.get("batch", 0) > 0
+        assert "interactive" not in by_class
+
+    def test_interactive_p99_within_objective(self, run):
+        rep, _ = run
+        lat = rep.latency_report()["interactive"]
+        assert lat["count"] > 0
+        assert lat["p99"] is not None
+        assert lat["p99"] <= lat["objective_p99_ms"]
+
+    def test_goodput_dominates_under_overload(self, run):
+        rep, _ = run
+        assert len(rep.completed) > len(rep.shed)
+        assert all(o.report.ok for o in rep.completed)
+
+    def test_shed_outcomes_fully_attributed(self, run):
+        rep, _ = run
+        for o in rep.shed:
+            assert o.reason in ("overload", "quota",
+                                "deadline_unmeetable", "deadline",
+                                "capacity")
+            assert o.stage in ("quota", "admission", "capacity",
+                               "scheduler", "resume")
+            assert o.tenant.startswith("tenant")
+
+
+class TestOverloadDeterminism:
+    def test_same_seed_runs_bitwise_identical(self):
+        rep_a, col_a = run_overload()
+        rep_b, col_b = run_overload()
+        # Identical shed sets...
+        assert rep_a.shed_set() == rep_b.shed_set()
+        # ...identical JobReports (digests included)...
+        assert [o.report.to_dict() for o in rep_a.completed] == \
+            [o.report.to_dict() for o in rep_b.completed]
+        # ...and bitwise-identical telemetry.
+        assert telemetry.to_jsonl(col_a) == telemetry.to_jsonl(col_b)
+        assert telemetry.prometheus_text(col_a) == \
+            telemetry.prometheus_text(col_b)
+
+    def test_different_seeds_differ(self):
+        rep_a, _ = run_overload(seed=42)
+        rep_b, _ = run_overload(seed=43)
+        assert rep_a.shed_set() != rep_b.shed_set()
+
+
+class TestOverloadResume:
+    def test_shed_requests_never_readmitted(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        partial, _ = run_overload(checkpoint_dir=ckpt,
+                                  stop_after_jobs=60)
+        shed_before = {rid for rid, _, _ in partial.shed_set()}
+        assert shed_before, "partial run must have shed something"
+
+        resumed, _ = run_overload(checkpoint_dir=ckpt, resume=True)
+        # Every request shed before the kill stays shed -- replayed
+        # from the ledger, attributed to the resume stage.
+        replayed = {o.request_id: o for o in resumed.shed}
+        for rid in shed_before:
+            assert rid in replayed
+            assert replayed[rid].stage == "resume"
+        completed_ids = {o.request_id for o in resumed.completed}
+        assert not (shed_before & completed_ids)
+
+    def test_resume_completions_match_straight_run(self, tmp_path):
+        straight, _ = run_overload()
+        ckpt = str(tmp_path / "ckpt")
+        run_overload(checkpoint_dir=ckpt, stop_after_jobs=60)
+        resumed, _ = run_overload(checkpoint_dir=ckpt, resume=True)
+        digest = {o.request_id: o.report.solution_digest()
+                  for o in straight.completed}
+        for o in resumed.completed:
+            if o.request_id in digest:
+                assert o.report.solution_digest() == digest[o.request_id]

@@ -33,6 +33,13 @@ def test_capacity_rejection_is_typed(small_batch):
     assert isinstance(exc.value, AdmissionError)
     assert q.depth == 2
     assert q.rejected == {"capacity": 1}
+    # The message carries enough context to debug multi-tenant
+    # rejections: depth/capacity plus the job's tenant and class.
+    msg = str(exc.value)
+    assert "2/2" in msg
+    assert "'c'" in msg
+    assert "tenant 'default'" in msg
+    assert "class 'standard'" in msg
 
 
 def test_pop_frees_capacity(small_batch):
@@ -73,7 +80,7 @@ def test_depth_gauge_and_rejection_counter(small_batch):
     metrics = col.metrics
     assert metrics.gauge("serve.queue_depth").value() == 0
     assert metrics.counter("serve.queue_rejected").value(
-        reason="capacity") == 1
+        reason="capacity", cls="standard", tenant="default") == 1
 
 
 def test_capacity_must_be_positive():

@@ -1,0 +1,128 @@
+"""Units for the tenant quota / fair-queueing primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import TenantSpec, TokenBucket, WeightedFairQueue
+
+pytestmark = pytest.mark.serve
+
+
+class TestTenantSpec:
+    def test_defaults_are_unlimited(self):
+        spec = TenantSpec("acme")
+        assert spec.unlimited()
+        assert spec.weight == 1.0
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", quota_rate=-1.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", quota_burst=-0.5)
+
+
+class TestTokenBucket:
+    def test_unlimited_always_admits(self):
+        b = TokenBucket(None, 0.0)
+        assert b.try_take(1e9, at_ms=0.0)
+        assert b.peek(0.0) == float("inf")
+
+    def test_zero_quota_always_denies(self):
+        b = TokenBucket(0.0, 0.0)
+        assert not b.try_take(1e-9, at_ms=0.0)
+        assert not b.try_take(1e-9, at_ms=1e6)   # refill never helps
+
+    def test_burst_then_refill(self):
+        b = TokenBucket(1.0, 2.0, start_ms=0.0)   # 1 token/ms, burst 2
+        assert b.try_take(2.0, at_ms=0.0)          # burst drained
+        assert not b.try_take(0.5, at_ms=0.1)      # only 0.1 refilled
+        assert b.try_take(0.5, at_ms=0.6)          # 0.6 refilled by now
+
+    def test_deny_is_atomic(self):
+        b = TokenBucket(0.0, 1.0)
+        assert not b.try_take(2.0, at_ms=0.0)
+        assert b.tokens == pytest.approx(1.0)      # nothing consumed
+        assert b.try_take(1.0, at_ms=0.0)
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(10.0, 1.5, start_ms=0.0)
+        assert b.peek(100.0) == pytest.approx(1.5)
+
+    def test_refund_caps_at_burst(self):
+        b = TokenBucket(1.0, 1.0, start_ms=0.0)
+        assert b.try_take(1.0, at_ms=0.0)
+        b.refund(5.0)
+        assert b.tokens == pytest.approx(1.0)
+
+    def test_clock_never_rewinds(self):
+        b = TokenBucket(1.0, 10.0, start_ms=0.0)
+        assert b.try_take(10.0, at_ms=5.0)
+        # An earlier timestamp must not mint negative elapsed time.
+        assert not b.try_take(6.0, at_ms=1.0)
+        assert b.last_ms == pytest.approx(5.0)
+
+
+class TestWeightedFairQueue:
+    def test_fifo_for_equal_tenants(self):
+        q = WeightedFairQueue()
+        for i in range(4):
+            q.push(i, tenant="t", weight=1.0, cost=1.0)
+        assert [q.pop() for _ in range(4)] == [0, 1, 2, 3]
+        assert q.pop() is None
+
+    def test_weighted_interleave(self):
+        # Tenant a (weight 2) should be served twice as often as b.
+        q = WeightedFairQueue()
+        for i in range(4):
+            q.push(("a", i), tenant="a", weight=2.0, cost=1.0)
+            q.push(("b", i), tenant="b", weight=1.0, cost=1.0)
+        first6 = [q.pop()[0] for _ in range(6)]
+        assert first6.count("a") == 4
+        assert first6.count("b") == 2
+
+    def test_backlogged_tenant_cannot_starve_late_arrival(self):
+        q = WeightedFairQueue()
+        for i in range(16):
+            q.push(("hog", i), tenant="hog", weight=1.0, cost=1.0)
+        q.pop()                                     # advance virtual time
+        q.push(("late", 0), tenant="late", weight=1.0, cost=1.0)
+        # The late tenant's finish tag starts at the *current* virtual
+        # time, so it is served long before the hog's backlog drains.
+        drained = [q.pop() for _ in range(3)]
+        assert ("late", 0) in drained
+
+    def test_pop_tail_evicts_latest_finish(self):
+        q = WeightedFairQueue()
+        q.push("early", tenant="t", weight=1.0, cost=1.0)
+        q.push("late", tenant="t", weight=1.0, cost=1.0)
+        assert q.pop_tail() == "late"
+        assert q.pop() == "early"
+        assert q.pop_tail() is None
+
+    def test_eviction_then_pop_skips_dead_entries(self):
+        q = WeightedFairQueue()
+        for i in range(5):
+            q.push(i, tenant="t", weight=1.0, cost=1.0)
+        assert q.pop_tail() == 4
+        assert q.pop_tail() == 3
+        assert [q.pop() for _ in range(3)] == [0, 1, 2]
+        assert len(q) == 0
+
+    def test_deterministic_tiebreak_on_equal_tags(self):
+        def drain():
+            q = WeightedFairQueue()
+            for t in ("x", "y", "z"):
+                q.push(t, tenant=t, weight=1.0, cost=1.0)
+            return [q.pop() for _ in range(3)]
+        assert drain() == drain() == ["x", "y", "z"]
+
+    def test_items_in_finish_order(self):
+        q = WeightedFairQueue()
+        q.push("b1", tenant="b", weight=1.0, cost=3.0)
+        q.push("a1", tenant="a", weight=1.0, cost=1.0)
+        assert list(q.items()) == ["a1", "b1"]
