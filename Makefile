@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-cache bench-serve bench-overload figures report profile chaos serve-chaos serve-health serve-overload verify verify-full fuzz calibrate examples clean
+.PHONY: test test-fast bench bench-cache bench-engine bench-serve bench-overload figures report profile chaos serve-chaos serve-health serve-overload verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -16,6 +16,10 @@ bench:           ## all table/figure/ablation benchmarks (pytest-benchmark)
 bench-cache:     ## trace-cache perf smoke (fails if hit rate < 90%)
 	$(PY) benchmarks/bench_trace_cache.py --quick
 
+bench-engine:    ## vectorized-engine perf smoke (fails below 10x over the
+                 ## per-lane oracle or on any bitwise ledger mismatch)
+	$(PY) benchmarks/bench_vectorized_engine.py --quick
+
 bench-serve:     ## serve-latency perf smoke (fails if p99 regresses >25%
                  ## vs the committed baseline; --update to rebaseline)
 	$(PY) benchmarks/bench_serve_latency.py --check
@@ -26,7 +30,7 @@ bench-overload:  ## overload-shedding perf smoke (fails on interactive
 
 figures:         ## regenerate every table/figure text artifact in benchmarks/results/
 	@cd benchmarks && for b in bench_*.py; do \
-	  case $$b in bench_cpu_wallclock.py|bench_extension_solvers.py|bench_trace_cache.py) continue;; esac; \
+	  case $$b in bench_cpu_wallclock.py|bench_extension_solvers.py|bench_trace_cache.py|bench_vectorized_engine.py) continue;; esac; \
 	  echo "== $$b"; $(PY) $$b > /dev/null || exit 1; done
 
 report:          ## paper-vs-model Markdown report

@@ -14,6 +14,10 @@ Public surface:
 
 from .context import BlockContext, KernelError, StopKernel
 from .costmodel import CostModel, CostModelParams, PhaseTime, TimingReport
+from .engine import (REFERENCE, VECTORIZED, ReferenceEngine,
+                     VectorizedEngine, resolve_engine)
+from .estimator import (analytic_launch, closed_form_counters, estimate_ms,
+                        estimate_report)
 from .faults import (BrownoutProcess, DataCorruptionError, DegradationProcess,
                      FaultEvent, FaultPlan, FlappingProcess, GpuFault,
                      KernelLaunchError, TransientLaunchError, active_plan,
@@ -40,6 +44,10 @@ __all__ = [
     "KernelLaunchError", "TransientLaunchError", "active_plan", "inject",
     "BrownoutProcess", "FlappingProcess", "DegradationProcess",
     "combine_rates", "evaluate_processes",
+    "REFERENCE", "VECTORIZED", "ReferenceEngine", "VectorizedEngine",
+    "resolve_engine",
+    "analytic_launch", "closed_form_counters", "estimate_ms",
+    "estimate_report",
     "BlockContext", "KernelError", "StopKernel", "CostModel", "CostModelParams",
     "PhaseTime", "TimingReport", "CounterLedger", "PhaseCounters",
     "GTX280", "G80_8800GTX", "TESLA_C1060", "DeviceSpec",

@@ -26,6 +26,15 @@ pattern is costed.  Example::
                     ctx.sstore(a, i, new_ai)      # costed scatter
                     ctx.sync()
 
+Every data-movement and cost primitive is delegated to an *execution
+engine* (:mod:`~repro.gpusim.engine`): the default
+:class:`~repro.gpusim.engine.VectorizedEngine` runs whole lane x system
+planes per numpy op with shift-canonical pattern-cost memoization; the
+:class:`~repro.gpusim.engine.ReferenceEngine` replays the same
+operations with per-lane Python loops and is held bitwise-equal as the
+property-test oracle.  The charging *formulas* live here, shared by
+both engines, so equal cost primitives imply bitwise-equal ledgers.
+
 Costs are recorded per block; the :mod:`~repro.gpusim.executor`
 scales them to the grid.
 """
@@ -33,7 +42,6 @@ scales them to the grid.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import replace
 
 import numpy as np
 
@@ -42,11 +50,9 @@ from repro.telemetry import callbacks as _cb
 from . import faults as _faults
 from .counters import CounterLedger, PhaseCounters
 from .device import DeviceSpec
+from .engine import resolve_engine
 from .memory import (GlobalArray, KernelError, SharedArray,
-                     SharedMemorySpace, bank_conflict_cycles,
-                     coalesced_transactions)
-from .warp import (divergence_penalty_warps, is_contiguous_range,
-                   warps_touched)
+                     SharedMemorySpace)
 
 
 class StopKernel(Exception):
@@ -85,13 +91,30 @@ class BlockContext:
         trace cache (:mod:`~repro.gpusim.tracecache`) uses this on a
         hit: the architectural trace is a pure function of the launch
         signature, so a memoized ledger replaces the recording pass.
+    engine:
+        Execution engine (instance, name, or None for the vectorized
+        default); see :mod:`~repro.gpusim.engine`.
+    functional:
+        When False, the *data* path is skipped entirely: loads return
+        zeros, stores are dropped, and only address validation and
+        counter charging run.  The architectural trace is data-
+        independent, so the resulting ledger is bitwise-identical to a
+        functional run's -- this is the analytical fast path used by
+        :mod:`~repro.gpusim.estimator`.
+    emit_callbacks:
+        When False, suppress phase/step callback emission (used by the
+        estimator so repeated admission estimates stay
+        telemetry-silent).
     """
 
     def __init__(self, device: DeviceSpec, num_blocks: int,
                  threads_per_block: int, dtype=np.float32,
                  check_contiguous_active: bool = True,
                  step_limit: int | None = None,
-                 record_trace: bool = True):
+                 record_trace: bool = True,
+                 engine=None,
+                 functional: bool = True,
+                 emit_callbacks: bool = True):
         if threads_per_block > device.max_threads_per_block:
             raise KernelError(
                 f"block of {threads_per_block} threads exceeds device limit "
@@ -102,16 +125,21 @@ class BlockContext:
         self.num_blocks = int(num_blocks)
         self.threads_per_block = int(threads_per_block)
         self.dtype = np.dtype(dtype)
+        self.engine = resolve_engine(engine)
+        self.functional = functional
+        self.emit_callbacks = emit_callbacks
         self.shared_space = SharedMemorySpace(self.num_blocks, device,
                                               dtype=self.dtype)
         self.ledger = CounterLedger()
         self.check_contiguous_active = check_contiguous_active
         self.record_trace = record_trace
         self._phase_name = "main"
-        self._lanes = np.arange(self.threads_per_block, dtype=np.int64)
+        self._cur_pc: PhaseCounters | None = None
+        self._active = self.engine.prefix_info(self.threads_per_block, device)
         self._in_step = False
         self.step_limit = step_limit
         self._steps_executed = 0
+        self._phase_step_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lane management
@@ -120,11 +148,11 @@ class BlockContext:
     @property
     def lanes(self) -> np.ndarray:
         """Ids of the currently active lanes (ascending)."""
-        return self._lanes
+        return self._active.lanes
 
     @property
     def active_count(self) -> int:
-        return self._lanes.size
+        return self._active.lanes.size
 
     def set_active(self, lanes_or_count) -> np.ndarray:
         """Activate a contiguous prefix (int) or an explicit lane set.
@@ -137,46 +165,56 @@ class BlockContext:
                 raise KernelError(
                     f"active count {count} outside block of "
                     f"{self.threads_per_block}")
-            self._lanes = np.arange(count, dtype=np.int64)
+            self._active = self.engine.prefix_info(count, self.device)
         else:
             lanes = np.asarray(lanes_or_count, dtype=np.int64)
             if lanes.size and (lanes.min() < 0
                                or lanes.max() >= self.threads_per_block):
                 raise KernelError("lane ids outside block")
-            if self.check_contiguous_active and not is_contiguous_range(lanes):
+            info = self.engine.lanes_info(lanes, self.device)
+            if self.check_contiguous_active and not info.contiguous_range:
                 raise KernelError(
                     "non-contiguous active lanes; the paper's kernels keep "
                     "active threads contiguous to avoid divergence (see §4). "
                     "Pass check_contiguous_active=False to allow this.")
-            self._lanes = lanes
+            self._active = info
             if self.record_trace:
                 pc = self._pc()
-                pc.warp_instructions += divergence_penalty_warps(
-                    lanes, self.device)
+                pc.warp_instructions += info.divergence
         if self.record_trace:
             pc = self._pc()
-            pc.max_active_threads = max(pc.max_active_threads,
-                                        self._lanes.size)
-        return self._lanes
+            if self._active.lanes.size > pc.max_active_threads:
+                pc.max_active_threads = self._active.lanes.size
+        return self._active.lanes
 
     # ------------------------------------------------------------------
     # Phase / step attribution
     # ------------------------------------------------------------------
 
     def _pc(self) -> PhaseCounters:
-        return self.ledger.phase(self._phase_name)
+        # The current phase's counters, cached across the many charge
+        # calls inside one phase (every cost primitive lands here).
+        pc = self._cur_pc
+        if pc is None:
+            pc = self._cur_pc = self.ledger.phase(self._phase_name)
+        return pc
 
     @contextmanager
     def phase(self, name: str):
         """Attribute enclosed costs to phase ``name``."""
         prev = self._phase_name
+        prev_pc = self._cur_pc
         self._phase_name = name
-        _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_BEGIN, name=name)
+        self._cur_pc = None
+        if self.emit_callbacks:
+            _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_BEGIN, name=name)
         try:
             yield
         finally:
             self._phase_name = prev
-            _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_END, name=name)
+            self._cur_pc = prev_pc
+            if self.emit_callbacks:
+                _cb.emit(_cb.DOMAIN_PHASE, _cb.SITE_END, name=name)
 
     @contextmanager
     def step(self):
@@ -200,25 +238,26 @@ class BlockContext:
                     and self._steps_executed >= self.step_limit):
                 raise StopKernel(self._steps_executed)
             return
-        before = replace(self._pc())
-        index = len(self.ledger.steps_in_phase(self._phase_name))
+        pc0 = self._pc()
+        before = dict(pc0.__dict__)
+        index = self._phase_step_counts.get(self._phase_name, 0)
         try:
             yield
         finally:
             self._in_step = False
             pc = self._pc()
             pc.steps += 1
-            after = replace(pc)
-            delta = PhaseCounters()
-            for fname in vars(delta):
-                if fname == "max_active_threads":
-                    delta.max_active_threads = self._lanes.size
-                else:
-                    setattr(delta, fname,
-                            getattr(after, fname) - getattr(before, fname))
+            after = pc.__dict__
+            delta = PhaseCounters.__new__(PhaseCounters)
+            delta.__dict__.update(
+                {name: after[name] - prior
+                 for name, prior in before.items()})
+            delta.max_active_threads = self._active.lanes.size
             self.ledger.record_step(self._phase_name, index, delta)
-            _cb.emit(_cb.DOMAIN_STEP, _cb.SITE_RECORD,
-                     phase=self._phase_name, index=index, counters=delta)
+            self._phase_step_counts[self._phase_name] = index + 1
+            if self.emit_callbacks:
+                _cb.emit(_cb.DOMAIN_STEP, _cb.SITE_RECORD,
+                         phase=self._phase_name, index=index, counters=delta)
         self._steps_executed += 1
         if self.step_limit is not None and self._steps_executed >= self.step_limit:
             raise StopKernel(self._steps_executed)
@@ -231,6 +270,8 @@ class BlockContext:
         has no ECC)."""
         if self.record_trace:
             self._pc().syncs += 1
+        if not self.functional:
+            return
         plan = _faults.active_plan()
         if plan is not None:
             plan.maybe_flip_shared(self.shared_space)
@@ -250,19 +291,19 @@ class BlockContext:
                 f"this large need the global-memory fallback path (paper §4)")
         return arr
 
-    def _charge_shared(self, arr: SharedArray, idx: np.ndarray) -> None:
-        if idx.size and (idx.min() < 0 or idx.max() >= arr.words):
+    def _charge_shared(self, arr: SharedArray, idx: np.ndarray,
+                       repeat: int = 1,
+                       span: tuple[int, int] | None = None) -> None:
+        mn, mx = self.engine.idx_span(idx) if span is None else span
+        if idx.size and (mn < 0 or mx >= arr.words):
             raise KernelError(
-                f"shared access out of bounds: [{idx.min()}, {idx.max()}] "
+                f"shared access out of bounds: [{mn}, {mx}] "
                 f"in array of {arr.words} words")
         if not self.record_trace:
             return
-        cycles, half_warps = bank_conflict_cycles(
-            arr.word_addrs(idx), self.device, lane_ids=self._lanes)
+        info = self._active
+        cycles, half_warps = self.engine.shared_cost(idx, info, self.device)
         pc = self._pc()
-        pc.shared_words += idx.size
-        pc.shared_cycles += cycles
-        pc.shared_instructions += half_warps
         # Exposed-latency weight: one access site, hidden by however
         # many warps this block currently has in flight.  At or beyond
         # the device's hiding threshold the pipeline covers the latency
@@ -272,10 +313,21 @@ class BlockContext:
         # the average conflict degree -- this coupling is what makes
         # the paper's Fig 9 "with conflicts" bars tower over the
         # stride-one probe precisely when few warps remain.
-        w = max(1, warps_touched(self._lanes, self.device))
+        w = max(1, info.warps)
         sat = self.device.latency_hiding_warps
         degree = cycles / max(1, half_warps)
-        pc.latency_units += degree * max(0.0, 1.0 / w - 1.0 / sat)
+        exposure = degree * max(0.0, 1.0 / w - 1.0 / sat)
+        # Multi-array accesses (``repeat`` > 1) hit the same pattern on
+        # arrays whose bases differ by a constant; bank-conflict cost is
+        # shift-invariant, so one cost computation covers all of them.
+        # Integer counts scale exactly; the float latency term stays
+        # one array at a time to keep accumulation order (and thus the
+        # ledger bits) identical to per-array charging.
+        pc.shared_words += idx.size * repeat
+        pc.shared_cycles += cycles * repeat
+        pc.shared_instructions += half_warps * repeat
+        for _ in range(repeat):
+            pc.latency_units += exposure
 
     def sload(self, arr: SharedArray, idx: np.ndarray,
               cost_idx: np.ndarray | None = None) -> np.ndarray:
@@ -293,9 +345,51 @@ class BlockContext:
         correct and make only the *cost* follow the modified addresses.
         """
         idx = self._check_lane_shape(idx)
-        self._charge_shared(arr, idx if cost_idx is None
-                            else self._check_lane_shape(cost_idx))
-        return arr.gather(idx)
+        if cost_idx is None:
+            # The charge bounds-checks this very pattern against this
+            # very array, so the gather can skip its own check.
+            self._charge_shared(arr, idx)
+            if not self.functional:
+                return np.zeros((self.num_blocks, idx.size),
+                                dtype=self.dtype)
+            return self.engine.shared_gather_prechecked(arr, idx)
+        self._charge_shared(arr, self._check_lane_shape(cost_idx))
+        if not self.functional:
+            return np.zeros((self.num_blocks, idx.size), dtype=self.dtype)
+        return self.engine.shared_gather(arr, idx)
+
+    def sload_multi(self, arrs, idx: np.ndarray,
+                    cost_idx: np.ndarray | None = None) -> tuple:
+        """Gather the same lane indices from several shared arrays.
+
+        Equivalent to one :meth:`sload` per array (identical ledger and
+        values), but the pattern cost is computed once: bank-conflict
+        cost is invariant under the constant base-address shift between
+        the arrays.  This is the kernels' inner-loop fast path -- CR's
+        forward reduction reads the same three indices from all four
+        coefficient arrays.
+        """
+        if not arrs:
+            return ()
+        idx = self._check_lane_shape(idx)
+        cost = idx if cost_idx is None else self._check_lane_shape(cost_idx)
+        # Bounds-check the cost pattern against every array (word counts
+        # may differ), then charge it once per array in order.  The span
+        # is reduced once; per-array checks are integer compares.
+        mn, mx = self.engine.idx_span(cost)
+        for arr in arrs:
+            if cost.size and (mn < 0 or mx >= arr.words):
+                raise KernelError(
+                    f"shared access out of bounds: [{mn}, "
+                    f"{mx}] in array of {arr.words} words")
+        self._charge_shared(arrs[0], cost, repeat=len(arrs), span=(mn, mx))
+        if not self.functional:
+            return tuple(np.zeros((self.num_blocks, idx.size),
+                                  dtype=self.dtype) for _ in arrs)
+        if cost_idx is None:
+            data = self.engine.shared_gather_prechecked
+            return tuple([data(arr, idx) for arr in arrs])
+        return tuple(self.engine.shared_gather(arr, idx) for arr in arrs)
 
     def sstore(self, arr: SharedArray, idx: np.ndarray, values: np.ndarray,
                cost_idx: np.ndarray | None = None) -> None:
@@ -304,35 +398,77 @@ class BlockContext:
         See :meth:`sload` for ``cost_idx``.
         """
         idx = self._check_lane_shape(idx)
-        self._charge_shared(arr, idx if cost_idx is None
-                            else self._check_lane_shape(cost_idx))
-        arr.scatter(idx, np.asarray(values, dtype=self.dtype))
+        if cost_idx is None:
+            self._charge_shared(arr, idx)
+            if not self.functional:
+                return
+            self.engine.shared_scatter_prechecked(
+                arr, idx, np.asarray(values, dtype=self.dtype))
+            return
+        self._charge_shared(arr, self._check_lane_shape(cost_idx))
+        if not self.functional:
+            return
+        self.engine.shared_scatter(arr, idx,
+                                   np.asarray(values, dtype=self.dtype))
+
+    def sstore_multi(self, arrs, idx: np.ndarray, values_seq,
+                     cost_idx: np.ndarray | None = None) -> None:
+        """Scatter to several shared arrays at the same lane indices.
+
+        Ledger-equivalent to one :meth:`sstore` per array, with the
+        pattern cost computed once (see :meth:`sload_multi`).
+        """
+        if len(arrs) != len(values_seq):
+            raise KernelError(
+                f"{len(arrs)} arrays but {len(values_seq)} value sets")
+        if not arrs:
+            return
+        idx = self._check_lane_shape(idx)
+        cost = idx if cost_idx is None else self._check_lane_shape(cost_idx)
+        mn, mx = self.engine.idx_span(cost)
+        for arr in arrs:
+            if cost.size and (mn < 0 or mx >= arr.words):
+                raise KernelError(
+                    f"shared access out of bounds: [{mn}, "
+                    f"{mx}] in array of {arr.words} words")
+        self._charge_shared(arrs[0], cost, repeat=len(arrs), span=(mn, mx))
+        if not self.functional:
+            return
+        if cost_idx is None:
+            for arr, values in zip(arrs, values_seq):
+                self.engine.shared_scatter_prechecked(
+                    arr, idx, np.asarray(values, dtype=self.dtype))
+            return
+        for arr, values in zip(arrs, values_seq):
+            self.engine.shared_scatter(arr, idx,
+                                       np.asarray(values, dtype=self.dtype))
 
     # ------------------------------------------------------------------
     # Global memory
     # ------------------------------------------------------------------
 
-    def _charge_global(self, idx: np.ndarray) -> None:
+    def _charge_global(self, idx: np.ndarray, repeat: int = 1) -> None:
         if not self.record_trace:
             return
+        info = self._active
         pc = self._pc()
         # Half-warps are partitioned by lane id, exactly as the shared
         # path does: with a strided active-lane subset, grouping by
         # array position would undercount transactions.
-        transactions = coalesced_transactions(idx, self.device,
-                                              lane_ids=self._lanes)
-        pc.global_words += idx.size
-        pc.global_transactions += transactions
+        transactions = self.engine.global_cost(idx, info, self.device)
         # Exposed DRAM latency, analogous to the shared-memory term:
         # serialized transactions per half-warp, unhidden when few
         # warps are in flight.
-        w = max(1, warps_touched(self._lanes, self.device))
+        w = max(1, info.warps)
         sat = self.device.latency_hiding_warps
-        g = self.device.conflict_granularity
-        half_warps = (int(np.unique(self._lanes // g).size)
-                      if self._lanes.size else 0)
-        per_halfwarp = transactions / max(1, half_warps)
-        pc.global_latency_units += per_halfwarp * max(0.0, 1.0 / w - 1.0 / sat)
+        per_halfwarp = transactions / max(1, info.half_warps)
+        exposure = per_halfwarp * max(0.0, 1.0 / w - 1.0 / sat)
+        # Integer counts scale exactly; float exposure keeps per-array
+        # accumulation order (see _charge_shared).
+        pc.global_words += idx.size * repeat
+        pc.global_transactions += transactions * repeat
+        for _ in range(repeat):
+            pc.global_latency_units += exposure
 
     def gload(self, arr: GlobalArray, block_bases: np.ndarray,
               idx: np.ndarray) -> np.ndarray:
@@ -347,14 +483,58 @@ class BlockContext:
         """
         idx = self._check_lane_shape(idx)
         self._charge_global(idx)
-        return arr.gather(block_bases, idx).astype(self.dtype, copy=False)
+        if not self.functional:
+            return np.zeros((self.num_blocks, idx.size), dtype=self.dtype)
+        return self.engine.global_gather(arr, block_bases,
+                                         idx).astype(self.dtype, copy=False)
+
+    def gload_multi(self, arrs, block_bases: np.ndarray,
+                    idx: np.ndarray) -> tuple:
+        """Read the same pattern from several global arrays.
+
+        Ledger-equivalent to one :meth:`gload` per array; the
+        coalescing cost is computed once (same per-block pattern).
+        """
+        idx = self._check_lane_shape(idx)
+        self._charge_global(idx, repeat=len(arrs))
+        if not self.functional:
+            return tuple(np.zeros((self.num_blocks, idx.size),
+                                  dtype=self.dtype) for _ in arrs)
+        return tuple(self.engine.global_gather(arr, block_bases,
+                                               idx).astype(self.dtype,
+                                                           copy=False)
+                     for arr in arrs)
 
     def gstore(self, arr: GlobalArray, block_bases: np.ndarray,
                idx: np.ndarray, values: np.ndarray) -> None:
         """Costed global-memory write."""
         idx = self._check_lane_shape(idx)
         self._charge_global(idx)
-        arr.scatter(block_bases, idx, np.asarray(values, dtype=arr.data.dtype))
+        if not self.functional:
+            return
+        self.engine.global_scatter(arr, block_bases, idx,
+                                   np.asarray(values, dtype=arr.data.dtype))
+
+    def gstore_multi(self, arrs, block_bases: np.ndarray,
+                     idx: np.ndarray, values_seq) -> None:
+        """Write the same pattern to several global arrays.
+
+        Ledger-equivalent to one :meth:`gstore` per array; the
+        coalescing cost is computed once (same per-block pattern).
+        """
+        if len(arrs) != len(values_seq):
+            raise KernelError(f"{len(arrs)} arrays but "
+                              f"{len(values_seq)} value sets")
+        if not arrs:
+            return
+        idx = self._check_lane_shape(idx)
+        self._charge_global(idx, repeat=len(arrs))
+        if not self.functional:
+            return
+        for arr, values in zip(arrs, values_seq):
+            self.engine.global_scatter(arr, block_bases, idx,
+                                       np.asarray(values,
+                                                  dtype=arr.data.dtype))
 
     # ------------------------------------------------------------------
     # Arithmetic accounting
@@ -385,14 +565,14 @@ class BlockContext:
         pc = self._pc()
         pc.flops += total * n_active
         pc.divs += divs * n_active
-        pc.warp_instructions += inst * warps_touched(self._lanes, self.device)
+        pc.warp_instructions += inst * self._active.warps
 
     # ------------------------------------------------------------------
 
     def _check_lane_shape(self, idx) -> np.ndarray:
         idx = np.asarray(idx, dtype=np.int64)
-        if idx.ndim != 1 or idx.size != self.active_count:
+        if idx.ndim != 1 or idx.size != self._active.lanes.size:
             raise KernelError(
                 f"index vector of size {idx.size} does not match "
-                f"{self.active_count} active lanes")
+                f"{self._active.lanes.size} active lanes")
         return idx

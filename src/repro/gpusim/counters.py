@@ -107,6 +107,15 @@ class PhaseCounters:
                 setattr(out, f.name, getattr(self, f.name) * factor)
         return out
 
+    def copy(self) -> "PhaseCounters":
+        """Independent copy.  Every field is a scalar, so copying the
+        instance dict is complete -- and orders of magnitude cheaper
+        than ``copy.deepcopy``, which matters because the trace cache
+        copies a ledger on every hit."""
+        out = PhaseCounters.__new__(PhaseCounters)
+        out.__dict__.update(self.__dict__)
+        return out
+
     @property
     def conflict_degree(self) -> float:
         """Average shared-memory bank-conflict degree in this phase."""
@@ -140,6 +149,15 @@ class CounterLedger:
         for pc in self.phases.values():
             out.merge(pc)
         return out
+
+    def copy(self) -> "CounterLedger":
+        """Independent copy: fresh dict/list containers and fresh
+        :class:`PhaseCounters` throughout (equivalent to a deep copy,
+        without the generic-machinery cost)."""
+        return CounterLedger(
+            phases={name: pc.copy() for name, pc in self.phases.items()},
+            step_records=[(p, i, pc.copy())
+                          for p, i, pc in self.step_records])
 
     def record_step(self, phase: str, index: int,
                     counters: PhaseCounters) -> None:

@@ -78,6 +78,19 @@ class DeviceSpec:
     conflict_granularity: int = 16
     coalesce_segment_bytes: int = 64
 
+    def __hash__(self) -> int:
+        # Specs key every pattern-cost memo in the execution engine, so
+        # this is called on each memo probe; the generated dataclass
+        # hash re-tuples all 17 fields every time.  Frozen fields make
+        # the value immutable, so compute once and cache.
+        try:
+            return self._hash_cache
+        except AttributeError:
+            h = hash(tuple(getattr(self, f.name)
+                           for f in self.__dataclass_fields__.values()))
+            object.__setattr__(self, "_hash_cache", h)
+            return h
+
     def half_warps(self, active_threads: int) -> int:
         """Number of conflict-resolution groups covering ``active_threads``."""
         g = self.conflict_granularity

@@ -69,13 +69,21 @@ def launch(kernel: Callable[..., Any], *, num_blocks: int,
            threads_per_block: int, device: DeviceSpec = GTX280,
            dtype=np.float32, check_contiguous_active: bool = True,
            step_limit: int | None = None, max_launch_attempts: int = 3,
-           retry_backoff_s: float = 0.0, **kernel_args) -> LaunchResult:
+           retry_backoff_s: float = 0.0, engine=None,
+           **kernel_args) -> LaunchResult:
     """Simulate ``kernel(ctx, **kernel_args)`` over a grid.
 
     The kernel receives a fresh :class:`BlockContext`; its return value
     is passed through as ``outputs``.  ``step_limit`` truncates
     execution after that many algorithmic steps (the paper's
     differential-timing probe; outputs are then partial).
+
+    ``engine`` selects the execution engine (``"vectorized"`` default,
+    ``"reference"`` for the per-lane oracle, or an instance; see
+    :mod:`~repro.gpusim.engine`).  The engine is *not* part of the
+    trace-cache signature: both engines produce bitwise-identical
+    ledgers, so a trace recorded under one engine is a valid hit for
+    the other.
 
     Under an active :class:`~repro.gpusim.faults.FaultPlan` a launch
     attempt may fail before any block runs: transient failures are
@@ -112,13 +120,36 @@ def launch(kernel: Callable[..., Any], *, num_blocks: int,
         return _launch_once(kernel, kernel_name, num_blocks,
                             threads_per_block, device, dtype,
                             check_contiguous_active, step_limit, plan,
-                            kernel_args)
+                            kernel_args, engine=engine)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _reference_execute(kernel: Callable[..., Any], *, num_blocks: int,
+                       threads_per_block: int, device: DeviceSpec = GTX280,
+                       dtype=np.float32, check_contiguous_active: bool = True,
+                       step_limit: int | None = None,
+                       **kernel_args) -> LaunchResult:
+    """Run ``kernel`` on the per-lane :class:`~repro.gpusim.engine.ReferenceEngine`.
+
+    The property-test oracle for the vectorized engine: per-lane,
+    per-block Python loops with no pattern memoization and no trace
+    cache (every run records its trace from scratch).  Ledgers, step
+    records and float32 outputs must be bitwise-identical to
+    :func:`launch` on the same arguments
+    (``tests/gpusim/test_vectorized_engine.py``).
+    """
+    with _tracecache.use_cache(None):
+        return launch(kernel, num_blocks=num_blocks,
+                      threads_per_block=threads_per_block, device=device,
+                      dtype=dtype,
+                      check_contiguous_active=check_contiguous_active,
+                      step_limit=step_limit, engine="reference",
+                      **kernel_args)
 
 
 def _launch_once(kernel, kernel_name, num_blocks, threads_per_block, device,
                  dtype, check_contiguous_active, step_limit, plan,
-                 kernel_args) -> LaunchResult:
+                 kernel_args, engine=None) -> LaunchResult:
     """One successful launch attempt (the pre-fault-injection body)."""
     cache = _tracecache.get_cache()
     key = None
@@ -143,7 +174,8 @@ def _launch_once(kernel, kernel_name, num_blocks, threads_per_block, device,
     ctx = BlockContext(device, num_blocks, threads_per_block, dtype=dtype,
                        check_contiguous_active=check_contiguous_active,
                        step_limit=step_limit,
-                       record_trace=cached_ledger is None)
+                       record_trace=cached_ledger is None,
+                       engine=engine)
     _cb.emit(_cb.DOMAIN_LAUNCH, _cb.SITE_BEGIN, kernel=kernel_name,
              num_blocks=num_blocks, threads_per_block=threads_per_block,
              device=device.name)

@@ -12,13 +12,14 @@ an identical trace on every launch.  This module memoizes it:
 * :func:`launch_signature` derives a hashable cache key, or ``None``
   when the launch is not safely memoizable (closure kernels, opaque
   arguments).
-* :class:`TraceCache` maps signatures to deep-copied ledgers and keeps
-  hit/miss/bypass statistics, exported as ``gpusim.trace_cache.*``
-  telemetry counters when a collector is active.
+* :class:`TraceCache` maps signatures to privately copied ledgers and
+  keeps hit/miss/bypass statistics, exported as
+  ``gpusim.trace_cache.*`` telemetry counters when a collector is
+  active.
 * The executor consults :func:`get_cache`.  On a hit the kernel still
   runs functionally (real float32 outputs) but with
-  ``record_trace=False``; a deep copy of the cached ledger is attached
-  to the :class:`~repro.gpusim.executor.LaunchResult`.
+  ``record_trace=False``; a private copy of the cached ledger is
+  attached to the :class:`~repro.gpusim.executor.LaunchResult`.
 
 Bypass rule: the cache is skipped entirely whenever a
 :class:`~repro.gpusim.faults.FaultPlan` is active (injected faults
@@ -34,7 +35,6 @@ one) with :func:`use_cache`.
 
 from __future__ import annotations
 
-import copy
 import os
 import threading
 from contextlib import contextmanager
@@ -121,9 +121,9 @@ def launch_signature(kernel, *, num_blocks: int, threads_per_block: int,
 class TraceCache:
     """Signature -> :class:`CounterLedger` map with usage statistics.
 
-    Ledgers are deep-copied on both store and lookup, so callers can
-    mutate a returned ledger (or the one they stored) without
-    corrupting the cache.  Insertion-order (FIFO) eviction bounds the
+    Ledgers are copied (:meth:`CounterLedger.copy`) on both store and
+    lookup, so callers can mutate a returned ledger (or the one they
+    stored) without corrupting the cache.  Insertion-order (FIFO) eviction bounds the
     footprint at ``max_entries``.
     """
 
@@ -153,7 +153,7 @@ class TraceCache:
                 self.misses += 1
             else:
                 self.hits += 1
-                ledger = copy.deepcopy(ledger)
+                ledger = ledger.copy()
         _count("misses" if ledger is None else "hits", kernel,
                cache=self.name)
         return ledger
@@ -163,7 +163,7 @@ class TraceCache:
             if (key not in self._entries
                     and len(self._entries) >= self.max_entries):
                 self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = copy.deepcopy(ledger)
+            self._entries[key] = ledger.copy()
 
     def record_bypass(self, kernel: str = "?",
                       reason: str = "opaque_signature") -> None:

@@ -45,26 +45,20 @@ def cr_global_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 s = stride // 2
                 left = i - s
                 right = np.minimum(i + s, n - 1)
-                av = ctx.gload(ga, bases, i)
-                bv = ctx.gload(gb, bases, i)
-                cv = ctx.gload(gc, bases, i)
-                dv = ctx.gload(gd, bases, i)
-                al = ctx.gload(ga, bases, left)
-                bl = ctx.gload(gb, bases, left)
-                cl = ctx.gload(gc, bases, left)
-                dl = ctx.gload(gd, bases, left)
-                ar = ctx.gload(ga, bases, right)
-                br = ctx.gload(gb, bases, right)
-                cr = ctx.gload(gc, bases, right)
-                dr = ctx.gload(gd, bases, right)
+                av, bv, cv, dv = ctx.gload_multi((ga, gb, gc, gd), bases, i)
+                al, bl, cl, dl = ctx.gload_multi((ga, gb, gc, gd), bases,
+                                                 left)
+                ar, br, cr, dr = ctx.gload_multi((ga, gb, gc, gd), bases,
+                                                 right)
                 with np.errstate(divide="ignore", invalid="ignore"):
                     k1 = av / bl
                     k2 = cv / br
                 ctx.ops(12, divs=2)
-                ctx.gstore(ga, bases, i, -al * k1)
-                ctx.gstore(gb, bases, i, bv - cl * k1 - ar * k2)
-                ctx.gstore(gc, bases, i, -cr * k2)
-                ctx.gstore(gd, bases, i, dv - dl * k1 - dr * k2)
+                ctx.gstore_multi((ga, gb, gc, gd), bases, i,
+                                 (-al * k1,
+                                  bv - cl * k1 - ar * k2,
+                                  -cr * k2,
+                                  dv - dl * k1 - dr * k2))
                 ctx.sync()
 
     with ctx.phase(PHASE_SOLVE_TWO):
@@ -73,12 +67,8 @@ def cr_global_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
             one = np.array([0], dtype=np.int64)
             i1 = one + (0 if n == 2 else n // 2 - 1)
             i2 = one + (n - 1)
-            b1 = ctx.gload(gb, bases, i1)
-            c1 = ctx.gload(gc, bases, i1)
-            d1 = ctx.gload(gd, bases, i1)
-            a2 = ctx.gload(ga, bases, i2)
-            b2 = ctx.gload(gb, bases, i2)
-            d2 = ctx.gload(gd, bases, i2)
+            b1, c1, d1 = ctx.gload_multi((gb, gc, gd), bases, i1)
+            a2, b2, d2 = ctx.gload_multi((ga, gb, gd), bases, i2)
             det = b1 * b2 - c1 * a2
             with np.errstate(divide="ignore", invalid="ignore"):
                 x1 = (d1 * b2 - c1 * d2) / det
@@ -98,10 +88,7 @@ def cr_global_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 i = half - 1 + stride * tid
                 left = np.maximum(i - half, 0)
                 right = i + half
-                av = ctx.gload(ga, bases, i)
-                bv = ctx.gload(gb, bases, i)
-                cv = ctx.gload(gc, bases, i)
-                dv = ctx.gload(gd, bases, i)
+                av, bv, cv, dv = ctx.gload_multi((ga, gb, gc, gd), bases, i)
                 xl = ctx.gload(gx, bases, left)
                 xr = ctx.gload(gx, bases, right)
                 with np.errstate(divide="ignore", invalid="ignore"):

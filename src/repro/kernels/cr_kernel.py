@@ -51,20 +51,12 @@ def forward_reduction_step(ctx: BlockContext, sa, sb, sc, sd, n: int,
     s = stride // 2
     left = i - s
     right = np.minimum(i + s, n - 1)  # clamp: c[n-1] == 0 kills the term
-    cost = (lambda real: tid if conflict_free_timing else real)
+    cost = (lambda real: tid) if conflict_free_timing else (
+        lambda real: None)   # None: let the access cost its own pattern
 
-    av = ctx.sload(sa, i, cost(i))
-    bv = ctx.sload(sb, i, cost(i))
-    cv = ctx.sload(sc, i, cost(i))
-    dv = ctx.sload(sd, i, cost(i))
-    al = ctx.sload(sa, left, cost(left))
-    bl = ctx.sload(sb, left, cost(left))
-    cl = ctx.sload(sc, left, cost(left))
-    dl = ctx.sload(sd, left, cost(left))
-    ar = ctx.sload(sa, right, cost(right))
-    br = ctx.sload(sb, right, cost(right))
-    cr = ctx.sload(sc, right, cost(right))
-    dr = ctx.sload(sd, right, cost(right))
+    av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), i, cost(i))
+    al, bl, cl, dl = ctx.sload_multi((sa, sb, sc, sd), left, cost(left))
+    ar, br, cr, dr = ctx.sload_multi((sa, sb, sc, sd), right, cost(right))
 
     with np.errstate(divide="ignore", invalid="ignore"):
         k1 = av / bl
@@ -75,10 +67,8 @@ def forward_reduction_step(ctx: BlockContext, sa, sb, sc, sd, n: int,
     new_d = dv - dl * k1 - dr * k2
     ctx.ops(12, divs=2)
 
-    ctx.sstore(sa, i, new_a, cost(i))
-    ctx.sstore(sb, i, new_b, cost(i))
-    ctx.sstore(sc, i, new_c, cost(i))
-    ctx.sstore(sd, i, new_d, cost(i))
+    ctx.sstore_multi((sa, sb, sc, sd), i, (new_a, new_b, new_c, new_d),
+                     cost(i))
     ctx.sync()
 
 
@@ -89,12 +79,8 @@ def solve_two_unknowns_step(ctx: BlockContext, sa, sb, sc, sd, sx,
     one = np.array([0], dtype=np.int64)
     idx1 = one + i1
     idx2 = one + i2
-    b1 = ctx.sload(sb, idx1)
-    c1 = ctx.sload(sc, idx1)
-    d1 = ctx.sload(sd, idx1)
-    a2 = ctx.sload(sa, idx2)
-    b2 = ctx.sload(sb, idx2)
-    d2 = ctx.sload(sd, idx2)
+    b1, c1, d1 = ctx.sload_multi((sb, sc, sd), idx1)
+    a2, b2, d2 = ctx.sload_multi((sa, sb, sd), idx2)
     det = b1 * b2 - c1 * a2
     with np.errstate(divide="ignore", invalid="ignore"):
         x1 = (d1 * b2 - c1 * d2) / det
@@ -120,12 +106,10 @@ def backward_substitution_step(ctx: BlockContext, sa, sb, sc, sd, sx,
     i = half - 1 + stride * tid
     left = np.maximum(i - half, 0)  # clamp: a[leftmost] == 0 kills the term
     right = i + half
-    cost = (lambda real: tid if conflict_free_timing else real)
+    cost = (lambda real: tid) if conflict_free_timing else (
+        lambda real: None)   # None: let the access cost its own pattern
 
-    av = ctx.sload(sa, i, cost(i))
-    bv = ctx.sload(sb, i, cost(i))
-    cv = ctx.sload(sc, i, cost(i))
-    dv = ctx.sload(sd, i, cost(i))
+    av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), i, cost(i))
     xl = ctx.sload(sx, left, cost(left))
     xr = ctx.sload(sx, right, cost(right))
     with np.errstate(divide="ignore", invalid="ignore"):

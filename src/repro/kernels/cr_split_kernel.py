@@ -94,10 +94,9 @@ def cr_split_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
             i = lanes + chunk * (n // 2)
             dest = np.where(i % 2 == 0, lay.even(0, i // 2),
                             lay.odd(0, i // 2))
-            for g_arr, s_arr in ((gmem.a, sa), (gmem.b, sb),
-                                 (gmem.c, sc), (gmem.d, sd)):
-                vals = ctx.gload(g_arr, bases, i)
-                ctx.sstore(s_arr, dest, vals)
+            vals = ctx.gload_multi((gmem.a, gmem.b, gmem.c, gmem.d),
+                                   bases, i)
+            ctx.sstore_multi((sa, sb, sc, sd), dest, vals)
         ctx.sync()
 
     # ------------------------------------------------------------------
@@ -115,20 +114,11 @@ def cr_split_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 right = np.minimum(k + 1, half - 1)
 
                 own = lay.odd(ell, k)
-                av = ctx.sload(sa, own)
-                bv = ctx.sload(sb, own)
-                cv = ctx.sload(sc, own)
-                dv = ctx.sload(sd, own)
+                av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), own)
                 lft = lay.even(ell, k)
-                al = ctx.sload(sa, lft)
-                bl = ctx.sload(sb, lft)
-                cl = ctx.sload(sc, lft)
-                dl = ctx.sload(sd, lft)
+                al, bl, cl, dl = ctx.sload_multi((sa, sb, sc, sd), lft)
                 rgt = lay.even(ell, right)
-                ar = ctx.sload(sa, rgt)
-                br = ctx.sload(sb, rgt)
-                cr = ctx.sload(sc, rgt)
-                dr = ctx.sload(sd, rgt)
+                ar, br, cr, dr = ctx.sload_multi((sa, sb, sc, sd), rgt)
 
                 with np.errstate(divide="ignore", invalid="ignore"):
                     k1 = av / bl
@@ -143,10 +133,8 @@ def cr_split_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 # Parity-split store into the next level's segment.
                 dest = np.where(k % 2 == 0, lay.even(ell + 1, k // 2),
                                 lay.odd(ell + 1, k // 2))
-                ctx.sstore(sa, dest, new_a)
-                ctx.sstore(sb, dest, new_b)
-                ctx.sstore(sc, dest, new_c)
-                ctx.sstore(sd, dest, new_d)
+                ctx.sstore_multi((sa, sb, sc, sd), dest,
+                                 (new_a, new_b, new_c, new_d))
                 ctx.sync()
 
     # ------------------------------------------------------------------
@@ -158,12 +146,8 @@ def cr_split_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
             one = np.array([0], dtype=np.int64)
             i1 = lay.even(last, one)
             i2 = lay.odd(last, one)
-            b1 = ctx.sload(sb, i1)
-            c1 = ctx.sload(sc, i1)
-            d1 = ctx.sload(sd, i1)
-            a2 = ctx.sload(sa, i2)
-            b2 = ctx.sload(sb, i2)
-            d2 = ctx.sload(sd, i2)
+            b1, c1, d1 = ctx.sload_multi((sb, sc, sd), i1)
+            a2, b2, d2 = ctx.sload_multi((sa, sb, sd), i2)
             det = b1 * b2 - c1 * a2
             with np.errstate(divide="ignore", invalid="ignore"):
                 x1 = (d1 * b2 - c1 * d2) / det
@@ -196,10 +180,7 @@ def cr_split_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
 
                 left = np.maximum(k - 1, 0)  # a == 0 kills the overhang
                 ev = lay.even(ell, k)
-                av = ctx.sload(sa, ev)
-                bv = ctx.sload(sb, ev)
-                cv = ctx.sload(sc, ev)
-                dv = ctx.sload(sd, ev)
+                av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), ev)
                 xl = ctx.sload(sx, lay.odd(ell, left))
                 xr = xv_odd
                 with np.errstate(divide="ignore", invalid="ignore"):

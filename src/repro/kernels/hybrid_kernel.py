@@ -161,22 +161,16 @@ def cr_rd_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
             ctx.set_active(m)
             k = ctx.lanes
             src = surviving[k]
-            av = ctx.sload(sa, src)
-            bv = ctx.sload(sb, src)
-            cv = ctx.sload(sc, src)
-            dv = ctx.sload(sd, src)
+            av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), src)
             cv[:, -1] = 1  # formal c for the last intermediate equation
             with np.errstate(divide="ignore", invalid="ignore"):
                 m00 = -bv / cv
                 m01 = -av / cv
                 m02 = dv / cv
             ctx.ops(5, divs=3)
-            ctx.sstore(r00, k, m00)
-            ctx.sstore(r01, k, m01)
-            ctx.sstore(r02, k, m02)
-            ctx.sstore(r10, k, np.ones_like(m00))
-            ctx.sstore(r11, k, np.zeros_like(m00))
-            ctx.sstore(r12, k, np.zeros_like(m00))
+            ctx.sstore_multi((r00, r01, r02, r10, r11, r12), k,
+                             (m00, m01, m02, np.ones_like(m00),
+                              np.zeros_like(m00), np.zeros_like(m00)))
             ctx.sync()
 
     with ctx.phase(PHASE_RD_SCAN):

@@ -41,18 +41,9 @@ def pcr_reduction_step(ctx: BlockContext, sa, sb, sc, sd, n: int,
     left = np.maximum(i - stride, 0)
     right = np.minimum(i + stride, n - 1)
 
-    av = ctx.sload(sa, i)
-    bv = ctx.sload(sb, i)
-    cv = ctx.sload(sc, i)
-    dv = ctx.sload(sd, i)
-    al = ctx.sload(sa, left)
-    bl = ctx.sload(sb, left)
-    cl = ctx.sload(sc, left)
-    dl = ctx.sload(sd, left)
-    ar = ctx.sload(sa, right)
-    br = ctx.sload(sb, right)
-    cr = ctx.sload(sc, right)
-    dr = ctx.sload(sd, right)
+    av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), i)
+    al, bl, cl, dl = ctx.sload_multi((sa, sb, sc, sd), left)
+    ar, br, cr, dr = ctx.sload_multi((sa, sb, sc, sd), right)
 
     with np.errstate(divide="ignore", invalid="ignore"):
         k1 = av / bl
@@ -64,10 +55,7 @@ def pcr_reduction_step(ctx: BlockContext, sa, sb, sc, sd, n: int,
     ctx.ops(12, divs=2)
     ctx.sync()  # all reads complete before any in-place write
 
-    ctx.sstore(sa, i, new_a)
-    ctx.sstore(sb, i, new_b)
-    ctx.sstore(sc, i, new_c)
-    ctx.sstore(sd, i, new_d)
+    ctx.sstore_multi((sa, sb, sc, sd), i, (new_a, new_b, new_c, new_d))
     ctx.sync()
 
 
@@ -82,12 +70,8 @@ def pcr_solve_two_step(ctx: BlockContext, sa, sb, sc, sd, sx, n: int,
     ctx.set_active(half)
     i1 = ctx.lanes
     i2 = i1 + half
-    b1 = ctx.sload(sb, i1)
-    c1 = ctx.sload(sc, i1)
-    d1 = ctx.sload(sd, i1)
-    a2 = ctx.sload(sa, i2)
-    b2 = ctx.sload(sb, i2)
-    d2 = ctx.sload(sd, i2)
+    b1, c1, d1 = ctx.sload_multi((sb, sc, sd), i1)
+    a2, b2, d2 = ctx.sload_multi((sa, sb, sd), i2)
     det = b1 * b2 - c1 * a2
     with np.errstate(divide="ignore", invalid="ignore"):
         x1 = (d1 * b2 - c1 * d2) / det

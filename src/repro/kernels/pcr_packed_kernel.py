@@ -56,9 +56,8 @@ def pcr_packed_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
     with ctx.phase(PHASE_GLOBAL_LOAD):
         ctx.set_active(width)
         i = ctx.lanes
-        for g_arr, s_arr in ((gmem.a, sa), (gmem.b, sb), (gmem.c, sc),
-                             (gmem.d, sd)):
-            ctx.sstore(s_arr, i, ctx.gload(g_arr, bases, i))
+        vals = ctx.gload_multi((gmem.a, gmem.b, gmem.c, gmem.d), bases, i)
+        ctx.sstore_multi((sa, sb, sc, sd), i, vals)
         ctx.sync()
 
     # Per-lane segment geometry.
@@ -75,27 +74,19 @@ def pcr_packed_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
                 i = ctx.lanes
                 left = seg_base + np.maximum(pos - stride, 0)
                 right = seg_base + np.minimum(pos + stride, n - 1)
-                av = ctx.sload(sa, i)
-                bv = ctx.sload(sb, i)
-                cv = ctx.sload(sc, i)
-                dv = ctx.sload(sd, i)
-                al = ctx.sload(sa, left)
-                bl = ctx.sload(sb, left)
-                cl = ctx.sload(sc, left)
-                dl = ctx.sload(sd, left)
-                ar = ctx.sload(sa, right)
-                br = ctx.sload(sb, right)
-                cr = ctx.sload(sc, right)
-                dr = ctx.sload(sd, right)
+                av, bv, cv, dv = ctx.sload_multi((sa, sb, sc, sd), i)
+                al, bl, cl, dl = ctx.sload_multi((sa, sb, sc, sd), left)
+                ar, br, cr, dr = ctx.sload_multi((sa, sb, sc, sd), right)
                 with np.errstate(divide="ignore", invalid="ignore"):
                     k1 = av / bl
                     k2 = cv / br
                 ctx.ops(12, divs=2)
                 ctx.sync()
-                ctx.sstore(sa, i, -al * k1)
-                ctx.sstore(sb, i, bv - cl * k1 - ar * k2)
-                ctx.sstore(sc, i, -cr * k2)
-                ctx.sstore(sd, i, dv - dl * k1 - dr * k2)
+                ctx.sstore_multi((sa, sb, sc, sd), i,
+                                 (-al * k1,
+                                  bv - cl * k1 - ar * k2,
+                                  -cr * k2,
+                                  dv - dl * k1 - dr * k2))
                 ctx.sync()
             stride *= 2
 
@@ -108,12 +99,8 @@ def pcr_packed_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
             r_of = k % half
             i1 = s_of * n + r_of
             i2 = i1 + half
-            b1 = ctx.sload(sb, i1)
-            c1 = ctx.sload(sc, i1)
-            d1 = ctx.sload(sd, i1)
-            a2 = ctx.sload(sa, i2)
-            b2 = ctx.sload(sb, i2)
-            d2 = ctx.sload(sd, i2)
+            b1, c1, d1 = ctx.sload_multi((sb, sc, sd), i1)
+            a2, b2, d2 = ctx.sload_multi((sa, sb, sd), i2)
             det = b1 * b2 - c1 * a2
             with np.errstate(divide="ignore", invalid="ignore"):
                 x1 = (d1 * b2 - c1 * d2) / det

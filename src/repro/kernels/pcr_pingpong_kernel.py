@@ -49,30 +49,20 @@ def pcr_pingpong_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 i = ctx.lanes
                 left = np.maximum(i - stride, 0)
                 right = np.minimum(i + stride, n - 1)
-                sa, sb, sc, sd = src
-                av = ctx.sload(sa, i)
-                bv = ctx.sload(sb, i)
-                cv = ctx.sload(sc, i)
-                dv = ctx.sload(sd, i)
-                al = ctx.sload(sa, left)
-                bl = ctx.sload(sb, left)
-                cl = ctx.sload(sc, left)
-                dl = ctx.sload(sd, left)
-                ar = ctx.sload(sa, right)
-                br = ctx.sload(sb, right)
-                cr = ctx.sload(sc, right)
-                dr = ctx.sload(sd, right)
+                av, bv, cv, dv = ctx.sload_multi(src, i)
+                al, bl, cl, dl = ctx.sload_multi(src, left)
+                ar, br, cr, dr = ctx.sload_multi(src, right)
                 with np.errstate(divide="ignore", invalid="ignore"):
                     k1 = av / bl
                     k2 = cv / br
                 ctx.ops(12, divs=2)
-                da, db, dc, dd = dst
                 # No read-write hazard: the write targets the other
                 # buffer, so only the end-of-step barrier remains.
-                ctx.sstore(da, i, -al * k1)
-                ctx.sstore(db, i, bv - cl * k1 - ar * k2)
-                ctx.sstore(dc, i, -cr * k2)
-                ctx.sstore(dd, i, dv - dl * k1 - dr * k2)
+                ctx.sstore_multi(dst, i,
+                                 (-al * k1,
+                                  bv - cl * k1 - ar * k2,
+                                  -cr * k2,
+                                  dv - dl * k1 - dr * k2))
                 ctx.sync()
             src, dst = dst, src
             stride *= 2

@@ -40,10 +40,8 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
         with ctx.step():
             ctx.set_active(n)
             i = ctx.lanes
-            av = ctx.gload(gmem.a, bases, i)
-            bv = ctx.gload(gmem.b, bases, i)
-            cv = ctx.gload(gmem.c, bases, i)
-            dv = ctx.gload(gmem.d, bases, i)
+            av, bv, cv, dv = ctx.gload_multi(
+                (gmem.a, gmem.b, gmem.c, gmem.d), bases, i)
             cv[:, -1] = 1
             with np.errstate(divide="ignore", invalid="ignore"):
                 vals = [-bv / cv, -av / cv, dv / cv,
@@ -52,8 +50,7 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                         np.zeros_like(bv), np.zeros_like(bv),
                         np.ones_like(bv)]
             ctx.ops(5, divs=3)
-            for arr, v in zip(rows, vals):
-                ctx.sstore(arr, i, v)
+            ctx.sstore_multi(rows, i, vals)
             ctx.sync()
 
     with ctx.phase(PHASE_SCAN):
@@ -63,8 +60,8 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                 ctx.set_active(np.arange(stride, n, dtype=np.int64))
                 i = ctx.lanes
                 j = i - stride
-                A = [ctx.sload(arr, i) for arr in rows]
-                B = [ctx.sload(arr, j) for arr in rows]
+                A = ctx.sload_multi(rows, i)
+                B = ctx.sload_multi(rows, j)
                 with np.errstate(over="ignore", invalid="ignore"):
                     C = [A[3 * r + 0] * B[3 * 0 + col]
                          + A[3 * r + 1] * B[3 * 1 + col]
@@ -72,8 +69,7 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
                          for r in range(3) for col in range(3)]
                 ctx.ops(45)  # 27 multiplies + 18 adds, no structure used
                 ctx.sync()
-                for arr, v in zip(rows, C):
-                    ctx.sstore(arr, i, v)
+                ctx.sstore_multi(rows, i, C)
                 ctx.sync()
             stride *= 2
 
@@ -82,8 +78,7 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
             one = np.array([0], dtype=np.int64)
             ctx.set_active(1)
             last = one + (n - 1)
-            c00_last = ctx.sload(rows[0], last)
-            c02_last = ctx.sload(rows[2], last)
+            c00_last, c02_last = ctx.sload_multi((rows[0], rows[2]), last)
             with np.errstate(divide="ignore", invalid="ignore"):
                 x0 = -c02_last / c00_last
             ctx.ops(2, divs=1)
@@ -94,11 +89,14 @@ def rd_full_kernel(ctx: BlockContext, gmem: GlobalSystemArrays) -> None:
             i = ctx.lanes
             x0b = ctx.sload(sx0, np.zeros(n, dtype=np.int64))
             prev = np.maximum(i - 1, 0)
-            c00 = ctx.sload(rows[0], prev)
-            c02 = ctx.sload(rows[2], prev)
+            c00, c02 = ctx.sload_multi((rows[0], rows[2]), prev)
             with np.errstate(over="ignore", invalid="ignore"):
                 xv = c00 * x0b + c02
-            xv[:, 0] = x0b[:, 0]
+            # Lane 0 outputs x_0 itself.  Select the column by lane id,
+            # not array position: the two only coincide because the
+            # active set is a prefix here, and the batched engine makes
+            # that assumption easy to violate silently.
+            xv[:, i == 0] = x0b[:, i == 0]
             ctx.ops(2)
             ctx.gstore(gmem.x, bases, i, xv)
             ctx.sync()

@@ -43,22 +43,17 @@ def rd_matrix_setup(ctx: BlockContext, gmem: GlobalSystemArrays,
     bases = gmem.block_bases
     ctx.set_active(n)
     i = ctx.lanes
-    av = ctx.gload(gmem.a, bases, i)
-    bv = ctx.gload(gmem.b, bases, i)
-    cv = ctx.gload(gmem.c, bases, i)
-    dv = ctx.gload(gmem.d, bases, i)
+    av, bv, cv, dv = ctx.gload_multi((gmem.a, gmem.b, gmem.c, gmem.d),
+                                     bases, i)
     cv[:, -1] = 1  # formal c for the last equation
     with np.errstate(divide="ignore", invalid="ignore"):
         m00 = -bv / cv
         m01 = -av / cv
         m02 = dv / cv
     ctx.ops(5, divs=3)
-    ctx.sstore(r00, i, m00)
-    ctx.sstore(r01, i, m01)
-    ctx.sstore(r02, i, m02)
-    ctx.sstore(r10, i, np.ones_like(m00))
-    ctx.sstore(r11, i, np.zeros_like(m00))
-    ctx.sstore(r12, i, np.zeros_like(m00))
+    ctx.sstore_multi((r00, r01, r02, r10, r11, r12), i,
+                     (m00, m01, m02, np.ones_like(m00),
+                      np.zeros_like(m00), np.zeros_like(m00)))
     ctx.sync()
 
 
@@ -73,18 +68,10 @@ def rd_scan_step(ctx: BlockContext, rows, n: int, stride: int) -> None:
     i = ctx.lanes
     j = i - stride
 
-    a00 = ctx.sload(r00, i)
-    a01 = ctx.sload(r01, i)
-    a02 = ctx.sload(r02, i)
-    a10 = ctx.sload(r10, i)
-    a11 = ctx.sload(r11, i)
-    a12 = ctx.sload(r12, i)
-    b00 = ctx.sload(r00, j)
-    b01 = ctx.sload(r01, j)
-    b02 = ctx.sload(r02, j)
-    b10 = ctx.sload(r10, j)
-    b11 = ctx.sload(r11, j)
-    b12 = ctx.sload(r12, j)
+    a00, a01, a02, a10, a11, a12 = ctx.sload_multi(
+        (r00, r01, r02, r10, r11, r12), i)
+    b00, b01, b02, b10, b11, b12 = ctx.sload_multi(
+        (r00, r01, r02, r10, r11, r12), j)
 
     with np.errstate(over="ignore", invalid="ignore"):
         c00 = a00 * b00 + a01 * b10
@@ -96,12 +83,8 @@ def rd_scan_step(ctx: BlockContext, rows, n: int, stride: int) -> None:
     ctx.ops(20)
     ctx.sync()  # reads complete before in-place writes
 
-    ctx.sstore(r00, i, c00)
-    ctx.sstore(r01, i, c01)
-    ctx.sstore(r02, i, c02)
-    ctx.sstore(r10, i, c10)
-    ctx.sstore(r11, i, c11)
-    ctx.sstore(r12, i, c12)
+    ctx.sstore_multi((r00, r01, r02, r10, r11, r12), i,
+                     (c00, c01, c02, c10, c11, c12))
     ctx.sync()
 
 
@@ -120,8 +103,7 @@ def rd_solution_evaluation(ctx: BlockContext, rows, sx0, n: int,
 
     ctx.set_active(1)
     last = one + (n - 1)
-    c00_last = ctx.sload(r00, last)
-    c02_last = ctx.sload(r02, last)
+    c00_last, c02_last = ctx.sload_multi((r00, r02), last)
     with np.errstate(divide="ignore", invalid="ignore"):
         x0 = -c02_last / c00_last
     ctx.ops(2, divs=1)
@@ -132,11 +114,13 @@ def rd_solution_evaluation(ctx: BlockContext, rows, sx0, n: int,
     i = ctx.lanes
     x0b = ctx.sload(sx0, np.zeros(n, dtype=np.int64))  # broadcast read
     prev = np.maximum(i - 1, 0)
-    c00 = ctx.sload(r00, prev)
-    c02 = ctx.sload(r02, prev)
+    c00, c02 = ctx.sload_multi((r00, r02), prev)
     with np.errstate(over="ignore", invalid="ignore"):
         xv = c00 * x0b + c02
-    xv[:, 0] = x0b[:, 0]  # lane 0 outputs x_0 itself
+    # Lane 0 outputs x_0 itself.  Keyed by lane id, not array position:
+    # the two coincide only while the active set is a prefix (see the
+    # rd_full_kernel audit note).
+    xv[:, i == 0] = x0b[:, i == 0]
     ctx.ops(2)
     store_x(ctx, i, xv)
     ctx.sync()

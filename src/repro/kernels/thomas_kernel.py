@@ -64,33 +64,26 @@ def thomas_per_thread_kernel(ctx: BlockContext, gmem: GlobalSystemArrays,
     # implementation stores c' and d' back over c and d.
     with ctx.phase(PHASE_SOLVE):
         with ctx.step():
-            cv = ctx.gload(gc, bases, addr(0))
-            bv = ctx.gload(gb, bases, addr(0))
-            dv = ctx.gload(gd, bases, addr(0))
+            cv, bv, dv = ctx.gload_multi((gc, gb, gd), bases, addr(0))
             with np.errstate(divide="ignore", invalid="ignore"):
                 cp = cv / bv
                 dp = dv / bv
             ctx.ops(2, divs=2)
-            ctx.gstore(gc, bases, addr(0), cp)
-            ctx.gstore(gd, bases, addr(0), dp)
+            ctx.gstore_multi((gc, gd), bases, addr(0), (cp, dp))
             for i in range(1, n):
-                av = ctx.gload(ga, bases, addr(i))
-                bv = ctx.gload(gb, bases, addr(i))
-                cv = ctx.gload(gc, bases, addr(i))
-                dv = ctx.gload(gd, bases, addr(i))
+                av, bv, cv, dv = ctx.gload_multi((ga, gb, gc, gd), bases,
+                                                 addr(i))
                 with np.errstate(divide="ignore", invalid="ignore"):
                     denom = bv - cp * av
                     cp = cv / denom
                     dp = (dv - dp * av) / denom
                 ctx.ops(8, divs=2)
-                ctx.gstore(gc, bases, addr(i), cp)
-                ctx.gstore(gd, bases, addr(i), dp)
+                ctx.gstore_multi((gc, gd), bases, addr(i), (cp, dp))
         with ctx.step():
             xv = ctx.gload(gd, bases, addr(n - 1))
             ctx.gstore(gx, bases, addr(n - 1), xv)
             for i in range(n - 2, -1, -1):
-                cpv = ctx.gload(gc, bases, addr(i))
-                dpv = ctx.gload(gd, bases, addr(i))
+                cpv, dpv = ctx.gload_multi((gc, gd), bases, addr(i))
                 xv = dpv - cpv * xv
                 ctx.ops(2)
                 ctx.gstore(gx, bases, addr(i), xv)

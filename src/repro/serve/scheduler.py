@@ -194,22 +194,20 @@ class BatchScheduler:
     def estimate_job_ms(self, job: SolveJob) -> float:
         """Modeled lower bound for ``job`` on an idle healthy pool.
 
-        One chunk is simulated (fault-free) and costed; the job bound
-        is perfect parallelism over the pool.  Used by the queue's
+        One chunk is costed analytically (no functional execution; see
+        :func:`repro.gpusim.estimator.estimate_ms`, bitwise-equal to
+        the simulate-then-cost path) and the job bound is perfect
+        parallelism over the pool.  Used by the queue's
         deadline-feasibility admission check.
         """
         key = (job.method, job.systems.n, min(job.chunk_size,
                                               job.systems.num_systems),
                job.intermediate_size)
         if key not in self._estimate_cache:
-            from repro.analysis.timing import modeled_grid_timing
-            # Scoped to the pool's trace cache so estimate launches
-            # never touch (or depend on) process-global cache state --
-            # repeated runs on fresh pools stay telemetry-identical.
-            with _tracecache.use_cache(self.pool.trace_cache):
-                t = modeled_grid_timing(job.method, job.systems.n, key[2],
-                                        intermediate_size=job.intermediate_size)
-            self._estimate_cache[key] = t.solver_ms
+            from repro.gpusim.estimator import estimate_ms
+            self._estimate_cache[key] = estimate_ms(
+                job.method, job.systems.n, key[2],
+                intermediate_size=job.intermediate_size)
         return self._estimate_cache[key] * job.num_chunks / len(self.pool)
 
     def _chunk_estimate_ms(self, job: SolveJob) -> float:
@@ -818,7 +816,8 @@ class BatchScheduler:
         record_job_latency(report.makespan_ms, job.slo_class)
         if slack is not None:
             record_deadline_slack(slack, job.slo_class)
-        record_pool_trace_cache(self.pool.trace_cache.stats())
+        if self.pool.trace_cache is not None:
+            record_pool_trace_cache(self.pool.trace_cache.stats())
         telemetry.event("serve.job_done", job=job.job_id,
                         outcome=outcome,
                         makespan_ms=report.makespan_ms,

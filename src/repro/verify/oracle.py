@@ -18,6 +18,7 @@ Two distances are reported per system:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,10 +28,35 @@ from repro.solvers.gauss import gep_batched
 from repro.solvers.systems import TridiagonalSystems
 
 
+#: Content-addressed memo for oracle solutions.  The verify grids
+#: solve the same seeded batches once per solver under test (5-13x),
+#: and float64 GEP dominates verify-full wall time; keying on the
+#: input bytes makes repeat solves free without trusting any seed
+#: bookkeeping.  Bounded to keep long fuzz runs from hoarding arrays.
+_ORACLE_MEMO: dict[bytes, np.ndarray] = {}
+_ORACLE_MEMO_MAX = 256
+
+
 def oracle_solve(systems: TridiagonalSystems) -> np.ndarray:
     """Reference solutions: float64 Gaussian elimination with partial
-    pivoting.  Returns a float64 ``(num_systems, n)`` array."""
-    return gep_batched(systems.astype(np.float64))
+    pivoting.  Returns a float64 ``(num_systems, n)`` array.
+
+    Memoized on the exact input bytes (diagonals + rhs), so repeated
+    comparisons against the same batch pay for one factorization.
+    Callers must treat the result as read-only.
+    """
+    sys64 = systems.astype(np.float64)
+    h = hashlib.sha256()
+    for part in (np.int64(sys64.num_systems), np.int64(sys64.n),
+                 sys64.a, sys64.b, sys64.c, sys64.d):
+        h.update(np.ascontiguousarray(part).tobytes())
+    key = h.digest()
+    hit = _ORACLE_MEMO.get(key)
+    if hit is None:
+        if len(_ORACLE_MEMO) >= _ORACLE_MEMO_MAX:
+            _ORACLE_MEMO.clear()
+        hit = _ORACLE_MEMO[key] = gep_batched(sys64)
+    return hit
 
 
 def ulp_distance(x: np.ndarray, ref: np.ndarray,

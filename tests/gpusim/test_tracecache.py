@@ -196,20 +196,24 @@ class TestSolverGridIdentity:
 
 
 class TestInvariantsThroughCache:
-    def test_invariants_pass_fully_cached(self):
-        """Second sweep is served from the cache and still satisfies
-        the analytic invariants (paper closed forms, incl. the CR
-        conflict ladder)."""
-        cache = TraceCache()
+    def test_invariants_pass_fully_memoized(self):
+        """Second sweep is served from the analytic estimator's memo
+        and still satisfies the analytic invariants (paper closed
+        forms, incl. the CR conflict ladder).  The checker runs the
+        non-functional fast path, so the trace cache is not involved;
+        the estimator memo plays the same replay role."""
+        from repro.gpusim import estimator
+
+        estimator.clear_estimator_cache()
         sizes = (8, 16, 64)
-        with use_cache(cache):
-            first = check_invariants(sizes=sizes)
-            assert first.ok, first.summary()
-            warm_before = cache.hits
-            second = check_invariants(sizes=sizes)
-            assert second.ok, second.summary()
-        assert cache.hits - warm_before == second.checked
-        assert cache.hit_rate >= 0.5
+        first = check_invariants(sizes=sizes)
+        assert first.ok, first.summary()
+        warm = len(estimator._CACHE)
+        assert warm >= first.checked
+        second = check_invariants(sizes=sizes)
+        assert second.ok, second.summary()
+        # No new analytic launches on the warm sweep.
+        assert len(estimator._CACHE) == warm
 
     def test_cr_160_transactions_at_512_cached(self):
         """The paper's 160-transaction global footprint at n=512,

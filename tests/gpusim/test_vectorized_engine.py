@@ -1,0 +1,233 @@
+"""Property suite holding the vectorized engine bitwise-equal to the
+per-lane reference oracle.
+
+The contract under test (see ``docs/simulator.md``): for any kernel and
+any launch geometry, ``launch(...)`` on the default
+:class:`~repro.gpusim.engine.VectorizedEngine` and
+:func:`~repro.gpusim.executor._reference_execute` (per-lane, per-block
+Python loops, no memoization, no trace cache) produce
+
+* bitwise-identical :class:`~repro.gpusim.counters.CounterLedger`\\ s
+  (every integer counter *and* every float latency accumulator),
+* bitwise-identical per-step records,
+* bitwise-identical float32 outputs and solutions, and
+* identical trace-cache signatures (the engine is deliberately not
+  part of the launch signature).
+
+Straddling/duplicated lane index patterns and divergent (non-prefix,
+non-contiguous) active sets are exercised explicitly -- those are the
+cases where a batched np.unique/reduceat implementation can silently
+disagree with the per-lane definition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import GTX280, TESLA_C1060, ledgers_equal, use_cache
+from repro.gpusim.engine import REFERENCE, VECTORIZED
+from repro.gpusim.estimator import _resolve_kernel
+from repro.gpusim.executor import _reference_execute, launch
+from repro.gpusim.tracecache import launch_signature
+from repro.kernels.common import GlobalSystemArrays
+from repro.numerics.generators import diagonally_dominant_fluid
+
+SOLVERS = ("cr", "pcr", "rd", "cr_pcr", "cr_rd")
+
+#: Shared-array words used by the synthetic divergence kernel.
+_WORDS = 96
+
+
+def _assert_bitwise_equal(res_a, res_b):
+    """Ledger, step records, and shared/thread geometry, exactly."""
+    assert ledgers_equal(res_a.ledger, res_b.ledger) == []
+    # ledgers_equal compares phase totals and step *counts*; the
+    # engine contract is stronger -- every per-step snapshot matches
+    # field-for-field, floats included (dataclass __eq__ is exact).
+    assert res_a.ledger.step_records == res_b.ledger.step_records
+    assert res_a.threads_per_block == res_b.threads_per_block
+    assert res_a.shared_bytes == res_b.shared_bytes
+
+
+def _run_both(method, n, num_systems, seed, device=GTX280):
+    kernel, threads, extra, _m = _resolve_kernel(method, n, None)
+    systems = diagonally_dominant_fluid(num_systems, n, seed=seed)
+
+    gmem_vec = GlobalSystemArrays.from_systems(systems)
+    with use_cache(None):
+        vec = launch(kernel, num_blocks=num_systems,
+                     threads_per_block=threads, device=device,
+                     gmem=gmem_vec, **extra)
+
+    gmem_ref = GlobalSystemArrays.from_systems(systems)
+    ref = _reference_execute(kernel, num_blocks=num_systems,
+                             threads_per_block=threads, device=device,
+                             gmem=gmem_ref, **extra)
+    return vec, ref, gmem_vec, gmem_ref
+
+
+class TestSolverEquivalence:
+    """All five solvers, random sizes and batches: 250 cases."""
+
+    @pytest.mark.parametrize("method", SOLVERS)
+    @settings(max_examples=50, deadline=None)
+    @given(n_exp=st.integers(min_value=2, max_value=6),
+           num_systems=st.integers(min_value=1, max_value=3),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_bitwise_equal(self, method, n_exp, num_systems, seed):
+        n = 2 ** n_exp
+        vec, ref, gmem_vec, gmem_ref = _run_both(method, n, num_systems,
+                                                 seed)
+        _assert_bitwise_equal(vec, ref)
+        sol_vec, sol_ref = gmem_vec.solution(), gmem_ref.solution()
+        assert sol_vec.dtype == sol_ref.dtype == np.float32
+        # Bitwise, not just value-equal: NaN placement and signed
+        # zeros must agree too.
+        assert np.array_equal(sol_vec.view(np.uint32),
+                              sol_ref.view(np.uint32))
+
+    def test_other_device_spec(self):
+        vec, ref, _gv, _gr = _run_both("cr", 64, 2, 7, device=TESLA_C1060)
+        _assert_bitwise_equal(vec, ref)
+
+
+def _divergent_kernel(ctx, lanes, idx, scale):
+    """Synthetic kernel exercising non-contiguous active sets and
+    duplicate/straddling shared index patterns under both engines."""
+    lanes = np.asarray(lanes, dtype=np.int64)
+    idx = np.asarray(idx, dtype=np.int64)
+    arr = ctx.shared(_WORDS)
+    out = ctx.shared(_WORDS)
+    with ctx.phase("seed"):
+        with ctx.step():
+            full = ctx.set_active(ctx.threads_per_block)
+            ctx.sstore(arr, full % _WORDS,
+                       np.broadcast_to((full % 7).astype(np.float32),
+                                       (ctx.num_blocks, full.size)))
+            ctx.sync()
+    with ctx.phase("divergent"):
+        with ctx.step():
+            ctx.set_active(lanes)
+            vals = ctx.sload(arr, idx)
+            ctx.ops(3, divs=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                vals = vals * np.float32(scale) + np.float32(1.0) / vals
+            # Duplicate idx entries make this a write race; both
+            # engines must resolve it identically (last lane wins).
+            ctx.sstore(out, idx, vals)
+            ctx.sync()
+    with ctx.phase("drain"):
+        with ctx.step():
+            full = ctx.set_active(ctx.threads_per_block)
+            return ctx.sload(out, full % _WORDS)
+
+
+# Lane sets are drawn non-contiguous and unsorted-free (set_active
+# takes ascending unique ids); idx patterns may repeat words and
+# straddle half-warp boundaries arbitrarily.
+_lane_sets = st.lists(st.integers(min_value=0, max_value=63),
+                      min_size=1, max_size=48, unique=True).map(sorted)
+
+
+class TestDivergentLaneSets:
+    """Arbitrary active subsets with duplicate index patterns: 150
+    cases."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(lanes=_lane_sets,
+           data=st.data(),
+           num_blocks=st.integers(min_value=1, max_value=3),
+           scale=st.floats(min_value=-4.0, max_value=4.0, width=32))
+    def test_bitwise_equal(self, lanes, data, num_blocks, scale):
+        idx = data.draw(st.lists(
+            st.integers(min_value=0, max_value=_WORDS - 1),
+            min_size=len(lanes), max_size=len(lanes)))
+        kwargs = dict(num_blocks=num_blocks, threads_per_block=64,
+                      check_contiguous_active=False,
+                      lanes=tuple(lanes), idx=tuple(idx), scale=scale)
+        with use_cache(None):
+            vec = launch(_divergent_kernel, **kwargs)
+        ref = _reference_execute(_divergent_kernel, **kwargs)
+        _assert_bitwise_equal(vec, ref)
+        assert np.array_equal(
+            np.asarray(vec.outputs, dtype=np.float32).view(np.uint32),
+            np.asarray(ref.outputs, dtype=np.float32).view(np.uint32))
+
+    def test_half_warp_straddle(self):
+        """A lane set crossing the 16-lane conflict-resolution boundary
+        with a pattern whose duplicates land in one bank."""
+        lanes = [14, 15, 16, 17, 40]
+        idx = [0, 16, 16, 32, 0]       # bank 0 collisions across groups
+        kwargs = dict(num_blocks=2, threads_per_block=64,
+                      check_contiguous_active=False,
+                      lanes=tuple(lanes), idx=tuple(idx), scale=1.5)
+        with use_cache(None):
+            vec = launch(_divergent_kernel, **kwargs)
+        ref = _reference_execute(_divergent_kernel, **kwargs)
+        _assert_bitwise_equal(vec, ref)
+
+
+class TestShiftInvariance:
+    """The memo keys rest on two theorems; check them against the
+    oracle's uncached costs: 100 cases."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern=st.lists(st.integers(min_value=0, max_value=255),
+                            min_size=1, max_size=32),
+           shift=st.integers(min_value=0, max_value=512))
+    def test_shared_cost_shift_invariant(self, pattern, shift):
+        idx = np.asarray(pattern, dtype=np.int64)
+        info = REFERENCE.prefix_info(idx.size, GTX280)
+        base = REFERENCE.shared_cost(idx, info, GTX280)
+        shifted = REFERENCE.shared_cost(idx + shift, info, GTX280)
+        assert base == shifted
+        # And the vectorized memo (keyed canonically) agrees with the
+        # oracle on the shifted pattern.
+        assert VECTORIZED.shared_cost(idx + shift, info, GTX280) == shifted
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern=st.lists(st.integers(min_value=0, max_value=255),
+                            min_size=1, max_size=32),
+           segments=st.integers(min_value=0, max_value=64))
+    def test_global_cost_segment_shift_invariant(self, pattern, segments):
+        words_per_seg = (GTX280.coalesce_segment_bytes
+                         // GTX280.bank_width_bytes)
+        idx = np.asarray(pattern, dtype=np.int64)
+        info = REFERENCE.prefix_info(idx.size, GTX280)
+        base = REFERENCE.global_cost(idx, info, GTX280)
+        shifted_idx = idx + segments * words_per_seg
+        assert REFERENCE.global_cost(shifted_idx, info, GTX280) == base
+        assert VECTORIZED.global_cost(shifted_idx, info, GTX280) == base
+
+
+class TestTraceSignatures:
+    def test_engine_not_in_signature(self):
+        """Both engines hash to the same launch signature, so a trace
+        recorded under one is a valid cache hit for the other."""
+        kernel, threads, extra, _m = _resolve_kernel("cr", 32, None)
+        systems = diagonally_dominant_fluid(2, 32, seed=0)
+        sigs = []
+        for _engine in ("vectorized", "reference"):
+            gmem = GlobalSystemArrays.from_systems(systems)
+            sigs.append(launch_signature(
+                kernel, num_blocks=2, threads_per_block=threads,
+                device=GTX280, dtype=np.float32,
+                check_contiguous_active=True,
+                kernel_args={"gmem": gmem, **extra}))
+        assert sigs[0] is not None
+        assert sigs[0] == sigs[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_exp=st.integers(min_value=2, max_value=6),
+           num_systems=st.integers(min_value=1, max_value=3))
+    def test_signature_deterministic(self, n_exp, num_systems):
+        n = 2 ** n_exp
+        kernel, threads, extra, _m = _resolve_kernel("pcr", n, None)
+        systems = diagonally_dominant_fluid(num_systems, n, seed=1)
+        gmem = GlobalSystemArrays.from_systems(systems)
+        args = dict(num_blocks=num_systems, threads_per_block=threads,
+                    device=GTX280, dtype=np.float32,
+                    check_contiguous_active=True,
+                    kernel_args={"gmem": gmem, **extra})
+        assert launch_signature(kernel, **args) == \
+            launch_signature(kernel, **args)
