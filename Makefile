@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-cache bench-engine bench-serve bench-overload figures report profile chaos serve-chaos serve-health serve-overload verify verify-full fuzz calibrate examples clean
+.PHONY: test test-fast bench bench-cache bench-engine bench-serve bench-overload bench-layout figures report profile chaos serve-chaos serve-health serve-overload verify verify-full fuzz calibrate examples clean
 
 test:            ## full test suite (incl. heavy example smoke tests)
 	$(PY) -m pytest tests/
@@ -28,9 +28,13 @@ bench-overload:  ## overload-shedding perf smoke (fails on interactive
                  ## sheds, goodput drops, or p99 regressions >25%)
 	$(PY) benchmarks/bench_overload.py --check
 
+bench-layout:    ## layout-autotuner perf smoke (fails on choice flips,
+                 ## coalescing regressions, or analytic/measured drift)
+	$(PY) benchmarks/bench_layout_autotune.py --quick --check
+
 figures:         ## regenerate every table/figure text artifact in benchmarks/results/
 	@cd benchmarks && for b in bench_*.py; do \
-	  case $$b in bench_cpu_wallclock.py|bench_extension_solvers.py|bench_trace_cache.py|bench_vectorized_engine.py) continue;; esac; \
+	  case $$b in bench_cpu_wallclock.py|bench_extension_solvers.py|bench_layout_autotune.py|bench_trace_cache.py|bench_vectorized_engine.py) continue;; esac; \
 	  echo "== $$b"; $(PY) $$b > /dev/null || exit 1; done
 
 report:          ## paper-vs-model Markdown report

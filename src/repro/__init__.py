@@ -27,6 +27,6 @@ Quickstart::
 
 from .solvers import TridiagonalSystems, residual, robust_solve, solve
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 __all__ = ["TridiagonalSystems", "residual", "robust_solve", "solve",
            "__version__"]

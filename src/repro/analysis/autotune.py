@@ -27,6 +27,7 @@ class SweepPoint:
     intermediate_size: int
     solver_ms: float | None          # None when the config cannot run
     reason: str = ""                 # why it cannot (e.g. shared memory)
+    label: str = ""                  # "pure-cr" | "hybrid" | "pure-<inner>"
 
 
 @dataclass
@@ -37,16 +38,27 @@ class SweepResult:
     def best(self) -> SweepPoint:
         feasible = [p for p in self.points if p.solver_ms is not None]
         if not feasible:
-            raise ValueError("no feasible switch point")
+            detail = "; ".join(
+                f"m={p.intermediate_size}: {p.reason or 'unknown'}"
+                for p in self.points)
+            raise ValueError(
+                f"no feasible switch point ({detail})" if detail
+                else "no feasible switch point (empty sweep)")
         return min(feasible, key=lambda p: p.solver_ms)
 
 
 def _power_of_two_range(n: int) -> list[int]:
+    """Candidate intermediate sizes: the powers of two up to ``n``,
+    plus the ``m = n`` pure-inner endpoint Fig 17 requires even when
+    ``n`` itself is not a power of two (the sweep used to silently
+    omit it, leaving the curve without its right endpoint)."""
     out = []
     m = 2
     while m <= n:
         out.append(m)
         m *= 2
+    if n >= 2 and out[-1] != n:
+        out.append(n)
     return out
 
 
@@ -67,17 +79,17 @@ def sweep_switch_point(systems: TridiagonalSystems, inner: str, *,
     points = []
     for m in _power_of_two_range(n):
         if m == 2:
-            name, msize = "cr", None          # pure CR endpoint
+            name, msize, label = "cr", None, "pure-cr"
         elif m == n:
-            name, msize = inner, None         # pure inner endpoint
+            name, msize, label = inner, None, f"pure-{inner}"
         else:
-            name, msize = hybrid_name, m
+            name, msize, label = hybrid_name, m, "hybrid"
         try:
             t = timed_solve(name, systems, intermediate_size=msize,
                             device=device, cost_model=cm)
-            points.append(SweepPoint(m, t.solver_ms))
+            points.append(SweepPoint(m, t.solver_ms, label=label))
         except (KernelError, ValueError) as exc:
-            points.append(SweepPoint(m, None, reason=str(exc)))
+            points.append(SweepPoint(m, None, reason=str(exc), label=label))
     return SweepResult(inner=inner, points=points)
 
 

@@ -42,7 +42,8 @@ def timed_solve(name: str, systems: TridiagonalSystems, *,
                 intermediate_size: int | None = None,
                 device: DeviceSpec = GTX280,
                 cost_model: CostModel | None = None,
-                pcie: PCIeModel | None = None) -> SolverTiming:
+                pcie: PCIeModel | None = None,
+                layout: str | None = None) -> SolverTiming:
     """Run kernel ``name`` on ``systems`` and model its GTX 280 timing."""
     cm = cost_model or gt200_cost_model()
     pcie = pcie or PCIeModel()
@@ -50,7 +51,7 @@ def timed_solve(name: str, systems: TridiagonalSystems, *,
                         num_systems=systems.num_systems) as sp:
         x, launch = run_kernel(name, systems,
                                intermediate_size=intermediate_size,
-                               device=device)
+                               device=device, layout=layout)
         report = cm.report(launch)
         transfer = pcie.solver_roundtrip_ms(systems.num_systems, systems.n)
         sp.set_attr("modeled_ms", report.total_ms)
@@ -65,27 +66,39 @@ def modeled_grid_timing(name: str, n: int, num_systems: int, *,
                         cost_model: CostModel | None = None,
                         pcie: PCIeModel | None = None,
                         seed: int = 0,
-                        sim_blocks: int = 2) -> SolverTiming:
+                        sim_blocks: int = 2,
+                        layout: str | None = None) -> SolverTiming:
     """Model a ``num_systems x n`` grid from a small simulation.
 
     Per-block counters are identical across blocks, so ``sim_blocks``
     simulated systems suffice; the timing report is rescaled to the
     requested grid via the occupancy/wave rule.  Used by the figure
     benchmarks, where simulating 512 real blocks would only burn time.
+
+    The per-thread ``"thomas"`` kernel packs many systems into each
+    block, so its small simulation is one full block tile of
+    ``min(num_systems, max_threads)`` systems and the rescale runs
+    over the real *block* count instead of the system count.
     """
     from repro.gpusim.costmodel import TimingReport
     from repro.numerics.generators import diagonally_dominant_fluid
 
     cm = cost_model or gt200_cost_model()
     pcie = pcie or PCIeModel()
-    systems = diagonally_dominant_fluid(sim_blocks, n, seed=seed)
+    if name == "thomas":
+        from repro.kernels.thomas_kernel import thomas_launch_geometry
+        num_blocks, threads = thomas_launch_geometry(num_systems, device)
+        systems = diagonally_dominant_fluid(threads, n, seed=seed)
+    else:
+        num_blocks = num_systems
+        systems = diagonally_dominant_fluid(sim_blocks, n, seed=seed)
     with telemetry.span("timing.modeled_grid", solver=name, n=n,
                         num_systems=num_systems,
                         sim_blocks=sim_blocks) as sp:
         x, launch = run_kernel(name, systems,
                                intermediate_size=intermediate_size,
-                               device=device)
-        scale, conc, waves = cm.grid_scale(device, num_systems,
+                               device=device, layout=layout)
+        scale, conc, waves = cm.grid_scale(device, num_blocks,
                                            launch.shared_bytes,
                                            launch.threads_per_block)
         ns_to_ms = 1e-6

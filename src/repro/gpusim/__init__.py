@@ -28,7 +28,8 @@ from .executor import LaunchResult, launch
 from .gt200 import GT200_PARAMS, gt200_cost_model
 from .pool import (FAULT_RATE_FIELDS, DevicePool, PooledDevice,
                    derive_seed, make_pool)
-from .memory import (GlobalArray, SharedArray, SharedMemorySpace,
+from .memory import (GlobalArray, InterleavedSystemArrays, SharedArray,
+                     SharedMemorySpace,
                      bank_conflict_cycles, coalesced_transactions,
                      max_conflict_degree)
 from .serialize import (launch_to_dict, launch_to_json, ledger_from_dict,
@@ -52,7 +53,8 @@ __all__ = [
     "PhaseTime", "TimingReport", "CounterLedger", "PhaseCounters",
     "GTX280", "G80_8800GTX", "TESLA_C1060", "DeviceSpec",
     "occupancy_report", "LaunchResult", "launch", "GT200_PARAMS",
-    "gt200_cost_model", "GlobalArray", "SharedArray", "SharedMemorySpace",
+    "gt200_cost_model", "GlobalArray", "InterleavedSystemArrays",
+    "SharedArray", "SharedMemorySpace",
     "bank_conflict_cycles", "coalesced_transactions", "max_conflict_degree",
     "GLOBAL_ONLY_PENALTY", "PCIeModel", "launch_to_dict", "launch_to_json",
     "ledger_from_dict", "ledger_to_dict", "ledgers_equal",

@@ -44,7 +44,8 @@ from .executor import LaunchResult
 __all__ = ["analytic_launch", "estimate_report", "estimate_ms",
            "closed_form_counters", "clear_estimator_cache"]
 
-#: (method, n, m, device.name) -> LaunchResult with the analytic ledger.
+#: (method, n, m, layout, threads, device.name) -> LaunchResult with
+#: the analytic ledger.
 _CACHE: dict[tuple, LaunchResult] = {}
 
 
@@ -82,8 +83,53 @@ def _resolve_kernel(method: str, n: int, intermediate_size: int | None):
         require_power_of_two(m, f"analytic_launch({method}) intermediate size")
         kernel = cr_pcr_kernel if method == "cr_pcr" else cr_rd_kernel
         return kernel, max(1, n // 2, m), {"intermediate_size": m}, m
-    raise ValueError(f"unknown kernel {method!r}; "
-                     f"available: ['cr', 'cr_pcr', 'cr_rd', 'pcr', 'rd']")
+    raise ValueError(
+        f"unknown kernel {method!r}; "
+        f"available: ['cr', 'cr_pcr', 'cr_rd', 'pcr', 'rd', 'thomas']")
+
+
+def _stub_interleaved_gmem(num_systems: int, n: int):
+    """Zero-filled interleaved global arrays (see :func:`_stub_gmem`)."""
+    from repro.gpusim.memory import GlobalArray, InterleavedSystemArrays
+
+    words = num_systems * n
+    return InterleavedSystemArrays(
+        a=GlobalArray(words, dtype=np.float32),
+        b=GlobalArray(words, dtype=np.float32),
+        c=GlobalArray(words, dtype=np.float32),
+        d=GlobalArray(words, dtype=np.float32),
+        x=GlobalArray(words, dtype=np.float32),
+        num_systems=num_systems, n=n)
+
+
+def _resolve_thomas(n: int, num_systems: int, layout: str,
+                    device: DeviceSpec):
+    """Launch configuration for the per-thread Thomas kernel.
+
+    The per-thread mapping is batch-shaped: threads per block (and, in
+    the interleaved layout, the coalescing stride) follow the system
+    count, so the analytic stub simulates one *full block tile* of
+    ``min(S, max_threads)`` systems.  The real grid pads the batch to a
+    whole number of such tiles, which keeps the interleave stride a
+    multiple of the 16-word transaction segment whenever more than one
+    block exists -- so the one-tile ledger is bitwise-identical to any
+    real block's.
+    """
+    from repro.kernels.thomas_kernel import (LAYOUTS, thomas_launch_geometry,
+                                             thomas_interleaved_kernel,
+                                             thomas_sequential_kernel)
+
+    if layout not in LAYOUTS:
+        raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+    if num_systems < 1:
+        raise ValueError(
+            f"analytic_launch('thomas') needs num_systems >= 1, "
+            f"got {num_systems}")
+    _num_blocks, threads = thomas_launch_geometry(num_systems, device)
+    if layout == "interleaved":
+        return (thomas_interleaved_kernel, threads,
+                lambda: _stub_interleaved_gmem(threads, n))
+    return thomas_sequential_kernel, threads, lambda: _stub_gmem(threads, n)
 
 
 def _stub_gmem(num_blocks: int, n: int):
@@ -104,7 +150,9 @@ def _stub_gmem(num_blocks: int, n: int):
 
 def analytic_launch(method: str, n: int, *,
                     intermediate_size: int | None = None,
-                    device: DeviceSpec = GTX280) -> LaunchResult:
+                    device: DeviceSpec = GTX280,
+                    num_systems: int | None = None,
+                    layout: str = "sequential") -> LaunchResult:
     """Trace ``method`` on an ``n``-system analytically.
 
     Runs the kernel in non-functional charge-only mode on a single
@@ -113,13 +161,29 @@ def analytic_launch(method: str, n: int, *,
     to a real launch's (per-block charges do not depend on the block
     count or the data).  Results are memoized; callers must treat the
     ledger as read-only.
+
+    ``num_systems`` and ``layout`` only matter for the per-thread
+    ``"thomas"`` kernel, whose block shape (and interleave stride)
+    depend on the batch size; the fine-grained methods run one block
+    per system regardless.
     """
-    kernel, threads, extra, m = _resolve_kernel(method, n, intermediate_size)
-    key = (method, int(n), m, device.name)
+    if method == "thomas":
+        kernel, threads, make_gmem = _resolve_thomas(
+            n, 1 if num_systems is None else int(num_systems),
+            layout, device)
+        extra, m = {}, None
+    else:
+        if layout != "sequential":
+            raise ValueError(
+                f"kernel {method!r} does not take layout {layout!r}")
+        kernel, threads, extra, m = _resolve_kernel(method, n,
+                                                    intermediate_size)
+        make_gmem = lambda: _stub_gmem(1, n)  # noqa: E731
+    key = (method, int(n), m, layout, threads, device.name)
     hit = _CACHE.get(key)
     if hit is not None:
         return hit
-    gmem = _stub_gmem(1, n)
+    gmem = make_gmem()
     ctx = BlockContext(device, 1, threads, functional=False,
                        emit_callbacks=False)
     with np.errstate(all="ignore"):
@@ -138,7 +202,8 @@ def analytic_launch(method: str, n: int, *,
 def estimate_report(method: str, n: int, num_systems: int, *,
                     intermediate_size: int | None = None,
                     device: DeviceSpec = GTX280,
-                    cost_model: CostModel | None = None) -> TimingReport:
+                    cost_model: CostModel | None = None,
+                    layout: str = "sequential") -> TimingReport:
     """Analytic :class:`TimingReport` for a ``num_systems x n`` grid.
 
     Float-for-float the same arithmetic as
@@ -151,8 +216,16 @@ def estimate_report(method: str, n: int, num_systems: int, *,
 
     cm = cost_model or gt200_cost_model()
     launch = analytic_launch(method, n, intermediate_size=intermediate_size,
-                             device=device)
-    scale, conc, waves = cm.grid_scale(device, num_systems,
+                             device=device, num_systems=num_systems,
+                             layout=layout)
+    if method == "thomas":
+        # Per-thread mapping: a block is a tile of threads systems,
+        # not one system.
+        from repro.kernels.thomas_kernel import thomas_launch_geometry
+        num_blocks, _threads = thomas_launch_geometry(num_systems, device)
+    else:
+        num_blocks = num_systems
+    scale, conc, waves = cm.grid_scale(device, num_blocks,
                                        launch.shared_bytes,
                                        launch.threads_per_block)
     ns_to_ms = 1e-6
@@ -171,11 +244,13 @@ def estimate_report(method: str, n: int, num_systems: int, *,
 def estimate_ms(method: str, n: int, num_systems: int, *,
                 intermediate_size: int | None = None,
                 device: DeviceSpec = GTX280,
-                cost_model: CostModel | None = None) -> float:
+                cost_model: CostModel | None = None,
+                layout: str = "sequential") -> float:
     """Modeled solver milliseconds for a grid, via the analytic path."""
     return estimate_report(method, n, num_systems,
                            intermediate_size=intermediate_size,
-                           device=device, cost_model=cost_model).total_ms
+                           device=device, cost_model=cost_model,
+                           layout=layout).total_ms
 
 
 def closed_form_counters(method: str, n: int) -> dict[str, int]:

@@ -33,6 +33,8 @@ and addresses are first put in lane-id order, so an unordered
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from .device import DeviceSpec
@@ -51,6 +53,11 @@ def _lane_order(addrs: np.ndarray, lane_ids: np.ndarray | None,
     are assumed to belong to lanes ``0..k-1``.  Unordered lane ids are
     sorted (stably, together with their addresses) so grouping always
     follows the hardware partition regardless of arrival order.
+
+    One access instruction carries exactly one address per lane, so a
+    repeated lane id is a caller bug: silently accepting it would
+    attribute two addresses to one lane and corrupt the half-warp
+    grouping (both the conflict and the transaction counts).
     """
     g = device.conflict_granularity
     if lane_ids is None:
@@ -63,6 +70,12 @@ def _lane_order(addrs: np.ndarray, lane_ids: np.ndarray | None,
         order = np.argsort(lanes, kind="stable")
         addrs = addrs[order]
         lanes = lanes[order]
+    if lanes.size > 1:
+        dup = np.flatnonzero(np.diff(lanes) == 0)
+        if dup.size:
+            raise KernelError(
+                f"duplicate lane id {int(lanes[dup[0]])} in access: one "
+                f"lane issues exactly one address per instruction")
     return addrs, lanes // g
 
 
@@ -378,3 +391,91 @@ class GlobalArray:
     def scatter(self, block_bases: np.ndarray, idx: np.ndarray,
                 values: np.ndarray) -> None:
         self.data[self._flat(block_bases, idx)] = values
+
+
+@dataclasses.dataclass
+class InterleavedSystemArrays:
+    """The five flat global arrays in the *interleaved* batch layout.
+
+    Where the paper's sequential layout stores system ``s`` contiguously
+    (element ``j`` at ``s*n + j``; see
+    :class:`repro.kernels.common.GlobalSystemArrays`), the interleaved
+    layout stores element ``j`` of system ``s`` at ``j*num_systems + s``
+    -- element ``j`` of *every* system is adjacent (Gloster et al.,
+    arXiv:1909.04539; cuSPARSE ``gtsvInterleavedBatch``).  A
+    one-thread-per-system kernel then reads at unit stride across the
+    thread front: each half-warp's 16 loads land in one or two aligned
+    64-byte segments instead of 16.
+
+    The class mirrors the sequential container's protocol (``a..d``,
+    ``x``, ``num_systems``, ``n``, ``from_systems``, ``solution``,
+    ``trace_signature``) so kernels and the fault-injection transfer
+    hooks treat the two layouts uniformly.  ``trace_signature`` carries
+    a distinct tag: the access schedule of a kernel depends on the
+    layout, so a trace recorded against one layout must never be a
+    cache hit for the other.  (A dataclass so
+    :func:`repro.gpusim.faults.find_global_arrays` walks its fields,
+    keeping post-launch ECC upset detection layout-uniform.)
+    """
+
+    a: GlobalArray
+    b: GlobalArray
+    c: GlobalArray
+    d: GlobalArray
+    x: GlobalArray
+    num_systems: int
+    n: int
+
+    @property
+    def system_stride(self) -> int:
+        """Words between consecutive elements of one system (= S)."""
+        return self.num_systems
+
+    @classmethod
+    def from_systems(cls, systems) -> "InterleavedSystemArrays":
+        """Build from any batch carrying ``(S, n)`` coefficient arrays
+        (``a, b, c, d`` attributes plus ``num_systems``/``n``).
+
+        Interleaving happens on the host; the host-to-device staging is
+        the PCIe leg an active fault plan may corrupt, exactly as on
+        the sequential layout.
+        """
+        S, n = int(systems.num_systems), int(systems.n)
+
+        def _interleaved(arr) -> GlobalArray:
+            plane = np.asarray(arr, dtype=np.float32)
+            return GlobalArray.from_array(
+                np.ascontiguousarray(plane.T).ravel())
+
+        gmem = cls(a=_interleaved(systems.a), b=_interleaved(systems.b),
+                   c=_interleaved(systems.c), d=_interleaved(systems.d),
+                   x=GlobalArray(S * n, dtype=np.float32),
+                   num_systems=S, n=n)
+        from . import faults as _faults
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.corrupt_transfer([gmem.a, gmem.b, gmem.c, gmem.d],
+                                  direction="h2d")
+        return gmem
+
+    def trace_signature(self) -> tuple:
+        """Structural identity for trace memoization.  Layout-tagged:
+        the same ``(S, n)`` shape yields different access schedules in
+        the two layouts."""
+        return ("gmem_interleaved", self.num_systems, self.n,
+                tuple(arr.trace_signature()
+                      for arr in (self.a, self.b, self.c, self.d, self.x)))
+
+    def solution(self) -> np.ndarray:
+        """De-interleave the solution back to ``(num_systems, n)``.
+
+        The device-to-host copy is the other PCIe leg an active fault
+        plan may corrupt.
+        """
+        x = np.ascontiguousarray(
+            self.x.data.reshape(self.n, self.num_systems).T)
+        from . import faults as _faults
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.corrupt_transfer([x], direction="d2h")
+        return x

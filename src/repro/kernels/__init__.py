@@ -5,15 +5,17 @@ trace (bank conflicts, warp issues, per-step counters) that the
 calibrated cost model turns into GTX 280 milliseconds.
 """
 
-from .api import (KERNEL_RUNNERS, run_cr, run_cr_global, run_cr_pcr,
-                  run_cr_rd, run_cr_split, run_kernel, run_pcr,
-                  run_pcr_pingpong, run_rd, run_rd_full)
+from .api import (KERNEL_RUNNERS, LAYOUT_AWARE_KERNELS, run_cr,
+                  run_cr_global, run_cr_pcr, run_cr_rd, run_cr_split,
+                  run_kernel, run_pcr, run_pcr_pingpong, run_rd,
+                  run_rd_full, run_thomas)
 from .common import GlobalSystemArrays
 from .pcr_packed_kernel import run_pcr_packed
-from .thomas_kernel import run_thomas_per_thread
+from .thomas_kernel import run_thomas_batch, run_thomas_per_thread
 
-__all__ = ["KERNEL_RUNNERS", "run_cr", "run_cr_global", "run_cr_pcr", "run_cr_rd",
+__all__ = ["KERNEL_RUNNERS", "LAYOUT_AWARE_KERNELS",
+           "run_cr", "run_cr_global", "run_cr_pcr", "run_cr_rd",
            "run_cr_split", "run_kernel", "run_pcr", "run_pcr_pingpong", "run_rd",
-           "run_rd_full", "run_pcr_packed",
+           "run_rd_full", "run_pcr_packed", "run_thomas",
            "GlobalSystemArrays",
-           "run_thomas_per_thread"]
+           "run_thomas_batch", "run_thomas_per_thread"]

@@ -28,6 +28,7 @@ from .pcr_kernel import pcr_kernel
 from .pcr_pingpong_kernel import pcr_pingpong_kernel
 from .rd_full_kernel import rd_full_kernel
 from .rd_kernel import rd_kernel
+from .thomas_kernel import run_thomas_batch
 
 
 def _run(kernel: Callable, systems: TridiagonalSystems,
@@ -116,6 +117,17 @@ def run_cr_rd(systems: TridiagonalSystems,
                 step_limit=step_limit, intermediate_size=m)
 
 
+def run_thomas(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
+               step_limit: int | None = None, layout: str = "sequential"
+               ) -> tuple[np.ndarray, LaunchResult]:
+    """Per-thread Thomas on the simulated device (one thread = one
+    system, multi-block grid).  ``layout`` selects the sequential or
+    interleaved batch arrangement; the latter coalesces.  The only
+    registry kernel with no power-of-two requirement on ``n``."""
+    return run_thomas_batch(systems, device=device, layout=layout,
+                            step_limit=step_limit)
+
+
 def run_cr_split(systems: TridiagonalSystems, device: DeviceSpec = GTX280,
                  step_limit: int | None = None
                  ) -> tuple[np.ndarray, LaunchResult]:
@@ -144,15 +156,25 @@ KERNEL_RUNNERS = {
     "rd": (run_rd, False),
     "cr_pcr": (run_cr_pcr, True),
     "cr_rd": (run_cr_rd, True),
+    "thomas": (run_thomas, False),
 }
+
+#: Kernels that accept a ``layout=`` argument (interleaved batches).
+LAYOUT_AWARE_KERNELS = frozenset({"thomas"})
 
 
 def run_kernel(name: str, systems: TridiagonalSystems,
                intermediate_size: int | None = None,
                device: DeviceSpec = GTX280,
                step_limit: int | None = None,
+               layout: str | None = None,
                ) -> tuple[np.ndarray, LaunchResult]:
-    """Run any of the five solvers by name."""
+    """Run any of the registry solvers by name.
+
+    ``layout`` (``"sequential"`` / ``"interleaved"``) is only accepted
+    by layout-aware kernels; the fine-grained shared-memory kernels
+    stage through shared memory and always read the sequential layout.
+    """
     if name not in KERNEL_RUNNERS:
         raise ValueError(
             f"unknown kernel {name!r}; available: {sorted(KERNEL_RUNNERS)}")
@@ -162,6 +184,12 @@ def run_kernel(name: str, systems: TridiagonalSystems,
     kwargs = {"device": device, "step_limit": step_limit}
     if takes_m:
         kwargs["intermediate_size"] = intermediate_size
+    if layout is not None and layout != "sequential":
+        if name not in LAYOUT_AWARE_KERNELS:
+            raise ValueError(
+                f"kernel {name!r} does not take layout {layout!r}; "
+                f"layout-aware kernels: {sorted(LAYOUT_AWARE_KERNELS)}")
+        kwargs["layout"] = layout
     if not telemetry.enabled():
         # The disabled fast path: no span object, no collector, just
         # the dispatch itself (covered by the no-op overhead test).

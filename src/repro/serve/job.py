@@ -17,9 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kernels.api import KERNEL_RUNNERS
+from repro.kernels.api import KERNEL_RUNNERS, LAYOUT_AWARE_KERNELS
 from repro.solvers.systems import TridiagonalSystems
 from repro.solvers.validate import require_power_of_two
+
+#: Batch layouts a job may request for its GPU chunks.
+JOB_LAYOUTS = ("sequential", "interleaved")
 
 #: Default CPU degradation ladder: the sequential baseline first, the
 #: §5.4 pivoting anchor as the last word.
@@ -50,7 +53,14 @@ class SolveJob:
         method; off-sized work belongs to :func:`repro.robust_solve`).
     method:
         GPU kernel to run chunks with (any
-        :data:`repro.kernels.api.KERNEL_RUNNERS` entry).
+        :data:`repro.kernels.api.KERNEL_RUNNERS` entry), or ``"auto"``
+        to let the scheduler pick method *and* layout from the
+        measured-cost layout autotuner at admission.
+    layout:
+        Batch layout the GPU chunks run in (``"sequential"`` |
+        ``"interleaved"``).  Only layout-aware kernels accept the
+        interleaved layout; ``method="auto"`` overwrites this with the
+        autotuner's joint pick.
     intermediate_size:
         Hybrid switch point, as :func:`repro.kernels.api.run_kernel`.
     chunk_size:
@@ -82,6 +92,7 @@ class SolveJob:
     job_id: str
     systems: TridiagonalSystems
     method: str = "cr_pcr"
+    layout: str = "sequential"
     intermediate_size: int | None = None
     chunk_size: int = 8
     deadline_ms: float | None = None
@@ -92,11 +103,26 @@ class SolveJob:
     tenant: str = "default"
 
     def __post_init__(self) -> None:
-        if self.method not in KERNEL_RUNNERS:
+        if self.method != "auto" and self.method not in KERNEL_RUNNERS:
             raise ValueError(
                 f"job {self.job_id!r}: unknown GPU method "
-                f"{self.method!r}; available: {sorted(KERNEL_RUNNERS)}")
-        require_power_of_two(self.systems.n, f"job {self.job_id!r}")
+                f"{self.method!r}; available: "
+                f"{sorted(KERNEL_RUNNERS)} or 'auto'")
+        if self.layout not in JOB_LAYOUTS:
+            raise ValueError(
+                f"job {self.job_id!r}: unknown layout {self.layout!r}; "
+                f"available: {list(JOB_LAYOUTS)}")
+        if (self.layout != "sequential" and self.method != "auto"
+                and self.method not in LAYOUT_AWARE_KERNELS):
+            raise ValueError(
+                f"job {self.job_id!r}: method {self.method!r} does not "
+                f"take layout {self.layout!r}; layout-aware kernels: "
+                f"{sorted(LAYOUT_AWARE_KERNELS)}")
+        if self.method not in ("auto", "thomas"):
+            # The per-thread Thomas kernel (and the autotuner behind
+            # "auto") handle any n >= 2; the fine-grained kernels keep
+            # the paper's power-of-two contract.
+            require_power_of_two(self.systems.n, f"job {self.job_id!r}")
         if self.chunk_size < 1:
             raise ValueError(f"job {self.job_id!r}: chunk_size must be >= 1")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
@@ -128,6 +154,10 @@ class SolveJob:
         h.update(f"{self.method}|{self.intermediate_size}|"
                  f"{self.chunk_size}|{self.residual_tol}|"
                  f"{'>'.join(self.cpu_chain)}".encode())
+        if self.layout != "sequential":
+            # Appended only off-default so pre-layout checkpoints keep
+            # matching their jobs.
+            h.update(f"|layout={self.layout}".encode())
         return h.hexdigest()
 
 

@@ -91,6 +91,13 @@ CPU_NS_PER_UNKNOWN = 500.0
 HEDGE_ATTEMPT_BASE = 1_000_000
 
 
+def _residual_layout(job: SolveJob) -> str:
+    """Cost-residual metric label for a job's layout.  The sequential
+    five-array layout keeps its historical ``"global"`` label; the
+    interleaved layout gets its own calibration series."""
+    return job.layout if job.layout != "sequential" else "global"
+
+
 class BatchScheduler:
     """Dispatch chunked solve jobs across a simulated device pool.
 
@@ -191,6 +198,25 @@ class BatchScheduler:
 
     # -- admission ------------------------------------------------------
 
+    def _resolve_auto(self, job: SolveJob) -> None:
+        """Resolve ``method="auto"`` into a concrete (method, layout).
+
+        The autotuner's fitted cost model ranks solver x layout for the
+        *chunk* shape (the placement unit) on the pool's device type;
+        the pick is written back onto the job so dispatch, estimates,
+        digests and telemetry all see the resolved pair.
+        """
+        if job.method != "auto":
+            return
+        from repro.analysis.layout_autotuner import choose_layout
+        device = self.pool.all_devices()[0].spec
+        chunk = min(job.chunk_size, job.systems.num_systems)
+        choice = choose_layout(chunk, job.systems.n, device=device)
+        job.method, job.layout = choice.method, choice.layout
+        telemetry.event("serve.autotune", job=job.job_id,
+                        method=job.method, layout=job.layout,
+                        predicted_ms=choice.predicted_ms)
+
     def estimate_job_ms(self, job: SolveJob) -> float:
         """Modeled lower bound for ``job`` on an idle healthy pool.
 
@@ -198,16 +224,20 @@ class BatchScheduler:
         :func:`repro.gpusim.estimator.estimate_ms`, bitwise-equal to
         the simulate-then-cost path) and the job bound is perfect
         parallelism over the pool.  Used by the queue's
-        deadline-feasibility admission check.
+        deadline-feasibility admission check.  ``method="auto"`` jobs
+        are resolved to the autotuner's (method, layout) pick first,
+        so admission estimates price the placement that will run.
         """
-        key = (job.method, job.systems.n, min(job.chunk_size,
-                                              job.systems.num_systems),
+        self._resolve_auto(job)
+        key = (job.method, job.layout, job.systems.n,
+               min(job.chunk_size, job.systems.num_systems),
                job.intermediate_size)
         if key not in self._estimate_cache:
             from repro.gpusim.estimator import estimate_ms
             self._estimate_cache[key] = estimate_ms(
-                job.method, job.systems.n, key[2],
-                intermediate_size=job.intermediate_size)
+                job.method, job.systems.n, key[3],
+                intermediate_size=job.intermediate_size,
+                layout=job.layout)
         return self._estimate_cache[key] * job.num_chunks / len(self.pool)
 
     def _chunk_estimate_ms(self, job: SolveJob) -> float:
@@ -217,8 +247,8 @@ class BatchScheduler:
         with telemetry.span("serve.estimate", job=job.job_id,
                             method=job.method):
             self.estimate_job_ms(job)
-        key = (job.method, job.systems.n, min(job.chunk_size,
-                                              job.systems.num_systems),
+        key = (job.method, job.layout, job.systems.n,
+               min(job.chunk_size, job.systems.num_systems),
                job.intermediate_size)
         return self._estimate_cache[key]
 
@@ -445,12 +475,12 @@ class BatchScheduler:
                             x, launch = run_kernel(
                                 job.method, sub,
                                 intermediate_size=job.intermediate_size,
-                                device=device.spec)
+                                device=device.spec, layout=job.layout)
                     else:
                         x, launch = run_kernel(
                             job.method, sub,
                             intermediate_size=job.intermediate_size,
-                            device=device.spec)
+                            device=device.spec, layout=job.layout)
             except (_faults.DataCorruptionError,
                     _faults.KernelLaunchError) as exc:
                 kind = ("corruption"
@@ -519,7 +549,8 @@ class BatchScheduler:
                     # Pair the realized modeled cost with the
                     # scheduler's estimate for this chunk shape: the
                     # per-(solver, layout, n) calibration residual.
-                    record_cost_residual(job.method, "global", sub.n,
+                    record_cost_residual(job.method,
+                                         _residual_layout(job), sub.n,
                                          (cost - est) / est)
                 attempts.append(ChunkAttempt(
                     device=device.name, outcome="ok", modeled_ms=cost))
@@ -581,12 +612,12 @@ class BatchScheduler:
                         x, launch = run_kernel(
                             job.method, sub,
                             intermediate_size=job.intermediate_size,
-                            device=dev.spec)
+                            device=dev.spec, layout=job.layout)
                 else:
                     x, launch = run_kernel(
                         job.method, sub,
                         intermediate_size=job.intermediate_size,
-                        device=dev.spec)
+                        device=dev.spec, layout=job.layout)
         except (_faults.DataCorruptionError,
                 _faults.KernelLaunchError) as exc:
             kind = ("corruption"
@@ -685,7 +716,7 @@ class BatchScheduler:
         record_chunk_done(dev.name, "ok")
         record_chunk_latency(hedge["cost"], job.slo_class, dev.name)
         if telemetry.enabled() and est > 0:
-            record_cost_residual(job.method, "global", sub.n,
+            record_cost_residual(job.method, _residual_layout(job), sub.n,
                                  (hedge["cost"] - est) / est)
         attempts.append(ChunkAttempt(
             device=dev.name, outcome="ok", modeled_ms=hedge["cost"]))
@@ -709,6 +740,7 @@ class BatchScheduler:
         unbarriered checkpoint lines are lost exactly as a real kill
         would lose them).
         """
+        self._resolve_auto(job)
         restored: dict[int, tuple[ChunkRecord, np.ndarray]] = {}
         path = self._checkpoint_path(job)
         resuming = False

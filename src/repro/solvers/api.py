@@ -103,7 +103,8 @@ POWER_OF_TWO_METHODS = frozenset({"cr", "pcr", "rd", "cr_pcr", "cr_rd"})
 PIVOTING_METHODS = frozenset({"gep", "qr"})
 
 
-def choose_method(systems: TridiagonalSystems) -> str:
+def choose_method(systems: TridiagonalSystems,
+                  device=None) -> str:
     """Pick a method per the paper's evaluation.
 
     * Not diagonally dominant -> ``gep`` (only pivoting is reliable,
@@ -113,10 +114,19 @@ def choose_method(systems: TridiagonalSystems) -> str:
     * Small systems (n <= 128) -> ``pcr`` (hybrids lose below 256,
       §5.2/Fig 6).
     * Otherwise -> ``cr_pcr`` (fastest overall, §5.3.4).
+
+    With a ``device`` (a :class:`repro.gpusim.DeviceSpec`), the static
+    thresholds above are replaced by the fitted measured-cost model of
+    :func:`repro.analysis.layout_autotuner.choose_layout`, which ranks
+    solver *and* batch layout jointly for that device's geometry (the
+    dominance guard still routes to ``gep`` first).
     """
     if not bool(np.all(systems.is_diagonally_dominant(strict=False))):
         return "gep"
     S, n = systems.shape
+    if device is not None:
+        from repro.analysis.layout_autotuner import choose_layout
+        return choose_layout(S, n, device=device).method
     if S * n < 1024 or n < 8:
         return "thomas"
     if n <= 128:
@@ -125,7 +135,8 @@ def choose_method(systems: TridiagonalSystems) -> str:
 
 
 def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
-          pad: bool = True, check_finite: bool = True) -> np.ndarray:
+          pad: bool = True, check_finite: bool = True,
+          device=None) -> np.ndarray:
     """Solve tridiagonal systems ``A x = d``.
 
     Parameters
@@ -145,6 +156,11 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
         Reject NaN/Inf coefficients with a ``ValueError`` naming the
         offending system (default).  ``False`` skips the scan and lets
         non-finite values propagate as they did before.
+    device:
+        Optional :class:`repro.gpusim.DeviceSpec`.  With
+        ``method="auto"``, route method selection through the
+        measured-cost layout autotuner fitted for that device instead
+        of the static thresholds (see :func:`choose_method`).
 
     Returns
     -------
@@ -155,7 +171,8 @@ def solve(a, b, c, d, method: str = "auto", *, intermediate_size=None,
                                  np.atleast_2d(c), np.atleast_2d(d))
     if check_finite:
         validate_finite(systems, who="solve")
-    name = choose_method(systems) if method == "auto" else method
+    name = choose_method(systems, device=device) if method == "auto" \
+        else method
     if name not in SOLVERS:
         raise ValueError(
             f"unknown method {name!r}; available: {sorted(SOLVERS)} or 'auto'")

@@ -21,6 +21,20 @@ from .api import solve
 from .systems import TridiagonalSystems
 
 
+def _require_positive_systems(num_systems: int, who: str) -> int:
+    """``num_systems`` must be a positive integer.
+
+    A zero used to surface as ``ZeroDivisionError`` deep inside
+    :func:`deinterleave` and negatives produced silently wrong reshapes;
+    every entry point that takes a system count validates here instead.
+    """
+    count = int(num_systems)
+    if count < 1:
+        raise ValueError(
+            f"{who}: num_systems must be >= 1, got {num_systems}")
+    return count
+
+
 def interleave(batch: np.ndarray) -> np.ndarray:
     """Sequential ``(S, n)`` -> flat interleaved ``(n*S,)`` layout
     (element i of all systems adjacent)."""
@@ -32,6 +46,7 @@ def interleave(batch: np.ndarray) -> np.ndarray:
 
 def deinterleave(flat: np.ndarray, num_systems: int) -> np.ndarray:
     """Flat interleaved ``(n*S,)`` -> sequential ``(S, n)``."""
+    num_systems = _require_positive_systems(num_systems, "deinterleave")
     flat = np.asarray(flat)
     if flat.ndim != 1 or flat.size % num_systems:
         raise ValueError(
@@ -86,6 +101,8 @@ def gtsv_strided_batch(dl: np.ndarray, d: np.ndarray, du: np.ndarray,
     flat array with the solutions at the same strided positions (the
     input ``x`` is not mutated -- NumPy idiom over CUDA's in-place).
     """
+    batch_count = _require_positive_systems(batch_count,
+                                            "gtsv_strided_batch")
     a = from_strided(dl, batch_count, n, batch_stride)
     b = from_strided(d, batch_count, n, batch_stride)
     c = from_strided(du, batch_count, n, batch_stride)
@@ -103,6 +120,8 @@ def gtsv_interleaved_batch(dl: np.ndarray, d: np.ndarray, du: np.ndarray,
     All four flat arrays use the interleaved layout (element i of
     every system adjacent).  Returns the solutions in the same layout.
     """
+    batch_count = _require_positive_systems(batch_count,
+                                            "gtsv_interleaved_batch")
     a = deinterleave(dl, batch_count)
     b = deinterleave(d, batch_count)
     c = deinterleave(du, batch_count)

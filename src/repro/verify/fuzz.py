@@ -39,7 +39,8 @@ from repro.solvers.api import POWER_OF_TWO_METHODS, SOLVERS
 from repro.solvers.systems import TridiagonalSystems
 from repro.telemetry.metrics import record_fuzz_case
 
-from .differential import (NUMPY_LAYOUTS, SIM_RUNNERS, CellResult, CellSpec,
+from .differential import (NUMPY_LAYOUTS, SIM_LAYOUT_AWARE, SIM_RUNNERS,
+                           CellResult, CellSpec,
                            verify_cell)
 from .generators import VERIFY_CLASSES, generate
 
@@ -140,7 +141,10 @@ def draw_case(iteration: int, seed: int) -> FuzzCase:
         kernels = sorted(SIM_RUNNERS)
         solver = kernels[rng.integers(len(kernels))]
         n = int(_SIM_SIZES[rng.integers(len(_SIM_SIZES))])
-        spec = CellSpec("sim", solver, "global", klass, n, num_systems,
+        layout = "global"
+        if solver in SIM_LAYOUT_AWARE and rng.random() < 0.5:
+            layout = "interleaved"
+        spec = CellSpec("sim", solver, layout, klass, n, num_systems,
                         seed=int(derive_seed(seed, iteration, "data")))
     return FuzzCase(iteration, spec)
 

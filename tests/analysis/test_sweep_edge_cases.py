@@ -1,0 +1,60 @@
+"""Edge cases of the switch-point sweep: non-power-of-two endpoints
+and the diagnosable all-infeasible failure mode."""
+
+import pytest
+
+from repro.analysis.autotune import (SweepPoint, SweepResult,
+                                     _power_of_two_range,
+                                     sweep_switch_point)
+from repro.numerics.generators import diagonally_dominant_fluid
+
+
+class TestPowerOfTwoRange:
+    def test_power_of_two_n(self):
+        assert _power_of_two_range(16) == [2, 4, 8, 16]
+
+    @pytest.mark.parametrize("n,expect", [
+        (33, [2, 4, 8, 16, 32, 33]),
+        (6, [2, 4, 6]),
+        (3, [2, 3]),
+        (2, [2]),
+    ])
+    def test_non_pot_n_keeps_right_endpoint(self, n, expect):
+        """Regression: the sweep used to stop at the last power of two
+        below n, dropping Fig 17's pure-inner endpoint entirely."""
+        assert _power_of_two_range(n) == expect
+
+    def test_sweep_labels_non_pot_endpoint(self):
+        s = diagonally_dominant_fluid(4, 24, seed=0)
+        res = sweep_switch_point(s, "pcr")
+        last = res.points[-1]
+        assert last.intermediate_size == 24
+        assert last.label == "pure-pcr"
+        assert res.points[0].label == "pure-cr"
+        assert all(p.label == "hybrid" for p in res.points[1:-1])
+
+
+class TestBestReasons:
+    def test_all_infeasible_reports_each_reason(self):
+        res = SweepResult(inner="pcr", points=[
+            SweepPoint(2, None, reason="shared memory overflow"),
+            SweepPoint(4, None, reason="bank width"),
+            SweepPoint(8, None),
+        ])
+        with pytest.raises(ValueError) as ei:
+            res.best()
+        msg = str(ei.value)
+        assert "no feasible switch point" in msg
+        assert "m=2: shared memory overflow" in msg
+        assert "m=4: bank width" in msg
+        assert "m=8: unknown" in msg
+
+    def test_empty_sweep_message(self):
+        with pytest.raises(ValueError, match="empty sweep"):
+            SweepResult(inner="pcr", points=[]).best()
+
+    def test_feasible_sweep_still_picks_argmin(self):
+        res = SweepResult(inner="rd", points=[
+            SweepPoint(2, 5.0), SweepPoint(4, None, reason="x"),
+            SweepPoint(8, 3.0)])
+        assert res.best().intermediate_size == 8

@@ -1,0 +1,42 @@
+"""Regression: duplicate lane ids in one access instruction.
+
+One access instruction carries exactly one address per lane.  The
+half-warp grouping used to accept a repeated lane id silently,
+attributing two addresses to one lane and corrupting both the bank
+conflict and the transaction counts; it must raise ``KernelError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (GTX280, KernelError, bank_conflict_cycles,
+                          coalesced_transactions)
+
+
+class TestDuplicateLaneIds:
+    def test_conflicts_reject_duplicates(self):
+        addrs = np.array([0, 1, 2, 3])
+        lanes = np.array([0, 1, 1, 3])
+        with pytest.raises(KernelError, match="duplicate lane id 1"):
+            bank_conflict_cycles(addrs, GTX280, lane_ids=lanes)
+
+    def test_transactions_reject_duplicates(self):
+        addrs = np.array([0, 16, 32])
+        lanes = np.array([2, 2, 5])
+        with pytest.raises(KernelError, match="duplicate lane id 2"):
+            coalesced_transactions(addrs, GTX280, lane_ids=lanes)
+
+    def test_unsorted_duplicates_caught_after_ordering(self):
+        """Duplicates split by other lanes still collide post-sort."""
+        addrs = np.array([0, 1, 2])
+        lanes = np.array([7, 0, 7])
+        with pytest.raises(KernelError, match="duplicate lane id 7"):
+            coalesced_transactions(addrs, GTX280, lane_ids=lanes)
+
+    def test_distinct_lanes_still_fine(self):
+        addrs = np.arange(16)
+        lanes = np.arange(16)[::-1].copy()     # unordered but distinct
+        assert coalesced_transactions(addrs, GTX280, lane_ids=lanes) == 1
+
+    def test_default_lane_range_unaffected(self):
+        assert coalesced_transactions(np.arange(16), GTX280) == 1

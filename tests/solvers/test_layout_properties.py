@@ -1,0 +1,112 @@
+"""Property tests for the batch layout conversions (hypothesis).
+
+The layout module is the host-side half of the interleaved-batch
+feature: every conversion must be an exact bijection (bitwise, any
+dtype, any memory order) because the sim kernels and the differential
+harness assume converting a batch and converting it back is the
+identity.  Also pins the ``num_systems`` validation added for the
+ZeroDivisionError-on-empty-batch bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.layout import (deinterleave, from_strided,
+                                  gtsv_interleaved_batch,
+                                  gtsv_strided_batch, interleave,
+                                  to_strided)
+
+DTYPES = (np.float32, np.float64, np.int32)
+
+
+def _batch(S, n, seed, dtype):
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(-100, 100, (S, n))
+    return b.astype(dtype)
+
+
+class TestInterleaveRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(S=st.integers(1, 12), n=st.integers(1, 24),
+           seed=st.integers(0, 10**6), di=st.integers(0, len(DTYPES) - 1))
+    def test_roundtrip_bitwise_and_dtype(self, S, n, seed, di):
+        b = _batch(S, n, seed, DTYPES[di])
+        flat = interleave(b)
+        assert flat.dtype == b.dtype
+        back = deinterleave(flat, S)
+        assert back.dtype == b.dtype
+        np.testing.assert_array_equal(back, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(S=st.integers(1, 8), n=st.integers(1, 16),
+           seed=st.integers(0, 10**6))
+    def test_non_contiguous_input(self, S, n, seed):
+        wide = _batch(S, 2 * n, seed, np.float64)
+        view = wide[:, ::2]                    # strided, not contiguous
+        assert not view.flags["C_CONTIGUOUS"] or n == 1
+        np.testing.assert_array_equal(
+            deinterleave(interleave(view), S), np.ascontiguousarray(view))
+
+    @settings(max_examples=40, deadline=None)
+    @given(S=st.integers(1, 8), n=st.integers(1, 16),
+           seed=st.integers(0, 10**6))
+    def test_deinterleave_of_transpose_ravel(self, S, n, seed):
+        """interleave() is exactly the column-major flattening."""
+        b = _batch(S, n, seed, np.float32)
+        np.testing.assert_array_equal(interleave(b), b.T.ravel())
+
+
+class TestStridedRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(S=st.integers(1, 8), n=st.integers(1, 16),
+           gap=st.integers(0, 7), seed=st.integers(0, 10**6),
+           di=st.integers(0, len(DTYPES) - 1))
+    def test_roundtrip_with_gap(self, S, n, gap, seed, di):
+        b = _batch(S, n, seed, DTYPES[di])
+        stride = n + gap
+        flat = to_strided(b, stride)
+        assert flat.dtype == b.dtype
+        np.testing.assert_array_equal(from_strided(flat, S, n, stride), b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(S=st.integers(1, 6), n=st.integers(1, 12),
+           gap=st.integers(1, 5), seed=st.integers(0, 10**6))
+    def test_gap_words_untouched(self, S, n, gap, seed):
+        """Padding between systems survives a write bitwise."""
+        b = _batch(S, n, seed, np.float64)
+        stride = n + gap
+        size = (S - 1) * stride + n
+        out = np.full(size, -77.5)
+        to_strided(b, stride, out=out)
+        mask = np.ones(size, dtype=bool)
+        idx = (np.arange(S)[:, None] * stride + np.arange(n)[None, :])
+        mask[idx.ravel()] = False
+        np.testing.assert_array_equal(out[mask], -77.5)
+
+
+class TestNumSystemsValidation:
+    """Regression: num_systems=0 used to ZeroDivisionError inside
+    deinterleave and negatives reshaped silently."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -4])
+    def test_deinterleave_rejects(self, bad):
+        with pytest.raises(ValueError, match="num_systems must be >= 1"):
+            deinterleave(np.zeros(8), bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_gtsv_interleaved_rejects(self, bad):
+        z = np.zeros(8)
+        with pytest.raises(ValueError,
+                           match="gtsv_interleaved_batch.*>= 1"):
+            gtsv_interleaved_batch(z, z, z, z, bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_gtsv_strided_rejects(self, bad):
+        z = np.zeros(8)
+        with pytest.raises(ValueError, match="gtsv_strided_batch.*>= 1"):
+            gtsv_strided_batch(z, z, z, z, 4, bad, 4)
+
+    def test_positive_still_works(self):
+        b = np.arange(8.0).reshape(2, 4)
+        np.testing.assert_array_equal(deinterleave(interleave(b), 2), b)
